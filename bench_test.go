@@ -1,0 +1,239 @@
+// Package repro's top-level benchmarks regenerate every measurement
+// artifact of the paper — one benchmark per table and figure. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full experiment (workload generation,
+// trace-driven simulation on the SGI machine models, metric derivation)
+// per iteration and reports the headline metrics via b.ReportMetric, so
+// regressions in either performance or modelled behaviour are visible.
+// Use -v to print the regenerated tables themselves; cmd/mp4study prints
+// them with full control over sequence length.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/perf"
+)
+
+// benchFrames keeps benchmark runtime manageable; all reported metrics
+// are rates, insensitive to sequence length (see DESIGN.md and
+// TestRunLengthInvariance).
+const benchFrames = 6
+
+func benchTable(b *testing.B, num int) {
+	spec, err := harness.TableSpecByNum(num)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tab, results, err := harness.RunTable(spec, benchFrames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+			// Headline metrics from the first column (720x576, R12K 1MB).
+			m := results[0].Whole
+			b.ReportMetric(m.L1MissRate*100, "L1miss%")
+			b.ReportMetric(m.L2MissRate*100, "L2miss%")
+			b.ReportMetric(m.DRAMTimeFrac*100, "DRAMstall%")
+			b.ReportMetric(m.L2DRAMMBps, "L2DRAM_MB/s")
+		}
+	}
+}
+
+// BenchmarkTable1Platforms renders the platform-highlights table.
+func BenchmarkTable1Platforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := harness.Table1()
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// BenchmarkTable2Encode1VO1L — video encoding, one VO, one layer.
+func BenchmarkTable2Encode1VO1L(b *testing.B) { benchTable(b, 2) }
+
+// BenchmarkTable3Decode1VO1L — video decoding, one VO, one layer.
+func BenchmarkTable3Decode1VO1L(b *testing.B) { benchTable(b, 3) }
+
+// BenchmarkTable4Encode3VO1L — encoding, three VOs, one layer each.
+func BenchmarkTable4Encode3VO1L(b *testing.B) { benchTable(b, 4) }
+
+// BenchmarkTable5Decode3VO1L — decoding, three VOs, one layer each.
+func BenchmarkTable5Decode3VO1L(b *testing.B) { benchTable(b, 5) }
+
+// BenchmarkTable6Encode3VO2L — encoding, three VOs, two layers each.
+func BenchmarkTable6Encode3VO2L(b *testing.B) { benchTable(b, 6) }
+
+// BenchmarkTable7Decode3VO2L — decoding, three VOs, two layers each.
+func BenchmarkTable7Decode3VO2L(b *testing.B) { benchTable(b, 7) }
+
+// BenchmarkTable8Burstiness — per-phase (VopEncode/VopDecode) counters
+// against the whole program on the R12K/8MB machine.
+func BenchmarkTable8Burstiness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Table8(benchFrames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFigure2SizeSweep — memory statistics for growing image size
+// (decoding, 1MB L2): the paper's counterintuitive flat-to-improving
+// curves.
+func BenchmarkFigure2SizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := harness.Figure2(benchFrames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				b.Log("\n" + seriesString(s))
+			}
+			first, last := series[0].Y[0], series[0].Y[len(series[0].Y)-1]
+			b.ReportMetric(first, "L2miss%smallest")
+			b.ReportMetric(last, "L2miss%largest")
+		}
+	}
+}
+
+// BenchmarkFigure3L1Sweep — L1 miss rates for varying numbers of objects
+// and layers (R10K/2MB).
+func BenchmarkFigure3L1Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.RunObjectSweep(benchFrames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range harness.Figure3Series(points) {
+				b.Log("\n" + seriesString(s))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4L2Sweep — L2 miss rates for the same sweep.
+func BenchmarkFigure4L2Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.RunObjectSweep(benchFrames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range harness.Figure4Series(points) {
+				b.Log("\n" + seriesString(s))
+			}
+		}
+	}
+}
+
+// BenchmarkEncodeThroughput measures raw (untraced) encoder speed at PAL
+// size — the codec without the simulation harness.
+func BenchmarkEncodeThroughput(b *testing.B) {
+	wl := harness.Workload{W: 720, H: 576, Frames: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.RunEncode([]perf.Machine{}, wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func seriesString(s perf.Series) string {
+	var sb strings.Builder
+	s.Write(&sb)
+	return sb.String()
+}
+
+// BenchmarkFutureWorkRatioSweep runs the experiment the paper's
+// conclusion proposes: scale the processor-to-memory speed ratio until
+// MPEG-4 finally becomes memory bound, and report the crossover.
+func BenchmarkFutureWorkRatioSweep(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	for i := 0; i < b.N; i++ {
+		points, err := harness.RunRatioSweep(wl, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range harness.RatioSweepSeries(points) {
+				b.Log("\n" + seriesString(s))
+			}
+			b.ReportMetric(harness.MemoryBoundCrossover(points), "crossover_x")
+			b.ReportMetric(points[0].DecodeDRAM*100, "baselineDRAM%")
+		}
+	}
+}
+
+// BenchmarkAblationSearchAlgorithm compares exhaustive and diamond
+// motion search: the locality the paper attributes to overlapping
+// candidate windows comes with a large reference count.
+func BenchmarkAblationSearchAlgorithm(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	for i := 0; i < b.N; i++ {
+		results, err := harness.RunSearchAblation(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + harness.FormatAblation("motion search ablation (encode, R12K 1MB)", results))
+		}
+	}
+}
+
+// BenchmarkAblationPrefetch sweeps the modelled compiler-prefetch
+// cadence (the paper: conservative prefetching is mostly wasted).
+func BenchmarkAblationPrefetch(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	for i := 0; i < b.N; i++ {
+		results, err := harness.RunPrefetchAblation(wl, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + harness.FormatAblation("prefetch cadence ablation (encode, R12K 1MB)", results))
+		}
+	}
+}
+
+// BenchmarkAblationStaging isolates the MoMuSys-style per-VOP staging
+// traffic — the design choice dominating L2-level behaviour (DESIGN.md).
+func BenchmarkAblationStaging(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	for i := 0; i < b.N; i++ {
+		results, err := harness.RunStagingAblation(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + harness.FormatAblation("per-VOP staging ablation (encode, R12K 1MB)", results))
+		}
+	}
+}
+
+// BenchmarkAblationPageColoring shows the allocator-coloring pathology:
+// page-aligned planes make the masked-SAD kernel thrash the 2-way L1.
+func BenchmarkAblationPageColoring(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames, Objects: 2}
+	for i := 0; i < b.N; i++ {
+		results, err := harness.RunColoringAblation(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + harness.FormatAblation("page coloring ablation (encode, R12K 1MB)", results))
+		}
+	}
+}

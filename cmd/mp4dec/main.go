@@ -1,0 +1,75 @@
+// Command mp4dec decodes a bitstream produced by mp4enc back to raw
+// planar YUV 4:2:0 (I420) frames in display order.
+//
+// Usage:
+//
+//	mp4dec -in stream.m4v -out video.yuv
+//	mp4dec -in stream.m4v -info          # headers and per-VOP info only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/simmem"
+)
+
+func main() {
+	in := flag.String("in", "", "input bitstream file")
+	out := flag.String("out", "", "raw I420 output file")
+	info := flag.Bool("info", false, "print stream information without writing output")
+	flag.Parse()
+
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	if !*info && *out == "" {
+		fatal(fmt.Errorf("-out is required (or use -info)"))
+	}
+
+	stream, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	dec := codec.NewDecoder(simmem.NewSpace(0), nil, nil)
+	frames, err := dec.DecodeSequence(stream)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := dec.Config()
+	fmt.Fprintf(os.Stderr, "stream: %dx%d, %d frames, GOP N=%d M=%d, QP %d, shape=%v\n",
+		cfg.W, cfg.H, len(frames), cfg.GOP.N, cfg.GOP.M, cfg.QP, cfg.Shape)
+	if *info {
+		return
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, fr := range frames {
+		if _, err := w.Write(fr.Y.Pix); err != nil {
+			fatal(err)
+		}
+		if _, err := w.Write(fr.Cb.Pix); err != nil {
+			fatal(err)
+		}
+		if _, err := w.Write(fr.Cr.Pix); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d frames to %s\n", len(frames), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mp4dec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,185 @@
+// Command mp4study regenerates the measurement tables and figures of
+// "An MPEG-4 Performance Study for non-SIMD, General Purpose
+// Architectures" (McKee, Fang, Valero — ISPASS 2003) on the simulated
+// SGI platforms.
+//
+// Usage:
+//
+//	mp4study -all                 # every table and figure
+//	mp4study -table 3             # one table (1–8)
+//	mp4study -figure 2            # one figure (2–4)
+//	mp4study -frames 12           # longer sequences (slower, same rates)
+//
+// Output is plain text in the paper's layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-8)")
+	figure := flag.Int("figure", 0, "regenerate one figure (2-4)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	frames := flag.Int("frames", 0, "sequence length in frames (0 = default)")
+	sweep := flag.String("sweep", "", "extra experiment: ratio | search | prefetch | staging | coloring")
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 && *sweep == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *sweep != "" {
+		if err := runSweep(*sweep, *frames); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	start := time.Now()
+	if *all {
+		for n := 1; n <= 8; n++ {
+			if err := runTable(n, *frames); err != nil {
+				fatal(err)
+			}
+		}
+		for n := 2; n <= 4; n++ {
+			if err := runFigure(n, *frames); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *table != 0 {
+		if err := runTable(*table, *frames); err != nil {
+			fatal(err)
+		}
+	} else if *figure != 0 {
+		if err := runFigure(*figure, *frames); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runTable(n, frames int) error {
+	switch n {
+	case 1:
+		fmt.Println(harness.Table1())
+		return nil
+	case 8:
+		tab, err := harness.Table8(frames)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.String())
+		return nil
+	default:
+		spec, err := harness.TableSpecByNum(n)
+		if err != nil {
+			return err
+		}
+		tab, _, err := harness.RunTable(spec, frames)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.String())
+		return nil
+	}
+}
+
+func runFigure(n, frames int) error {
+	switch n {
+	case 2:
+		series, err := harness.Figure2(frames)
+		if err != nil {
+			return err
+		}
+		for _, s := range series {
+			s.Write(os.Stdout)
+			fmt.Println()
+		}
+		return nil
+	case 3, 4:
+		points, err := harness.RunObjectSweep(frames)
+		if err != nil {
+			return err
+		}
+		if n == 3 {
+			for _, s := range harness.Figure3Series(points) {
+				s.Write(os.Stdout)
+				fmt.Println()
+			}
+		} else {
+			for _, s := range harness.Figure4Series(points) {
+				s.Write(os.Stdout)
+				fmt.Println()
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("no figure %d (the paper's data figures are 2-4)", n)
+	}
+}
+
+// runSweep runs the extension experiments: the paper's future-work
+// processor/memory ratio study and the design-choice ablations.
+func runSweep(name string, frames int) error {
+	wl := harness.Workload{W: 352, H: 288, Frames: frames}
+	switch name {
+	case "ratio":
+		points, err := harness.RunRatioSweep(wl, nil)
+		if err != nil {
+			return err
+		}
+		for _, s := range harness.RatioSweepSeries(points) {
+			s.Write(os.Stdout)
+			fmt.Println()
+		}
+		if c := harness.MemoryBoundCrossover(points); c > 0 {
+			fmt.Printf("decode becomes memory bound (>=50%% DRAM stall) at %gx the baseline DRAM latency\n", c)
+		} else {
+			fmt.Println("decode never becomes memory bound within the sweep")
+		}
+		return nil
+	case "search":
+		res, err := harness.RunSearchAblation(wl)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatAblation("motion search ablation (encode, R12K 1MB)", res))
+		return nil
+	case "prefetch":
+		res, err := harness.RunPrefetchAblation(wl, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatAblation("prefetch cadence ablation (encode, R12K 1MB)", res))
+		return nil
+	case "staging":
+		res, err := harness.RunStagingAblation(wl)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatAblation("per-VOP staging ablation (encode, R12K 1MB)", res))
+		return nil
+	case "coloring":
+		wl.Objects = 2
+		res, err := harness.RunColoringAblation(wl)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatAblation("page coloring ablation (encode, R12K 1MB)", res))
+		return nil
+	default:
+		return fmt.Errorf("unknown sweep %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mp4study:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Memprofile: run the instrumented codec against the paper's three SGI
+// machine models and print the hardware-counter-style metrics — the
+// core experiment of the paper in ~40 lines of API use.
+//
+//	go run ./examples/memprofile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/perf"
+)
+
+func main() {
+	machines := perf.PaperMachines()
+	wl := harness.Workload{W: 352, H: 288, Frames: 6}
+
+	encRes, ss, err := harness.RunEncode(machines, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decRes, err := harness.RunDecode(machines, wl, ss)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s, %d frames, %d coded bytes\n\n", wl.Label(), wl.Frames, ss.TotalBytes())
+	fmt.Println("direction  machine    L1 miss  L1 reuse  L2 miss  DRAM stall  L2-DRAM MB/s  bus use")
+	print := func(dir string, rs []harness.Result) {
+		for _, r := range rs {
+			m := r.Whole
+			fmt.Printf("%-9s  %-9s  %6.3f%%  %8.0f  %6.2f%%  %9.1f%%  %12.1f  %6.2f%%\n",
+				dir, r.Machine.Label(), m.L1MissRate*100, m.L1LineReuse,
+				m.L2MissRate*100, m.DRAMTimeFrac*100, m.L2DRAMMBps, m.BusUtilization*100)
+		}
+	}
+	print("encode", encRes)
+	print("decode", decRes)
+
+	fmt.Println("\nthe paper's conclusions, observable above:")
+	fmt.Println(" - L1 hit rates are ~99.5%+ with line reuse in the hundreds (not streaming)")
+	fmt.Println(" - DRAM stall time is a small fraction of execution (not latency bound)")
+	fmt.Println(" - a few percent of sustained bus bandwidth is used (not bandwidth bound)")
+	fmt.Println(" - larger L2 caches reduce L2 miss rate and DRAM time (working set captured)")
+}

@@ -1,0 +1,78 @@
+// Multiobject: the paper's multi-VO workload — a background object and
+// two arbitrary-shape foreground objects, each coded as its own video
+// object with binary shape (CAE) and two scalable layers, then decoded
+// and composed back into a scene.
+//
+//	go run ./examples/multiobject
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/scene"
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+func main() {
+	const w, h, frames = 320, 240, 6
+
+	space := simmem.NewSpace(0)
+	synth := video.NewSynth(w, h, 7)
+
+	// Three visual objects: index 0 is the full-frame background, 1 and 2
+	// are moving ellipses with binary alpha masks.
+	objects := [][]*video.Frame{
+		synth.ObjectSequence(space, -1, frames),
+		synth.ObjectSequence(space, 0, frames),
+		synth.ObjectSequence(space, 1, frames),
+	}
+
+	obj := codec.DefaultConfig(w, h)
+	obj.Shape = true // arbitrary-shape coding with the CAE shape coder
+	cfg := codec.SessionConfig{Object: obj, Objects: 3, Layers: 2}
+
+	ss, err := codec.EncodeSession(cfg, space, nil, nil, objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3 objects x 2 layers, %d frames: %d bytes total\n", frames, ss.TotalBytes())
+	for o := range ss.Base {
+		fmt.Printf("  object %d: base %6d B, enhancement %6d B\n", o, len(ss.Base[o]), len(ss.Enh[o]))
+	}
+
+	decoded, err := codec.DecodeSession(ss, simmem.NewSpace(0), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Shape coding is lossless: verify each object's decoded support.
+	for o := range decoded {
+		for t := range decoded[o] {
+			orig, got := objects[o][t].Alpha, decoded[o][t].Alpha
+			for i := range orig.Pix {
+				if orig.Pix[i] != got.Pix[i] {
+					log.Fatalf("object %d frame %d: alpha mismatch", o, t)
+				}
+			}
+		}
+	}
+	fmt.Println("binary shape decoded losslessly for all objects")
+
+	// Recompose the scene (painter's order: background first) and
+	// compare against the directly rendered scene.
+	comp := scene.NewCompositor(nil)
+	composed, err := comp.ComposeSequence(space, decoded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reference := synth.Sequence(space, frames)
+	var psnr float64
+	for t := range composed {
+		psnr += video.PSNR(reference[t], composed[t])
+	}
+	fmt.Printf("recomposed scene vs direct render: mean luma PSNR %.1f dB over %d frames\n",
+		psnr/float64(frames), frames)
+}

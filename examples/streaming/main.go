@@ -1,0 +1,71 @@
+// Streaming: drive the decoder as a real-time player would — VOPs
+// arrive in coding order, a reorder buffer restores display order, and
+// display buffers are recycled through the decoder's pool (the stable
+// resident set the paper measures). Also demonstrates the out-of-order
+// property of Figure 1: the B-VOPs display *before* the anchor that was
+// decoded ahead of them.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/simmem"
+	"repro/internal/video"
+	"repro/internal/vop"
+)
+
+func main() {
+	const w, h, frames = 320, 240, 10
+
+	// Produce a stream (the "sender").
+	space := simmem.NewSpace(0)
+	clip := video.NewSynth(w, h, 3).Sequence(space, frames)
+	enc, err := codec.NewEncoder(codec.DefaultConfig(w, h), space, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := enc.EncodeSequence(clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream: %d bytes for %d frames\n\n", len(stream), frames)
+
+	// The "receiver": decode VOP by VOP, reorder, display, recycle.
+	dec := codec.NewDecoder(simmem.NewSpace(0), nil, nil)
+	if err := dec.Begin(stream); err != nil {
+		log.Fatal(err)
+	}
+	var rb vop.ReorderBuffer
+	displayed := 0
+	pending := map[int]*video.Frame{}
+
+	display := func(items []vop.Item) {
+		for _, it := range items {
+			f := pending[it.Display]
+			delete(pending, it.Display)
+			fmt.Printf("  display %2d (%s-VOP, PSNR %.1f dB)\n",
+				it.Display, it.Type, video.PSNR(clip[it.Display], f))
+			dec.Release(f) // hand the buffer back to the pool
+			displayed++
+		}
+	}
+	for i := 0; i < dec.NFrames(); i++ {
+		it, f, err := dec.DecodeNext()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pending[it.Display] = f
+		fmt.Printf("decoded %2d as %s-VOP (coding order %d)\n", it.Display, it.Type, i)
+		display(rb.Push(it))
+	}
+	display(rb.Flush())
+	if err := dec.CheckEnd(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplayed %d/%d frames in display order with a recycled buffer pool\n",
+		displayed, frames)
+}

@@ -1,0 +1,298 @@
+// Package bits implements MSB-first bitstream writing and reading as used
+// by the MPEG-4 visual bitstream syntax, including startcode emission and
+// resynchronisation scanning.
+//
+// The MPEG-4 decoder locates sections of the hierarchical stream by
+// scanning for unique byte-aligned bit patterns (startcodes); the writer
+// therefore guarantees that startcodes are byte aligned and that no
+// emulation of a startcode prefix can occur inside stuffing.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Startcode values from the MPEG-4 visual syntax (ISO/IEC 14496-2).
+// All startcodes are 0x000001xx, byte aligned.
+const (
+	StartcodePrefix = 0x000001
+
+	// Startcode suffixes used by this implementation.
+	SCVisualObjectSequence = 0xB0
+	SCVisualObject         = 0xB5
+	SCVideoObject          = 0x00 // 0x00..0x1F video_object_start_code
+	SCVideoObjectLayer     = 0x20 // 0x20..0x2F video_object_layer_start_code
+	SCVOP                  = 0xB6
+	SCGOV                  = 0xB3
+	SCEndOfSequence        = 0xB1
+	SCUserData             = 0xB2
+)
+
+// ErrEndOfStream is returned when a read requests more bits than remain.
+var ErrEndOfStream = errors.New("bits: end of stream")
+
+// Writer accumulates bits MSB first into an internal byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint8 // bits accumulated in the current partial byte
+	nCur uint  // number of valid bits in cur (0..7)
+	n    uint64
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// PutBit appends a single bit.
+func (w *Writer) PutBit(b uint32) {
+	w.cur = w.cur<<1 | uint8(b&1)
+	w.nCur++
+	w.n++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// PutBits appends the low n bits of v, most significant first. n must be
+// in [0, 32].
+func (w *Writer) PutBits(v uint32, n uint) {
+	if n > 32 {
+		panic(fmt.Sprintf("bits: PutBits width %d out of range", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.PutBit(v >> uint(i))
+	}
+}
+
+// PutUE appends v in unsigned Exp-Golomb form. MPEG-4 proper does not use
+// Exp-Golomb, but side information in this implementation (for example
+// arbitrary dimensions) uses it as a compact self-delimiting integer code.
+func (w *Writer) PutUE(v uint32) {
+	vv := uint64(v) + 1
+	nbits := 0
+	for t := vv; t > 1; t >>= 1 {
+		nbits++
+	}
+	for i := 0; i < nbits; i++ {
+		w.PutBit(0)
+	}
+	for i := nbits; i >= 0; i-- {
+		w.PutBit(uint32(vv >> uint(i)))
+	}
+}
+
+// PutSE appends v in signed Exp-Golomb form (0, 1, -1, 2, -2, ...).
+func (w *Writer) PutSE(v int32) {
+	if v <= 0 {
+		w.PutUE(uint32(-2 * v))
+	} else {
+		w.PutUE(uint32(2*v - 1))
+	}
+}
+
+// AlignZero pads the stream with zero bits to the next byte boundary.
+func (w *Writer) AlignZero() {
+	for w.nCur != 0 {
+		w.PutBit(0)
+	}
+}
+
+// AlignStuffing writes the MPEG-4 next_start_code() stuffing pattern:
+// a zero bit followed by ones up to the byte boundary. If the stream is
+// already aligned a full stuffing byte 0x7F is written, as the standard
+// requires, so the decoder can always strip stuffing unambiguously.
+func (w *Writer) AlignStuffing() {
+	w.PutBit(0)
+	for w.nCur != 0 {
+		w.PutBit(1)
+	}
+}
+
+// PutStartcode aligns with stuffing and emits 0x000001 followed by suffix.
+func (w *Writer) PutStartcode(suffix uint8) {
+	w.AlignStuffing()
+	w.PutBits(StartcodePrefix, 24)
+	w.PutBits(uint32(suffix), 8)
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() uint64 { return w.n }
+
+// Bytes flushes any partial byte (zero padded) and returns the buffer.
+// The writer remains usable; subsequent writes continue byte aligned.
+func (w *Writer) Bytes() []byte {
+	w.AlignZero()
+	return w.buf
+}
+
+// Reset truncates the writer to empty.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur, w.n = 0, 0, 0
+}
+
+// Reader consumes bits MSB first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos uint64 // bit position
+}
+
+// NewReader returns a Reader over data. The slice is not copied.
+func NewReader(data []byte) *Reader {
+	return &Reader{buf: data}
+}
+
+// Bit reads a single bit.
+func (r *Reader) Bit() (uint32, error) {
+	if r.pos >= uint64(len(r.buf))*8 {
+		return 0, ErrEndOfStream
+	}
+	byteIdx := r.pos >> 3
+	bitIdx := 7 - (r.pos & 7)
+	r.pos++
+	return uint32(r.buf[byteIdx]>>bitIdx) & 1, nil
+}
+
+// Bits reads n bits (n <= 32) and returns them right aligned.
+func (r *Reader) Bits(n uint) (uint32, error) {
+	if n > 32 {
+		return 0, fmt.Errorf("bits: Bits width %d out of range", n)
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		b, err := r.Bit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// Peek returns the next n bits without consuming them. Missing bits past
+// the end of the stream read as zero, which is convenient for VLC table
+// lookups near the stream tail.
+func (r *Reader) Peek(n uint) uint32 {
+	save := r.pos
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		b, err := r.Bit()
+		if err != nil {
+			b = 0
+		}
+		v = v<<1 | b
+	}
+	r.pos = save
+	return v
+}
+
+// Skip advances the position by n bits (possibly past the end).
+func (r *Reader) Skip(n uint) { r.pos += uint64(n) }
+
+// UE reads an unsigned Exp-Golomb value.
+func (r *Reader) UE() (uint32, error) {
+	zeros := 0
+	for {
+		b, err := r.Bit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 32 {
+			return 0, errors.New("bits: malformed Exp-Golomb code")
+		}
+	}
+	v := uint32(1)
+	for i := 0; i < zeros; i++ {
+		b, err := r.Bit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v - 1, nil
+}
+
+// SE reads a signed Exp-Golomb value.
+func (r *Reader) SE() (int32, error) {
+	u, err := r.UE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 0 {
+		return -int32(u / 2), nil
+	}
+	return int32(u+1) / 2, nil
+}
+
+// AlignSkipStuffing consumes next_start_code() stuffing: if mid-byte it
+// expects a zero bit followed by ones to the boundary; if aligned and the
+// next byte is 0x7F it consumes it. Malformed stuffing is tolerated (the
+// reader simply aligns), matching the error resilience of the reference
+// decoder.
+func (r *Reader) AlignSkipStuffing() {
+	if r.pos%8 == 0 {
+		if r.pos/8 < uint64(len(r.buf)) && r.buf[r.pos/8] == 0x7F {
+			r.pos += 8
+		}
+		return
+	}
+	r.pos = (r.pos + 7) &^ 7
+}
+
+// NextStartcode scans forward (from the current byte boundary) for the
+// next 0x000001 prefix and positions the reader immediately after the
+// suffix byte, which it returns. It returns ErrEndOfStream if no further
+// startcode exists.
+func (r *Reader) NextStartcode() (uint8, error) {
+	i := (r.pos + 7) / 8
+	n := uint64(len(r.buf))
+	for ; i+3 < n+1 && i+3 <= n; i++ {
+		if i+4 > n {
+			break
+		}
+		if r.buf[i] == 0x00 && r.buf[i+1] == 0x00 && r.buf[i+2] == 0x01 {
+			r.pos = (i + 4) * 8
+			return r.buf[i+3], nil
+		}
+	}
+	return 0, ErrEndOfStream
+}
+
+// AtStartcode reports whether a startcode prefix begins at the current
+// (byte-aligned) position, tolerating a preceding stuffing byte.
+func (r *Reader) AtStartcode() bool {
+	i := (r.pos + 7) / 8
+	n := uint64(len(r.buf))
+	if i+4 > n {
+		return false
+	}
+	if r.buf[i] == 0x00 && r.buf[i+1] == 0x00 && r.buf[i+2] == 0x01 {
+		return true
+	}
+	// A stuffing byte may precede the startcode.
+	if r.buf[i] == 0x7F && i+5 <= n &&
+		r.buf[i+1] == 0x00 && r.buf[i+2] == 0x00 && r.buf[i+3] == 0x01 {
+		return true
+	}
+	return false
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() uint64 { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() uint64 {
+	total := uint64(len(r.buf)) * 8
+	if r.pos >= total {
+		return 0
+	}
+	return total - r.pos
+}

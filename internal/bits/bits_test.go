@@ -1,0 +1,284 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutBitsRoundTrip(t *testing.T) {
+	cases := []struct {
+		v uint32
+		n uint
+	}{
+		{0, 1}, {1, 1}, {0b101, 3}, {0xFF, 8}, {0x12345, 20},
+		{0xFFFFFFFF, 32}, {0, 32}, {7, 5},
+	}
+	w := NewWriter(16)
+	for _, c := range cases {
+		w.PutBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.Bits(c.n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.v {
+			t.Errorf("case %d: got %#x want %#x", i, got, c.v)
+		}
+	}
+}
+
+func TestPutBitsWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width > 32")
+		}
+	}()
+	var w Writer
+	w.PutBits(0, 33)
+}
+
+func TestBitsPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.Bits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Bit(); err != ErrEndOfStream {
+		t.Fatalf("got %v want ErrEndOfStream", err)
+	}
+	if _, err := r.Bits(4); err != ErrEndOfStream {
+		t.Fatalf("got %v want ErrEndOfStream", err)
+	}
+}
+
+func TestQuickRandomBitSequences(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%200 + 1
+		type item struct {
+			v uint32
+			w uint
+		}
+		items := make([]item, n)
+		w := NewWriter(64)
+		for i := range items {
+			width := uint(rng.Intn(32) + 1)
+			v := rng.Uint32() & (0xFFFFFFFF >> (32 - width))
+			items[i] = item{v, width}
+			w.PutBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			got, err := r.Bits(it.w)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpGolombRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	vals := []uint32{0, 1, 2, 3, 7, 8, 100, 65535, 1 << 20}
+	for _, v := range vals {
+		w.PutUE(v)
+	}
+	svals := []int32{0, 1, -1, 2, -2, 1000, -100000}
+	for _, v := range svals {
+		w.PutSE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, v := range vals {
+		got, err := r.UE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("UE got %d want %d", got, v)
+		}
+	}
+	for _, v := range svals {
+		got, err := r.SE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("SE got %d want %d", got, v)
+		}
+	}
+}
+
+func TestQuickExpGolomb(t *testing.T) {
+	f := func(v uint32) bool {
+		v &= 0x3FFFFFFF
+		w := NewWriter(8)
+		w.PutUE(v)
+		r := NewReader(w.Bytes())
+		got, err := r.UE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(v int32) bool {
+		v %= 1 << 28
+		w := NewWriter(8)
+		w.PutSE(v)
+		r := NewReader(w.Bytes())
+		got, err := r.SE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartcodeEmissionAndScan(t *testing.T) {
+	w := NewWriter(64)
+	w.PutBits(0b1011, 4) // unaligned payload before the startcode
+	w.PutStartcode(SCVOP)
+	w.PutBits(0xDEAD, 16)
+	w.PutStartcode(SCEndOfSequence)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	sc, err := r.NextStartcode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != SCVOP {
+		t.Fatalf("first startcode %#x want %#x", sc, SCVOP)
+	}
+	v, err := r.Bits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEAD {
+		t.Fatalf("payload %#x want 0xDEAD", v)
+	}
+	sc, err = r.NextStartcode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != SCEndOfSequence {
+		t.Fatalf("second startcode %#x want %#x", sc, SCEndOfSequence)
+	}
+	if _, err := r.NextStartcode(); err != ErrEndOfStream {
+		t.Fatalf("expected ErrEndOfStream, got %v", err)
+	}
+}
+
+func TestStuffingAlignment(t *testing.T) {
+	// Aligned: stuffing writes a full 0x7F byte.
+	w := NewWriter(8)
+	w.PutBits(0xFF, 8)
+	w.AlignStuffing()
+	b := w.Bytes()
+	if len(b) != 2 || b[1] != 0x7F {
+		t.Fatalf("aligned stuffing got % x want ff 7f", b)
+	}
+	// Unaligned: zero then ones.
+	w.Reset()
+	w.PutBits(0b1, 1)
+	w.AlignStuffing()
+	b = w.Bytes()
+	if len(b) != 1 || b[0] != 0xBF { // 1 0 111111
+		t.Fatalf("unaligned stuffing got % x want bf", b)
+	}
+}
+
+func TestAlignSkipStuffing(t *testing.T) {
+	w := NewWriter(8)
+	w.PutBits(0b101, 3)
+	w.AlignStuffing()
+	w.PutBits(0xCC, 8)
+	r := NewReader(w.Bytes())
+	if _, err := r.Bits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.AlignSkipStuffing()
+	v, err := r.Bits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xCC {
+		t.Fatalf("after stuffing got %#x want 0xCC", v)
+	}
+
+	// Aligned case with explicit 0x7F stuffing byte.
+	w.Reset()
+	w.PutBits(0xAA, 8)
+	w.AlignStuffing()
+	w.PutBits(0xBB, 8)
+	r = NewReader(w.Bytes())
+	if _, err := r.Bits(8); err != nil {
+		t.Fatal(err)
+	}
+	r.AlignSkipStuffing()
+	v, err = r.Bits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xBB {
+		t.Fatalf("after aligned stuffing got %#x want 0xBB", v)
+	}
+}
+
+func TestAtStartcode(t *testing.T) {
+	w := NewWriter(16)
+	w.PutStartcode(SCGOV)
+	data := w.Bytes()
+	r := NewReader(data)
+	if !r.AtStartcode() {
+		t.Fatal("expected startcode at position 0")
+	}
+	// After a stuffing byte.
+	w.Reset()
+	w.PutBits(0x12, 8)
+	w.PutStartcode(SCVOP) // aligned, so stuffing byte 0x7F precedes
+	r = NewReader(w.Bytes())
+	r.Skip(8)
+	if !r.AtStartcode() {
+		t.Fatal("expected startcode after stuffing byte")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	r := NewReader([]byte{0xF0, 0x0F})
+	if got := r.Peek(4); got != 0xF {
+		t.Fatalf("peek got %#x", got)
+	}
+	if got := r.Peek(8); got != 0xF0 {
+		t.Fatalf("peek got %#x", got)
+	}
+	v, _ := r.Bits(16)
+	if v != 0xF00F {
+		t.Fatalf("read got %#x", v)
+	}
+	// Peek past end reads zeros.
+	if got := r.Peek(8); got != 0 {
+		t.Fatalf("peek past end got %#x", got)
+	}
+}
+
+func TestWriterLenAndRemaining(t *testing.T) {
+	var w Writer
+	w.PutBits(0, 13)
+	if w.Len() != 13 {
+		t.Fatalf("Len got %d want 13", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining got %d want 16 (padded)", r.Remaining())
+	}
+	r.Skip(20)
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining past end got %d want 0", r.Remaining())
+	}
+}

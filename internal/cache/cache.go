@@ -1,0 +1,223 @@
+// Package cache implements a trace-driven two-level cache and memory
+// hierarchy model with the event counters of the MIPS R10000/R12000.
+//
+// The model is deliberately close to the SGI machines the paper measures:
+// a split primary cache (we model the 32 KB 2-way data cache with 32-byte
+// lines; instruction-cache misses are negligible in the paper and are not
+// modelled), a unified set-associative write-back second-level cache of
+// 1/2/8 MB with 128-byte lines, and interleaved SDRAM behind a 64-bit
+// 133 MHz split-transaction bus.
+//
+// Accesses are fed through the simmem.Tracer interface; the hierarchy
+// counts the events a hardware counter unit would count (graduated loads
+// and stores, primary and secondary data-cache misses, writebacks,
+// prefetches and prefetches that hit in L1).
+package cache
+
+import (
+	"fmt"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int // power of two
+	Ways      int
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: nonpositive geometry %+v", c.Name, c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache %s: size %d not a multiple of line size %d", c.Name, c.SizeBytes, c.LineBytes)
+	}
+	sets := lines / c.Ways
+	if sets*c.Ways != lines {
+		return fmt.Errorf("cache %s: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level
+// with true-LRU replacement.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	ways      int
+
+	// Flat arrays indexed by set*ways+way. Within a set, ways are kept
+	// in LRU order: way 0 is most recently used.
+	tags  []uint64 // line-number tags (full address >> lineShift)
+	valid []bool
+	dirty []bool
+
+	// Counters.
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// New builds a cache from cfg. It panics on invalid geometry, which is a
+// programming error (configs are static machine descriptions).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		ways:      cfg.Ways,
+		tags:      make([]uint64, lines),
+		valid:     make([]bool, lines),
+		dirty:     make([]bool, lines),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// LineOf returns the line number containing addr.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Lookup probes for the line containing addr without allocating.
+func (c *Cache) Lookup(addr uint64) bool {
+	ln := addr >> c.lineShift
+	set := int(ln&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set+w] && c.tags[set+w] == ln {
+			return true
+		}
+	}
+	return false
+}
+
+// Result of a cache access.
+type Result struct {
+	Hit          bool
+	Evicted      bool   // a valid line was displaced
+	EvictedDirty bool   // the displaced line was dirty (writeback needed)
+	EvictedLine  uint64 // line number of the displaced line
+}
+
+// Access references the line containing addr, allocating on miss and
+// marking dirty when write is true. The common hit path is kept minimal:
+// tag match in LRU position 0 falls through with only the access counter
+// incremented.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.Accesses++
+	ln := addr >> c.lineShift
+	base := int(ln&c.setMask) * c.ways
+	// Fast path: MRU hit.
+	if c.valid[base] && c.tags[base] == ln {
+		if write {
+			c.dirty[base] = true
+		}
+		return Result{Hit: true}
+	}
+	for w := 1; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == ln {
+			// Move to MRU position.
+			d := c.dirty[i]
+			copy(c.tags[base+1:i+1], c.tags[base:i])
+			copy(c.dirty[base+1:i+1], c.dirty[base:i])
+			copy(c.valid[base+1:i+1], c.valid[base:i])
+			c.tags[base] = ln
+			c.valid[base] = true
+			c.dirty[base] = d || write
+			return Result{Hit: true}
+		}
+	}
+	// Miss: victim is the LRU way (last slot).
+	c.Misses++
+	v := base + c.ways - 1
+	res := Result{}
+	if c.valid[v] {
+		res.Evicted = true
+		res.EvictedLine = c.tags[v]
+		if c.dirty[v] {
+			res.EvictedDirty = true
+			c.Writebacks++
+		}
+	}
+	copy(c.tags[base+1:v+1], c.tags[base:v])
+	copy(c.dirty[base+1:v+1], c.dirty[base:v])
+	copy(c.valid[base+1:v+1], c.valid[base:v])
+	c.tags[base] = ln
+	c.valid[base] = true
+	c.dirty[base] = write
+	return res
+}
+
+// FillClean installs the line containing addr in the clean state (used for
+// L2 receiving an L1 writeback of a line it already holds would instead
+// mark dirty; FillClean is used when warming or installing lines without
+// an explicit demand reference semantic).
+func (c *Cache) FillClean(addr uint64) Result { return c.Access(addr, false) }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
+}
+
+// Occupancy returns the number of valid lines (for tests and diagnostics).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckLRUInvariant verifies internal consistency: no duplicate tags in a
+// set and no valid line after an invalid slot gap that would break the
+// LRU ordering assumptions. It returns an error describing the first
+// violation. Intended for property tests.
+func (c *Cache) CheckLRUInvariant() error {
+	sets := len(c.tags) / c.ways
+	for s := 0; s < sets; s++ {
+		base := s * c.ways
+		seen := make(map[uint64]bool, c.ways)
+		for w := 0; w < c.ways; w++ {
+			i := base + w
+			if !c.valid[i] {
+				continue
+			}
+			if int(c.tags[i]&c.setMask) != s {
+				return fmt.Errorf("set %d way %d holds tag %#x mapping to wrong set", s, w, c.tags[i])
+			}
+			if seen[c.tags[i]] {
+				return fmt.Errorf("set %d: duplicate tag %#x", s, c.tags[i])
+			}
+			seen[c.tags[i]] = true
+		}
+	}
+	return nil
+}

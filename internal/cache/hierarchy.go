@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"repro/internal/simmem"
+)
+
+// Stats is the raw event-counter block the hierarchy maintains. The
+// fields mirror the R10K/R12K countable events used by the paper
+// (graduated loads, graduated stores, primary data cache misses,
+// secondary data cache misses, writebacks, prefetch instructions and
+// prefetches hitting the primary cache) plus the graduated-instruction
+// estimate fed in through Ops.
+type Stats struct {
+	Loads          uint64
+	Stores         uint64
+	LoadBytes      uint64
+	StoreBytes     uint64
+	Ops            uint64 // non-memory graduated instructions (estimate)
+	L1Misses       uint64
+	L1Writebacks   uint64
+	L2Accesses     uint64
+	L2Misses       uint64
+	L2Writebacks   uint64
+	Prefetches     uint64
+	PrefetchL1Hits uint64
+}
+
+// Sub returns s - b, the counter delta across a phase.
+func (s Stats) Sub(b Stats) Stats {
+	return Stats{
+		Loads:          s.Loads - b.Loads,
+		Stores:         s.Stores - b.Stores,
+		LoadBytes:      s.LoadBytes - b.LoadBytes,
+		StoreBytes:     s.StoreBytes - b.StoreBytes,
+		Ops:            s.Ops - b.Ops,
+		L1Misses:       s.L1Misses - b.L1Misses,
+		L1Writebacks:   s.L1Writebacks - b.L1Writebacks,
+		L2Accesses:     s.L2Accesses - b.L2Accesses,
+		L2Misses:       s.L2Misses - b.L2Misses,
+		L2Writebacks:   s.L2Writebacks - b.L2Writebacks,
+		Prefetches:     s.Prefetches - b.Prefetches,
+		PrefetchL1Hits: s.PrefetchL1Hits - b.PrefetchL1Hits,
+	}
+}
+
+// Add returns s + b.
+func (s Stats) Add(b Stats) Stats {
+	return Stats{
+		Loads:          s.Loads + b.Loads,
+		Stores:         s.Stores + b.Stores,
+		LoadBytes:      s.LoadBytes + b.LoadBytes,
+		StoreBytes:     s.StoreBytes + b.StoreBytes,
+		Ops:            s.Ops + b.Ops,
+		L1Misses:       s.L1Misses + b.L1Misses,
+		L1Writebacks:   s.L1Writebacks + b.L1Writebacks,
+		L2Accesses:     s.L2Accesses + b.L2Accesses,
+		L2Misses:       s.L2Misses + b.L2Misses,
+		L2Writebacks:   s.L2Writebacks + b.L2Writebacks,
+		Prefetches:     s.Prefetches + b.Prefetches,
+		PrefetchL1Hits: s.PrefetchL1Hits + b.PrefetchL1Hits,
+	}
+}
+
+// References returns graduated loads + stores.
+func (s Stats) References() uint64 { return s.Loads + s.Stores }
+
+// Instructions estimates graduated instructions: memory operations plus
+// the ALU/branch estimate reported by the kernels.
+func (s Stats) Instructions() uint64 {
+	return s.Loads + s.Stores + s.Prefetches + s.Ops
+}
+
+// Hierarchy is a two-level inclusive data-cache hierarchy implementing
+// simmem.Tracer. An access that misses L1 probes L2; an L2 miss goes to
+// (counted) DRAM. L1 victims that are dirty are written back into L2;
+// dirty L2 victims count as DRAM writeback traffic.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+	Stats
+}
+
+// NewHierarchy builds the two-level hierarchy.
+func NewHierarchy(l1, l2 Config) *Hierarchy {
+	return &Hierarchy{L1: New(l1), L2: New(l2)}
+}
+
+var _ simmem.Tracer = (*Hierarchy)(nil)
+
+// Access implements simmem.Tracer. Accesses that straddle an L1 line
+// boundary are split per line, as the hardware would split them into
+// separate cache references (the compiler mostly avoids such accesses;
+// the split keeps the model exact regardless).
+func (h *Hierarchy) Access(addr uint64, size uint32, kind simmem.Kind) {
+	switch kind {
+	case simmem.Load:
+		h.Loads++
+		h.LoadBytes += uint64(size)
+	case simmem.Store:
+		h.Stores++
+		h.StoreBytes += uint64(size)
+	case simmem.Prefetch:
+		h.Prefetches++
+		// A prefetch that hits L1 is a wasted instruction slot; the
+		// R12K counts these. It does not re-reference the hierarchy.
+		if h.L1.Lookup(addr) {
+			h.PrefetchL1Hits++
+			return
+		}
+		h.lineRef(addr, false)
+		return
+	}
+	if size == 0 {
+		return
+	}
+	lineBytes := uint64(h.L1.LineBytes())
+	first := addr &^ (lineBytes - 1)
+	last := (addr + uint64(size) - 1) &^ (lineBytes - 1)
+	write := kind == simmem.Store
+	if first == last {
+		h.lineRef(addr, write)
+		return
+	}
+	for a := first; a <= last; a += lineBytes {
+		h.lineRef(a, write)
+	}
+}
+
+// Run implements simmem.Tracer: a contiguous run of n bytes referenced
+// in unit-sized accesses. The graduated-operation counters advance by
+// n/unit, but each covered L1 line is probed exactly once — consecutive
+// same-line references cannot change LRU state in between, so the
+// hit/miss outcome is identical to per-access probing at a fraction of
+// the simulation cost.
+func (h *Hierarchy) Run(addr uint64, n int, unit uint32, kind simmem.Kind) {
+	if n <= 0 {
+		return
+	}
+	if unit == 0 {
+		unit = 1
+	}
+	refs := uint64((n + int(unit) - 1) / int(unit))
+	switch kind {
+	case simmem.Load:
+		h.Loads += refs
+		h.LoadBytes += uint64(n)
+	case simmem.Store:
+		h.Stores += refs
+		h.StoreBytes += uint64(n)
+	case simmem.Prefetch:
+		// Prefetch runs degenerate to per-line prefetch probes.
+		lineBytes := uint64(h.L1.LineBytes())
+		for a := addr &^ (lineBytes - 1); a < addr+uint64(n); a += lineBytes {
+			h.Access(a, 0, simmem.Prefetch)
+		}
+		return
+	}
+	write := kind == simmem.Store
+	lineBytes := uint64(h.L1.LineBytes())
+	first := addr &^ (lineBytes - 1)
+	last := (addr + uint64(n) - 1) &^ (lineBytes - 1)
+	for a := first; a <= last; a += lineBytes {
+		h.lineRef(a, write)
+	}
+}
+
+// lineRef performs one L1 reference and handles the miss path.
+func (h *Hierarchy) lineRef(addr uint64, write bool) {
+	r1 := h.L1.Access(addr, write)
+	if r1.Hit {
+		return
+	}
+	h.L1Misses++
+	if r1.EvictedDirty {
+		h.L1Writebacks++
+		// The dirty L1 victim is written into L2. With an inclusive L2
+		// this is a hit that dirties the line; count it as an L2 access
+		// but not a demand miss even in the (rare, non-inclusive) case
+		// it is absent.
+		// Writeback installs are not demand misses: the data travels
+		// L1→L2 without a DRAM fill (the victim is a full L1 line and
+		// the enclosing L2 line is present in the inclusive common
+		// case). Only a dirty L2 victim displaced by the install adds
+		// DRAM traffic. Hierarchy.L2Misses (demand misses) is therefore
+		// not incremented here; the Cache's internal Misses counter is
+		// raw and includes installs.
+		wbAddr := r1.EvictedLine << uint64(trailingShift(h.L1.LineBytes()))
+		h.L2Accesses++
+		r2 := h.L2.Access(wbAddr, true)
+		if !r2.Hit && r2.EvictedDirty {
+			h.L2Writebacks++
+		}
+	}
+	// Demand fill from L2.
+	h.L2Accesses++
+	r2 := h.L2.Access(addr, false)
+	if !r2.Hit {
+		h.L2Misses++
+		if r2.EvictedDirty {
+			h.L2Writebacks++
+		}
+	}
+}
+
+func trailingShift(v int) uint {
+	s := uint(0)
+	for 1<<s != v {
+		s++
+	}
+	return s
+}
+
+// Ops implements simmem.Tracer.
+func (h *Hierarchy) Ops(n uint64) { h.Stats.Ops += n }
+
+// Snapshot returns a copy of the current counters.
+func (h *Hierarchy) Snapshot() Stats { return h.Stats }
+
+// Reset clears both cache levels and all counters.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.Stats = Stats{}
+}

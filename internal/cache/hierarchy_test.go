@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simmem"
+)
+
+func testHier() *Hierarchy {
+	return NewHierarchy(
+		Config{Name: "L1", SizeBytes: 1024, LineBytes: 32, Ways: 2},
+		Config{Name: "L2", SizeBytes: 8192, LineBytes: 128, Ways: 2},
+	)
+}
+
+func TestHierarchyBasicCounts(t *testing.T) {
+	h := testHier()
+	h.Access(0x1000, 4, simmem.Load)
+	h.Access(0x1004, 4, simmem.Load) // same L1 line: hit
+	h.Access(0x1000, 4, simmem.Store)
+	if h.Loads != 2 || h.Stores != 1 {
+		t.Fatalf("loads=%d stores=%d", h.Loads, h.Stores)
+	}
+	if h.L1Misses != 1 {
+		t.Fatalf("L1Misses=%d want 1", h.L1Misses)
+	}
+	if h.L2Misses != 1 {
+		t.Fatalf("L2Misses=%d want 1", h.L2Misses)
+	}
+}
+
+func TestStraddlingAccessSplits(t *testing.T) {
+	h := testHier()
+	// 8-byte access spanning two 32B lines at offset 28.
+	h.Access(0x1000+28, 8, simmem.Load)
+	if h.L1Misses != 2 {
+		t.Fatalf("straddling access caused %d L1 misses, want 2", h.L1Misses)
+	}
+	if h.Loads != 1 {
+		t.Fatalf("straddling access counted as %d loads, want 1", h.Loads)
+	}
+}
+
+func TestL2SpatialLocality(t *testing.T) {
+	h := testHier()
+	// Four consecutive L1 lines share one 128B L2 line: only the first
+	// should miss in L2.
+	for i := 0; i < 4; i++ {
+		h.Access(uint64(0x2000+i*32), 4, simmem.Load)
+	}
+	if h.L1Misses != 4 {
+		t.Fatalf("L1Misses=%d want 4", h.L1Misses)
+	}
+	if h.L2Misses != 1 {
+		t.Fatalf("L2Misses=%d want 1", h.L2Misses)
+	}
+}
+
+func TestPrefetchCounting(t *testing.T) {
+	h := testHier()
+	h.Access(0x3000, 4, simmem.Load)     // bring line in
+	h.Access(0x3000, 0, simmem.Prefetch) // size ignored for prefetch
+	if h.Prefetches != 1 || h.PrefetchL1Hits != 1 {
+		t.Fatalf("prefetch counters: %d/%d", h.Prefetches, h.PrefetchL1Hits)
+	}
+	h.Access(0x9000, 4, simmem.Prefetch) // cold: useful prefetch
+	if h.PrefetchL1Hits != 1 {
+		t.Fatalf("cold prefetch miscounted as L1 hit")
+	}
+	// The prefetched line should now be resident.
+	before := h.L1Misses
+	h.Access(0x9000, 4, simmem.Load)
+	if h.L1Misses != before {
+		t.Fatal("prefetched line not installed in L1")
+	}
+}
+
+func TestDirtyL1VictimWritesIntoL2(t *testing.T) {
+	h := testHier()
+	// L1: 1KB 2-way 32B lines -> 16 sets; same set every 512B.
+	h.Access(0x0000, 4, simmem.Store) // dirty line in set 0
+	h.Access(0x0200, 4, simmem.Load)  // same L1 set
+	h.Access(0x0400, 4, simmem.Load)  // evicts dirty 0x0000
+	if h.L1Writebacks != 1 {
+		t.Fatalf("L1Writebacks=%d want 1", h.L1Writebacks)
+	}
+	// The written-back line must be dirty in L2 now: evicting it from L2
+	// later should produce an L2 writeback. Force L2 conflicts:
+	// L2 is 8KB 2-way 128B lines -> 32 sets; same set every 4KB.
+	h.Access(0x0000+4096, 4, simmem.Load)
+	h.Access(0x0000+8192, 4, simmem.Load)
+	h.Access(0x0000+12288, 4, simmem.Load)
+	if h.L2Writebacks == 0 {
+		t.Fatal("dirty L1 victim's data lost: no L2 writeback observed")
+	}
+}
+
+func TestZeroSizeAccessIgnored(t *testing.T) {
+	h := testHier()
+	h.Access(0x1000, 0, simmem.Load)
+	if h.Loads != 0 && h.L1Misses != 0 {
+		t.Fatal("zero-size access should be ignored")
+	}
+}
+
+func TestStatsSubAdd(t *testing.T) {
+	a := Stats{Loads: 10, Stores: 5, L1Misses: 2, Ops: 100}
+	b := Stats{Loads: 4, Stores: 1, L1Misses: 1, Ops: 40}
+	d := a.Sub(b)
+	if d.Loads != 6 || d.Stores != 4 || d.L1Misses != 1 || d.Ops != 60 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	s := d.Add(b)
+	if s != a {
+		t.Fatalf("Add(Sub) != original: %+v vs %+v", s, a)
+	}
+	if a.References() != 15 {
+		t.Fatalf("References=%d", a.References())
+	}
+	if a.Instructions() != 115 {
+		t.Fatalf("Instructions=%d", a.Instructions())
+	}
+}
+
+func TestQuickHierarchyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := testHier()
+		for i := 0; i < 2000; i++ {
+			kind := simmem.Kind(rng.Intn(3))
+			h.Access(uint64(rng.Intn(1<<16)), uint32(1+rng.Intn(8)), kind)
+		}
+		// Conservation: L2 demand misses cannot exceed L1 misses;
+		// prefetch L1 hits cannot exceed prefetches; the L1's raw
+		// counter agrees with the hierarchy's.
+		if h.L2Misses > h.L1Misses+h.Prefetches {
+			return false
+		}
+		if h.PrefetchL1Hits > h.Prefetches {
+			return false
+		}
+		if h.L1.CheckLRUInvariant() != nil || h.L2.CheckLRUInvariant() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := testHier()
+	h.Access(0x1000, 4, simmem.Load)
+	h.Ops(10)
+	h.Reset()
+	if h.Stats != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", h.Stats)
+	}
+	if h.L1.Occupancy() != 0 || h.L2.Occupancy() != 0 {
+		t.Fatal("caches not cleared")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	h := testHier()
+	h.Access(0x1000, 4, simmem.Load)
+	s := h.Snapshot()
+	h.Access(0x5000, 4, simmem.Load)
+	if s.Loads != 1 {
+		t.Fatal("snapshot mutated by later accesses")
+	}
+}
+
+func TestAccessRunThroughHierarchy(t *testing.T) {
+	h := testHier()
+	simmem.AccessRun(h, 0x7000, 256, simmem.Load)
+	if h.LoadBytes != 256 {
+		t.Fatalf("LoadBytes=%d want 256", h.LoadBytes)
+	}
+	// 256 aligned bytes = 8 L1 lines.
+	if h.L1Misses != 8 {
+		t.Fatalf("L1Misses=%d want 8", h.L1Misses)
+	}
+	// = 2 L2 lines.
+	if h.L2Misses != 2 {
+		t.Fatalf("L2Misses=%d want 2", h.L2Misses)
+	}
+}

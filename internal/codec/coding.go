@@ -1,0 +1,56 @@
+package codec
+
+import (
+	"repro/internal/bits"
+	"repro/internal/motion"
+	"repro/internal/vlc"
+)
+
+// EncodeCoeffBlock writes one zigzag-scanned quantized block with the
+// run-level VLC. Returns the number of coefficient events.
+func EncodeCoeffBlock(w *bits.Writer, scan *[64]int32) int {
+	return vlc.EncodeBlock(w, scan)
+}
+
+// DecodeCoeffBlock reads one coefficient block.
+func DecodeCoeffBlock(r *bits.Reader, scan *[64]int32) error {
+	return vlc.DecodeBlock(r, scan)
+}
+
+// EncodeMVDPair writes the motion vector as differences against the
+// predictor (half-pel units, x then y).
+func EncodeMVDPair(w *bits.Writer, mv, pred motion.MV) {
+	vlc.EncodeMVD(w, mv.X-pred.X)
+	vlc.EncodeMVD(w, mv.Y-pred.Y)
+}
+
+// DecodeMVDPair reads a motion vector given its predictor.
+func DecodeMVDPair(r *bits.Reader, pred motion.MV) (motion.MV, error) {
+	dx, err := vlc.DecodeMVD(r)
+	if err != nil {
+		return motion.MV{}, err
+	}
+	dy, err := vlc.DecodeMVD(r)
+	if err != nil {
+		return motion.MV{}, err
+	}
+	return motion.MV{X: pred.X + dx, Y: pred.Y + dy}, nil
+}
+
+// countEvents returns the number of run-level events a decoded scan
+// contained (the nonzero coefficients), for table-traffic accounting.
+func countEvents(scan *[64]int32) int {
+	n := 0
+	for _, v := range scan {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EncodeDCD writes a differential intra-DC level.
+func EncodeDCD(w *bits.Writer, d int32) { vlc.EncodeDCD(w, d) }
+
+// DecodeDCD reads a differential intra-DC level.
+func DecodeDCD(r *bits.Reader) (int32, error) { return vlc.DecodeDCD(r) }

@@ -1,0 +1,673 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/dct"
+	"repro/internal/motion"
+	"repro/internal/shape"
+	"repro/internal/simmem"
+	"repro/internal/video"
+	"repro/internal/vop"
+)
+
+// Decoder decodes one video object layer bitstream. Decoded frames are
+// returned in display order; the decoder maintains the anchor ring and
+// the reorder buffer the out-of-order VOP stream requires.
+type Decoder struct {
+	cfg   Config
+	space *simmem.Space
+	t     simmem.Tracer
+	ph    PhaseRecorder
+
+	r  *bits.Reader
+	st *streamTracer
+
+	// Anchor ring: the decoded I/P display frames currently serving as
+	// prediction references. Frames are decoded in place and displayed
+	// from the same buffer (no display copy), as the reference decoder
+	// does; the pool below will not recycle a frame while it is here.
+	ring     [3]*video.Frame
+	ringDisp [3]int
+
+	pred     *video.Frame
+	scratchF *video.Frame
+	scratchB *video.Frame
+	blkAddr  uint64
+	tabs     kernelTables
+
+	// padStager models the per-anchor padded-reference rebuild; the
+	// display stager models the per-VOP display-conversion pass (see
+	// staging.go).
+	padStager     *vopStager
+	displayStager *vopStager
+
+	mbCount uint64 // drives the modelled compiler-prefetch cadence
+
+	// pool recycles display frames returned through Release. The
+	// reference decoder's resident set is stable — output buffers are
+	// reused, not reallocated — which is what lets larger L2 caches
+	// capture the working set (paper Table 3's miss-rate trend).
+	pool []*video.Frame
+
+	nFrames int
+}
+
+// NewDecoder prepares a decoder that reports memory traffic to t.
+// Buffers are allocated lazily once the header reveals the dimensions.
+func NewDecoder(space *simmem.Space, t simmem.Tracer, ph PhaseRecorder) *Decoder {
+	if t == nil {
+		t = simmem.Nop{}
+	}
+	if ph == nil {
+		ph = NopPhases{}
+	}
+	return &Decoder{space: space, t: t, ph: ph}
+}
+
+// Config returns the configuration parsed from the layer header. Valid
+// after DecodeSequence begins (i.e. after it returns).
+func (d *Decoder) Config() Config { return d.cfg }
+
+// DecodeSequence decodes a full layer bitstream and returns the frames
+// in display order. When the stream carries shape, the returned frames
+// have alpha planes.
+func (d *Decoder) DecodeSequence(stream []byte) ([]*video.Frame, error) {
+	if err := d.Begin(stream); err != nil {
+		return nil, err
+	}
+	out := make([]*video.Frame, d.nFrames)
+	var rb vop.ReorderBuffer
+	decoded := make(map[int]*video.Frame)
+
+	emit := func(items []vop.Item) {
+		for _, it := range items {
+			out[it.Display] = decoded[it.Display]
+		}
+	}
+	for i := 0; i < d.nFrames; i++ {
+		it, f, err := d.DecodeNext()
+		if err != nil {
+			return nil, fmt.Errorf("codec: VOP %d: %w", i, err)
+		}
+		decoded[it.Display] = f
+		emit(rb.Push(it))
+	}
+	emit(rb.Flush())
+	if err := d.CheckEnd(); err != nil {
+		return nil, err
+	}
+	for i, f := range out {
+		if f == nil {
+			return nil, fmt.Errorf("codec: display frame %d never decoded", i)
+		}
+	}
+	return out, nil
+}
+
+// Begin parses the layer header of stream, preparing for DecodeNext
+// calls (interleaved multi-object sessions use this directly).
+func (d *Decoder) Begin(stream []byte) error {
+	d.r = bits.NewReader(stream)
+	d.st = newStreamTracer(d.t, d.space, len(stream), simmem.Load)
+	return d.readHeader()
+}
+
+// NFrames returns the display frame count announced by the header.
+func (d *Decoder) NFrames() int { return d.nFrames }
+
+// DecodeNext decodes the next VOP in coding order.
+func (d *Decoder) DecodeNext() (vop.Item, *video.Frame, error) {
+	return d.decodeVOP()
+}
+
+// CheckEnd verifies the end-of-sequence startcode.
+func (d *Decoder) CheckEnd() error {
+	sc, err := d.r.NextStartcode()
+	if err != nil || sc != bits.SCEndOfSequence {
+		return fmt.Errorf("codec: missing end-of-sequence startcode (got %#x, %v)", sc, err)
+	}
+	return nil
+}
+
+func (d *Decoder) readHeader() error {
+	sc, err := d.r.NextStartcode()
+	if err != nil {
+		return err
+	}
+	if sc != bits.SCVideoObjectLayer {
+		return fmt.Errorf("codec: expected VOL startcode, got %#x", sc)
+	}
+	mbw, err := d.r.UE()
+	if err != nil {
+		return err
+	}
+	mbh, err := d.r.UE()
+	if err != nil {
+		return err
+	}
+	n, err := d.r.UE()
+	if err != nil {
+		return err
+	}
+	m, err := d.r.UE()
+	if err != nil {
+		return err
+	}
+	qp, err := d.r.UE()
+	if err != nil {
+		return err
+	}
+	shapeBit, err := d.r.Bit()
+	if err != nil {
+		return err
+	}
+	nf, err := d.r.UE()
+	if err != nil {
+		return err
+	}
+	d.cfg = Config{
+		W: int(mbw) * 16, H: int(mbh) * 16,
+		GOP:         vop.GOP{N: int(n), M: int(m)},
+		QP:          int(qp),
+		SearchRange: 8,
+		Shape:       shapeBit == 1,
+	}
+	if err := d.cfg.Validate(); err != nil {
+		return err
+	}
+	d.nFrames = int(nf)
+	if d.nFrames > 1<<20 {
+		return fmt.Errorf("codec: implausible frame count %d", d.nFrames)
+	}
+	d.pred = video.NewFrame(d.space, 16, 16)
+	d.scratchF = video.NewFrame(d.space, 16, 16)
+	d.scratchB = video.NewFrame(d.space, 16, 16)
+	d.blkAddr = d.space.Alloc(256, 64)
+	d.tabs = newKernelTables(d.space)
+	frameBytes := d.cfg.W * d.cfg.H * 3 / 2
+	d.padStager = newVOPStager(d.space, d.t, frameBytes, 6, 2)
+	d.displayStager = newVOPStager(d.space, d.t, frameBytes, 4, 1)
+	for i := range d.ring {
+		d.ring[i] = nil
+		d.ringDisp[i] = -1
+	}
+	d.st.advance(d.r.Pos())
+	return nil
+}
+
+func (d *Decoder) ringSlot(disp int) *video.Frame {
+	for i, rd := range d.ringDisp {
+		if rd == disp {
+			return d.ring[i]
+		}
+	}
+	return nil
+}
+
+// ringInstall registers f as the anchor for display index disp,
+// evicting the oldest anchor (whose buffer becomes recyclable once the
+// display side has released it).
+func (d *Decoder) ringInstall(disp int, f *video.Frame) {
+	oldest, oi := 1<<30, 0
+	for i, rd := range d.ringDisp {
+		if rd < 0 {
+			oi = i
+			break
+		}
+		if rd < oldest {
+			oldest, oi = rd, i
+		}
+	}
+	d.ringDisp[oi] = disp
+	d.ring[oi] = f
+}
+
+// inRing reports whether f is currently a prediction reference.
+func (d *Decoder) inRing(f *video.Frame) bool {
+	for _, rf := range d.ring {
+		if rf == f {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeVOP decodes the next VOP and returns its schedule item and the
+// output frame (a fresh frame for display; anchors also enter the ring).
+// decodeVOP decodes the next VOP. The VopDecode phase covers what the
+// paper's DecodeVopCombMotionShapeTexture() covers — shape, motion and
+// texture decoding; the padded-reference rebuild and display conversion
+// run outside the phase, as in the reference decoder's VOP loop.
+func (d *Decoder) decodeVOP() (vop.Item, *video.Frame, error) {
+	sc, err := d.r.NextStartcode()
+	if err != nil {
+		return vop.Item{}, nil, err
+	}
+	if sc != bits.SCVOP {
+		return vop.Item{}, nil, fmt.Errorf("expected VOP startcode, got %#x", sc)
+	}
+	typRaw, err := d.r.Bits(2)
+	if err != nil {
+		return vop.Item{}, nil, err
+	}
+	typ := vop.Type(typRaw)
+	if typ > vop.TypeB {
+		return vop.Item{}, nil, fmt.Errorf("invalid VOP type %d", typRaw)
+	}
+	dispRaw, err := d.r.UE()
+	if err != nil {
+		return vop.Item{}, nil, err
+	}
+	disp := int(dispRaw)
+	qpRaw, err := d.r.UE()
+	if err != nil {
+		return vop.Item{}, nil, err
+	}
+	quant := dct.NewQuantizer(int(qpRaw))
+	d.st.advance(d.r.Pos())
+
+	out := d.acquireFrame()
+	d.ph.PhaseBegin(PhaseVopDecode)
+	bx0, by0, bx1, by1 := 0, 0, d.cfg.W, d.cfg.H
+	if d.cfg.Shape {
+		if err := d.readShapeSegment(out.Alpha); err != nil {
+			d.ph.PhaseEnd(PhaseVopDecode)
+			return vop.Item{}, nil, err
+		}
+		// The VOP is coded over its bounding box only (the reference
+		// decoder's VOP buffers are bbox-sized mallocs).
+		bx0, by0, bx1, by1 = video.BBox(out.Alpha, d.cfg.W, d.cfg.H)
+	}
+	out.TimeIndex = disp
+
+	it := vop.Item{Display: disp, Type: typ, Fwd: -1, Bwd: -1}
+	// References: the two most recent anchors in the ring. The encoder's
+	// schedule guarantees the forward anchor is the older and the
+	// backward anchor the newer of the two most recent when decoding B.
+	var fwd, bwd *video.Frame
+	if typ != vop.TypeI {
+		newest, second := -1, -1
+		for _, rd := range d.ringDisp {
+			if rd > newest {
+				second, newest = newest, rd
+			} else if rd > second {
+				second = rd
+			}
+		}
+		switch typ {
+		case vop.TypeP:
+			// Forward anchor: the most recent anchor older than disp.
+			best := -1
+			for _, rd := range d.ringDisp {
+				if rd >= 0 && rd < disp && rd > best {
+					best = rd
+				}
+			}
+			if best < 0 {
+				return vop.Item{}, nil, fmt.Errorf("P-VOP %d has no forward anchor", disp)
+			}
+			it.Fwd = best
+			fwd = d.ringSlot(best)
+		case vop.TypeB:
+			if second < 0 || newest < 0 {
+				return vop.Item{}, nil, fmt.Errorf("B-VOP %d lacks two anchors", disp)
+			}
+			it.Fwd, it.Bwd = second, newest
+			fwd, bwd = d.ringSlot(second), d.ringSlot(newest)
+		}
+	}
+
+	if typ != vop.TypeB {
+		d.ringInstall(disp, out)
+	}
+
+	for mby := by0 / 16; mby < (by1+15)/16; mby++ {
+		predF, predB := motion.MV{}, motion.MV{}
+		dcPredState := newDCPred()
+		for mbx := bx0 / 16; mbx < (bx1+15)/16; mbx++ {
+			x, y := mbx*16, mby*16
+			if d.cfg.Shape && shape.Classify(out.Alpha, x, y) == shape.BABTransparent {
+				fillGreyMB(d.t, out, x, y)
+				continue
+			}
+			predF, predB, err = d.decodeMB(quant, typ, out, fwd, bwd, x, y, predF, predB, &dcPredState)
+			if err != nil {
+				d.ph.PhaseEnd(PhaseVopDecode)
+				return vop.Item{}, nil, err
+			}
+			d.st.advance(d.r.Pos())
+		}
+	}
+	d.ph.PhaseEnd(PhaseVopDecode)
+	if typ != vop.TypeB {
+		// Rebuild the padded reference image (unrestricted-MC support).
+		d.padStager.stageRegion(out, bx0, by0, bx1, by1)
+	}
+	// Display conversion reads every decoded VOP once and writes the
+	// display buffer.
+	d.displayStager.stageRegion(out, bx0, by0, bx1, by1)
+	return it, out, nil
+}
+
+// decodeMB decodes one macroblock into target.
+func (d *Decoder) decodeMB(quant dct.Quantizer, typ vop.Type, target, fwd, bwd *video.Frame, x, y int, predF, predB motion.MV, dc *dcPred) (motion.MV, motion.MV, error) {
+	modeRaw, err := d.r.Bits(3)
+	if err != nil {
+		return predF, predB, err
+	}
+	if modeRaw >= numMBModes {
+		return predF, predB, fmt.Errorf("invalid MB mode %d", modeRaw)
+	}
+	mode := mbMode(modeRaw)
+	d.tabs.traceMBStruct(d.t)
+	d.tabs.traceCalls(d.t, 3)
+	d.t.Ops(8)
+	// The compiler inserts conservative prefetches in the decoder's MC
+	// loops too (the paper's decode tables include prefetch-hit rates).
+	d.mbCount++
+	if fwd != nil && d.mbCount%4 == 0 {
+		py := y + 16
+		if py < fwd.Y.H {
+			d.t.Access(fwd.Y.Addr+uint64(py*fwd.Y.Stride+x), 0, simmem.Prefetch)
+		}
+	}
+
+	switch mode {
+	case mbIntra:
+		return predF, predB, d.decodeIntraMB(quant, target, x, y, dc)
+	case mbSkip:
+		if fwd == nil {
+			return predF, predB, fmt.Errorf("skip MB without reference at (%d,%d)", x, y)
+		}
+		d.compensateMBInto(target, fwd, x, y, motion.MV{})
+		return motion.MV{}, predB, nil
+	case mbInterFwd:
+		if fwd == nil {
+			return predF, predB, fmt.Errorf("inter MB without forward reference")
+		}
+		mv, err := DecodeMVDPair(d.r, predF)
+		if err != nil {
+			return predF, predB, err
+		}
+		d.compensateMB(fwd, x, y, mv)
+		if err := d.decodeResidualMB(quant, target, x, y); err != nil {
+			return predF, predB, err
+		}
+		return mv, predB, nil
+	case mbInterBwd:
+		if bwd == nil {
+			return predF, predB, fmt.Errorf("backward MB without backward reference")
+		}
+		mv, err := DecodeMVDPair(d.r, predB)
+		if err != nil {
+			return predF, predB, err
+		}
+		d.compensateMB(bwd, x, y, mv)
+		if err := d.decodeResidualMB(quant, target, x, y); err != nil {
+			return predF, predB, err
+		}
+		return predF, mv, nil
+	case mbInterInterp:
+		if fwd == nil || bwd == nil {
+			return predF, predB, fmt.Errorf("interpolated MB lacks references")
+		}
+		fMV, err := DecodeMVDPair(d.r, predF)
+		if err != nil {
+			return predF, predB, err
+		}
+		bMV, err := DecodeMVDPair(d.r, predB)
+		if err != nil {
+			return predF, predB, err
+		}
+		motion.CompensateAvgTo(d.t, d.pred.Y, fwd.Y, bwd.Y, 0, 0, x, y, 16, fMV, bMV, d.scratchF.Y, d.scratchB.Y)
+		fcx, fcy := chromaMV(fMV.X, fMV.Y)
+		bcx, bcy := chromaMV(bMV.X, bMV.Y)
+		motion.CompensateAvgTo(d.t, d.pred.Cb, fwd.Cb, bwd.Cb, 0, 0, x/2, y/2, 8,
+			motion.MV{X: fcx, Y: fcy}, motion.MV{X: bcx, Y: bcy}, d.scratchF.Cb, d.scratchB.Cb)
+		motion.CompensateAvgTo(d.t, d.pred.Cr, fwd.Cr, bwd.Cr, 0, 0, x/2, y/2, 8,
+			motion.MV{X: fcx, Y: fcy}, motion.MV{X: bcx, Y: bcy}, d.scratchF.Cr, d.scratchB.Cr)
+		if err := d.decodeResidualMB(quant, target, x, y); err != nil {
+			return predF, predB, err
+		}
+		return fMV, bMV, nil
+	}
+	return predF, predB, fmt.Errorf("unreachable MB mode %d", mode)
+}
+
+// compensateMB builds the prediction macroblock in the MB-sized d.pred
+// buffer.
+func (d *Decoder) compensateMB(ref *video.Frame, x, y int, mv motion.MV) {
+	motion.CompensateTo(d.t, d.pred.Y, ref.Y, 0, 0, x, y, 16, mv)
+	cx, cy := chromaMV(mv.X, mv.Y)
+	cmv := motion.MV{X: cx, Y: cy}
+	motion.CompensateTo(d.t, d.pred.Cb, ref.Cb, 0, 0, x/2, y/2, 8, cmv)
+	motion.CompensateTo(d.t, d.pred.Cr, ref.Cr, 0, 0, x/2, y/2, 8, cmv)
+}
+
+// compensateMBInto writes the prediction macroblock directly into dst at
+// its frame position (skip macroblocks copy the co-located reference).
+func (d *Decoder) compensateMBInto(dst, ref *video.Frame, x, y int, mv motion.MV) {
+	motion.Compensate(d.t, dst.Y, ref.Y, x, y, 16, mv)
+	cx, cy := chromaMV(mv.X, mv.Y)
+	cmv := motion.MV{X: cx, Y: cy}
+	motion.Compensate(d.t, dst.Cb, ref.Cb, x/2, y/2, 8, cmv)
+	motion.Compensate(d.t, dst.Cr, ref.Cr, x/2, y/2, 8, cmv)
+}
+
+func (d *Decoder) decodeIntraMB(quant dct.Quantizer, target *video.Frame, x, y int, dc *dcPred) error {
+	var blk dct.Block
+	var scan [64]int32
+	decode := func(p *video.Plane, bx, by int, pred *int32) error {
+		d.tabs.traceCalls(d.t, 5)
+		dcd, err := DecodeDCD(d.r)
+		if err != nil {
+			return err
+		}
+		dcLevel := *pred + dcd
+		*pred = dcLevel
+		if err := DecodeCoeffBlock(d.r, &scan); err != nil {
+			return err
+		}
+		d.tabs.traceVLC(d.t, countEvents(&scan))
+		d.t.Ops(64 * 4)
+		dct.Unscan(&scan, &blk)
+		blk[0] = dcLevel
+		d.traceBlockOp(64 * 2)
+		quant.DequantIntra(&blk)
+		d.traceBlockOp(dct.OpsQuant)
+		dct.Inverse(&blk)
+		d.traceDCTOp()
+		d.storeBlock(p, bx, by, &blk)
+		return nil
+	}
+	for _, b := range lumaBlocks(x, y) {
+		if err := decode(target.Y, b[0], b[1], &dc.y); err != nil {
+			return err
+		}
+	}
+	if err := decode(target.Cb, x/2, y/2, &dc.cb); err != nil {
+		return err
+	}
+	return decode(target.Cr, x/2, y/2, &dc.cr)
+}
+
+// decodeResidualMB reads the coded flags and residual blocks, adding
+// them to d.pred and writing the sum into target.
+func (d *Decoder) decodeResidualMB(quant dct.Quantizer, target *video.Frame, x, y int) error {
+	var flags [6]bool
+	for i := range flags {
+		b, err := d.r.Bit()
+		if err != nil {
+			return err
+		}
+		flags[i] = b == 1
+	}
+	var blk dct.Block
+	var scan [64]int32
+	apply := func(cp, pp *video.Plane, bx, by, px, py int, coded bool) error {
+		d.tabs.traceCalls(d.t, 4)
+		if coded {
+			if err := DecodeCoeffBlock(d.r, &scan); err != nil {
+				return err
+			}
+			d.tabs.traceVLC(d.t, countEvents(&scan))
+			d.t.Ops(64 * 4)
+			dct.Unscan(&scan, &blk)
+			d.traceBlockOp(64 * 2)
+			quant.DequantInter(&blk)
+			d.traceBlockOp(dct.OpsQuant)
+			dct.Inverse(&blk)
+			d.traceDCTOp()
+		} else {
+			blk = dct.Block{}
+		}
+		d.addBlock(pp, cp, bx, by, px, py, &blk)
+		return nil
+	}
+	for i, b := range lumaBlocks(x, y) {
+		if err := apply(target.Y, d.pred.Y, b[0], b[1], b[0]-x, b[1]-y, flags[i]); err != nil {
+			return err
+		}
+	}
+	if err := apply(target.Cb, d.pred.Cb, x/2, y/2, 0, 0, flags[4]); err != nil {
+		return err
+	}
+	return apply(target.Cr, d.pred.Cr, x/2, y/2, 0, 0, flags[5])
+}
+
+func (d *Decoder) readShapeSegment(alpha *video.Plane) error {
+	nBytes, err := d.r.UE()
+	if err != nil {
+		return err
+	}
+	if uint64(nBytes) > d.r.Remaining()/8+1 {
+		return fmt.Errorf("shape segment length %d exceeds stream", nBytes)
+	}
+	d.r.Skip(uint((8 - d.r.Pos()%8) % 8)) // AlignZero on the encode side
+	payload := make([]byte, nBytes)
+	for i := range payload {
+		v, err := d.r.Bits(8)
+		if err != nil {
+			return err
+		}
+		payload[i] = byte(v)
+	}
+	d.st.advance(d.r.Pos())
+	return shape.DecodePlane(bits.NewReader(payload), d.t, alpha)
+}
+
+// acquireFrame takes a display frame from the recycle pool, allocating
+// only when the pool is empty.
+func (d *Decoder) acquireFrame() *video.Frame {
+	for i := len(d.pool) - 1; i >= 0; i-- {
+		f := d.pool[i]
+		if d.inRing(f) {
+			continue // released by the display side but still a reference
+		}
+		d.pool = append(d.pool[:i], d.pool[i+1:]...)
+		d.initFrame(f)
+		return f
+	}
+	var f *video.Frame
+	if d.cfg.Shape {
+		f = video.NewAlphaFrame(d.space, d.cfg.W, d.cfg.H)
+	} else {
+		f = video.NewFrame(d.space, d.cfg.W, d.cfg.H)
+	}
+	d.initFrame(f)
+	return f
+}
+
+// initFrame paints a frame neutral grey. Untraced: the reference
+// decoder's VOP buffers are bounding-box sized, so the full-frame region
+// outside the box exists only in this API's representation — clearing it
+// is not part of the measured workload.
+func (d *Decoder) initFrame(f *video.Frame) {
+	if !d.cfg.Shape {
+		return
+	}
+	f.Y.Fill(128)
+	f.Cb.Fill(128)
+	f.Cr.Fill(128)
+}
+
+// Release returns a display frame to the decoder's buffer pool once the
+// caller (display/compositor) is done with it. Releasing a frame that
+// is still referenced by the caller is a use-after-free-style bug, as
+// with any buffer pool.
+func (d *Decoder) Release(f *video.Frame) {
+	if f == nil {
+		return
+	}
+	d.pool = append(d.pool, f)
+}
+
+// traceBlockOp mirrors the encoder's scratch accounting.
+func (d *Decoder) traceBlockOp(ops uint64) {
+	simmem.AccessRunUnit(d.t, d.blkAddr, 256, 4, simmem.Load)
+	simmem.AccessRunUnit(d.t, d.blkAddr, 256, 4, simmem.Store)
+	d.t.Ops(ops)
+}
+
+// traceDCTOp accounts one inverse transform. The decoder uses the
+// direct-form conformance IDCT of the reference software.
+func (d *Decoder) traceDCTOp() {
+	d.tabs.traceIDCT(d.t, d.blkAddr)
+}
+
+func (d *Decoder) storeBlock(p *video.Plane, x, y int, blk *dct.Block) {
+	for r := 0; r < 8; r++ {
+		off := (y+r)*p.Stride + x
+		row := p.Pix[off : off+8]
+		for i := 0; i < 8; i++ {
+			row[i] = clampPix(blk[r*8+i])
+		}
+		simmem.AccessRunUnit(d.t, p.Addr+uint64(off), 8, 1, simmem.Store)
+	}
+	simmem.AccessRunUnit(d.t, d.blkAddr, 256, 4, simmem.Load)
+	d.tabs.traceClip(d.t)
+	d.t.Ops(8 * 10)
+}
+
+func (d *Decoder) addBlock(pred, out *video.Plane, x, y, px, py int, blk *dct.Block) {
+	for r := 0; r < 8; r++ {
+		po := (py+r)*pred.Stride + px
+		oo := (y+r)*out.Stride + x
+		pr := pred.Pix[po : po+8]
+		or := out.Pix[oo : oo+8]
+		for i := 0; i < 8; i++ {
+			or[i] = clampPix(int32(pr[i]) + blk[r*8+i])
+		}
+		simmem.AccessRunUnit(d.t, pred.Addr+uint64(po), 8, 1, simmem.Load)
+		simmem.AccessRunUnit(d.t, out.Addr+uint64(oo), 8, 1, simmem.Store)
+	}
+	simmem.AccessRunUnit(d.t, d.blkAddr, 256, 4, simmem.Load)
+	d.tabs.traceClip(d.t)
+	d.t.Ops(8 * 12)
+}
+
+// fillGreyMB paints a transparent macroblock mid-grey (the synthetic
+// renderer's convention for outside-object pixels).
+func fillGreyMB(t simmem.Tracer, f *video.Frame, x, y int) {
+	for r := 0; r < 16; r++ {
+		off := (y+r)*f.Y.Stride + x
+		row := f.Y.Pix[off : off+16]
+		for i := range row {
+			row[i] = 128
+		}
+		simmem.AccessRun(t, f.Y.Addr+uint64(off), 16, simmem.Store)
+	}
+	for r := 0; r < 8; r++ {
+		for _, p := range []*video.Plane{f.Cb, f.Cr} {
+			off := (y/2+r)*p.Stride + x/2
+			row := p.Pix[off : off+8]
+			for i := range row {
+				row[i] = 128
+			}
+			simmem.AccessRun(t, p.Addr+uint64(off), 8, simmem.Store)
+		}
+	}
+	t.Ops(16 * 16 / 4)
+}

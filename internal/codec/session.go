@@ -1,0 +1,205 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/simmem"
+	"repro/internal/video"
+	"repro/internal/vop"
+)
+
+// SessionConfig describes a multi-object, possibly multi-layer coding
+// session (the paper's Tables 4–7 use 3 VOs with 1 or 2 VOLs each).
+type SessionConfig struct {
+	Object  Config // per-object layer configuration
+	Objects int    // number of visual objects
+	Layers  int    // 1 (base only) or 2 (base + enhancement)
+	EnhQP   int    // enhancement quantizer (0 = half the base QP)
+}
+
+// Validate checks the session configuration.
+func (c SessionConfig) Validate() error {
+	if err := c.Object.Validate(); err != nil {
+		return err
+	}
+	if c.Objects < 1 || c.Objects > 16 {
+		return fmt.Errorf("codec: object count %d out of [1,16]", c.Objects)
+	}
+	if c.Layers < 1 || c.Layers > 2 {
+		return fmt.Errorf("codec: layer count %d out of [1,2]", c.Layers)
+	}
+	return nil
+}
+
+func (c SessionConfig) enhQP() int {
+	if c.EnhQP > 0 {
+		return c.EnhQP
+	}
+	qp := c.Object.QP / 2
+	if qp < 1 {
+		qp = 1
+	}
+	return qp
+}
+
+// SessionStream is the muxed output of a session: one base stream per
+// object, plus one enhancement stream per object for two-layer sessions.
+type SessionStream struct {
+	Objects int
+	Layers  int
+	Base    [][]byte
+	Enh     [][]byte
+}
+
+// TotalBytes returns the total coded size across objects and layers.
+func (s *SessionStream) TotalBytes() int {
+	n := 0
+	for _, b := range s.Base {
+		n += len(b)
+	}
+	for _, b := range s.Enh {
+		n += len(b)
+	}
+	return n
+}
+
+// EncodeSession encodes objFrames (one display-order frame sequence per
+// visual object) under cfg. Objects are interleaved per coded VOP, as
+// the reference encoder's object loop is inside the frame loop — this
+// is what makes the multi-object working set compete for cache in the
+// way the paper measures.
+//
+// For two-layer sessions the encoder also runs the embedded base-layer
+// decode (a scalable encoder reconstructs the base to predict the
+// enhancement) and codes the per-object enhancement residuals.
+func EncodeSession(cfg SessionConfig, space *simmem.Space, t simmem.Tracer, ph PhaseRecorder, objFrames [][]*video.Frame) (*SessionStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(objFrames) != cfg.Objects {
+		return nil, fmt.Errorf("codec: %d frame sequences for %d objects", len(objFrames), cfg.Objects)
+	}
+	n := len(objFrames[0])
+	for i, fs := range objFrames {
+		if len(fs) != n {
+			return nil, fmt.Errorf("codec: object %d has %d frames, want %d", i, len(fs), n)
+		}
+	}
+	encs := make([]*Encoder, cfg.Objects)
+	for i := range encs {
+		e, err := NewEncoder(cfg.Object, space, t, ph)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Begin(n); err != nil {
+			return nil, err
+		}
+		encs[i] = e
+	}
+	items, err := cfg.Object.GOP.Schedule(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		for o, e := range encs {
+			if err := e.EncodeItem(it, objFrames[o][it.Display]); err != nil {
+				return nil, fmt.Errorf("codec: object %d VOP %d: %w", o, it.Display, err)
+			}
+		}
+	}
+	ss := &SessionStream{Objects: cfg.Objects, Layers: cfg.Layers, Base: make([][]byte, cfg.Objects)}
+	for i, e := range encs {
+		b, err := e.End()
+		if err != nil {
+			return nil, err
+		}
+		ss.Base[i] = b
+	}
+	if cfg.Layers == 1 {
+		return ss, nil
+	}
+	// Two layers: embedded base decode plus enhancement residual coding.
+	ss.Enh = make([][]byte, cfg.Objects)
+	for o := 0; o < cfg.Objects; o++ {
+		dec := NewDecoder(space, t, NopPhases{})
+		baseOut, err := dec.DecodeSequence(ss.Base[o])
+		if err != nil {
+			return nil, fmt.Errorf("codec: embedded base decode of object %d: %w", o, err)
+		}
+		enh, err := NewEnhEncoder(EnhConfig{W: cfg.Object.W, H: cfg.Object.H, QP: cfg.enhQP()}, space, t, ph)
+		if err != nil {
+			return nil, err
+		}
+		es, err := enh.EncodeSequence(objFrames[o], baseOut)
+		if err != nil {
+			return nil, err
+		}
+		ss.Enh[o] = es
+	}
+	return ss, nil
+}
+
+// DecodeSession decodes a session stream, returning one display-order
+// frame sequence per object. Objects are interleaved per VOP like the
+// encoder; enhancement layers are applied after the base pass.
+func DecodeSession(ss *SessionStream, space *simmem.Space, t simmem.Tracer, ph PhaseRecorder) ([][]*video.Frame, error) {
+	if ss.Objects != len(ss.Base) {
+		return nil, fmt.Errorf("codec: session has %d base streams for %d objects", len(ss.Base), ss.Objects)
+	}
+	decs := make([]*Decoder, ss.Objects)
+	for i := range decs {
+		d := NewDecoder(space, t, ph)
+		if err := d.Begin(ss.Base[i]); err != nil {
+			return nil, fmt.Errorf("codec: object %d header: %w", i, err)
+		}
+		decs[i] = d
+	}
+	n := decs[0].NFrames()
+	out := make([][]*video.Frame, ss.Objects)
+	rbs := make([]vop.ReorderBuffer, ss.Objects)
+	decoded := make([]map[int]*video.Frame, ss.Objects)
+	for i := range out {
+		if decs[i].NFrames() != n {
+			return nil, fmt.Errorf("codec: object %d frame count mismatch", i)
+		}
+		out[i] = make([]*video.Frame, n)
+		decoded[i] = make(map[int]*video.Frame)
+	}
+	for v := 0; v < n; v++ {
+		for o, d := range decs {
+			it, f, err := d.DecodeNext()
+			if err != nil {
+				return nil, fmt.Errorf("codec: object %d VOP %d: %w", o, v, err)
+			}
+			decoded[o][it.Display] = f
+			for _, e := range rbs[o].Push(it) {
+				out[o][e.Display] = decoded[o][e.Display]
+			}
+		}
+	}
+	for o := range decs {
+		for _, e := range rbs[o].Flush() {
+			out[o][e.Display] = decoded[o][e.Display]
+		}
+		if err := decs[o].CheckEnd(); err != nil {
+			return nil, fmt.Errorf("codec: object %d: %w", o, err)
+		}
+		for i, f := range out[o] {
+			if f == nil {
+				return nil, fmt.Errorf("codec: object %d frame %d missing", o, i)
+			}
+		}
+	}
+	if ss.Layers == 2 {
+		if len(ss.Enh) != ss.Objects {
+			return nil, fmt.Errorf("codec: session missing enhancement streams")
+		}
+		for o := 0; o < ss.Objects; o++ {
+			ed := NewEnhDecoder(space, t, ph)
+			if _, err := ed.DecodeSequence(ss.Enh[o], out[o]); err != nil {
+				return nil, fmt.Errorf("codec: object %d enhancement: %w", o, err)
+			}
+		}
+	}
+	return out, nil
+}

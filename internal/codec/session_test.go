@@ -1,0 +1,206 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+func sessionFrames(sp *simmem.Space, w, h, objects, n int) [][]*video.Frame {
+	synth := video.NewSynth(w, h, 21)
+	out := make([][]*video.Frame, objects)
+	for o := 0; o < objects; o++ {
+		if o == 0 {
+			out[o] = synth.ObjectSequence(sp, -1, n) // background
+		} else {
+			out[o] = synth.ObjectSequence(sp, o-1, n)
+		}
+	}
+	return out
+}
+
+func TestSessionValidate(t *testing.T) {
+	cfg := SessionConfig{Object: DefaultConfig(64, 48), Objects: 3, Layers: 1}
+	if cfg.Validate() != nil {
+		t.Fatal("valid session rejected")
+	}
+	cfg.Objects = 0
+	if cfg.Validate() == nil {
+		t.Fatal("zero objects accepted")
+	}
+	cfg.Objects = 3
+	cfg.Layers = 3
+	if cfg.Validate() == nil {
+		t.Fatal("three layers accepted")
+	}
+}
+
+func TestSessionSingleObjectMatchesPlainCodec(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	cfg := SessionConfig{Object: DefaultConfig(64, 48), Objects: 1, Layers: 1}
+	cfg.Object.Shape = true
+	frames := sessionFrames(sp, 64, 48, 1, 5)
+	ss, err := EncodeSession(cfg, sp, nil, nil, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Base) != 1 || ss.Enh != nil {
+		t.Fatalf("session shape wrong: %d base, %v enh", len(ss.Base), ss.Enh)
+	}
+	out, err := DecodeSession(ss, simmem.NewSpace(0), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0]) != 5 {
+		t.Fatalf("decoded shape wrong")
+	}
+	for i := range out[0] {
+		if p := video.PSNR(frames[0][i], out[0][i]); p < 20 {
+			t.Errorf("frame %d PSNR %.1f", i, p)
+		}
+	}
+}
+
+func TestSessionThreeObjects(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	cfg := SessionConfig{Object: DefaultConfig(64, 48), Objects: 3, Layers: 1}
+	cfg.Object.Shape = true
+	frames := sessionFrames(sp, 64, 48, 3, 5)
+	ss, err := EncodeSession(cfg, sp, nil, nil, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSession(ss, simmem.NewSpace(0), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := range out {
+		for i := range out[o] {
+			// Alpha must roundtrip losslessly per object.
+			for j := range frames[o][i].Alpha.Pix {
+				if frames[o][i].Alpha.Pix[j] != out[o][i].Alpha.Pix[j] {
+					t.Fatalf("object %d frame %d alpha mismatch", o, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSessionTwoLayersImprovesQuality(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	base := DefaultConfig(64, 48)
+	base.QP = 16
+	frames := sessionFrames(sp, 64, 48, 1, 5)
+
+	one, err := EncodeSession(SessionConfig{Object: base, Objects: 1, Layers: 1}, sp, nil, nil, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := EncodeSession(SessionConfig{Object: base, Objects: 1, Layers: 2, EnhQP: 3}, sp, nil, nil, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two.Enh) != 1 || len(two.Enh[0]) == 0 {
+		t.Fatal("no enhancement stream produced")
+	}
+	out1, err := DecodeSession(one, simmem.NewSpace(0), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := DecodeSession(two, simmem.NewSpace(0), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p1, p2 float64
+	for i := range frames[0] {
+		p1 += video.PSNR(frames[0][i], out1[0][i])
+		p2 += video.PSNR(frames[0][i], out2[0][i])
+	}
+	if p2 <= p1 {
+		t.Fatalf("enhancement layer did not improve quality: %.1f vs %.1f", p2/5, p1/5)
+	}
+}
+
+func TestSessionRejectsMismatchedFrames(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	cfg := SessionConfig{Object: DefaultConfig(64, 48), Objects: 2, Layers: 1}
+	frames := sessionFrames(sp, 64, 48, 2, 4)
+	frames[1] = frames[1][:3]
+	if _, err := EncodeSession(cfg, sp, nil, nil, frames); err == nil {
+		t.Fatal("ragged frame sequences accepted")
+	}
+	if _, err := EncodeSession(cfg, sp, nil, nil, frames[:1]); err == nil {
+		t.Fatal("missing object sequence accepted")
+	}
+}
+
+func TestSessionTotalBytes(t *testing.T) {
+	ss := &SessionStream{Objects: 2, Layers: 2,
+		Base: [][]byte{make([]byte, 10), make([]byte, 20)},
+		Enh:  [][]byte{make([]byte, 5), make([]byte, 1)}}
+	if ss.TotalBytes() != 36 {
+		t.Fatalf("TotalBytes=%d", ss.TotalBytes())
+	}
+}
+
+func TestEnhConfigValidate(t *testing.T) {
+	if (EnhConfig{W: 64, H: 48, QP: 4}).Validate() != nil {
+		t.Fatal("valid enh config rejected")
+	}
+	if (EnhConfig{W: 63, H: 48, QP: 4}).Validate() == nil {
+		t.Fatal("bad width accepted")
+	}
+	if (EnhConfig{W: 64, H: 48, QP: 0}).Validate() == nil {
+		t.Fatal("bad QP accepted")
+	}
+}
+
+func TestEnhRoundTripExactWithQP1(t *testing.T) {
+	// QP 1 residual coding should recover the original almost exactly.
+	sp := simmem.NewSpace(0)
+	synth := video.NewSynth(64, 48, 31)
+	orig := synth.Sequence(sp, 2)
+	base := make([]*video.Frame, 2)
+	for i := range base {
+		base[i] = video.NewFrame(sp, 64, 48)
+		base[i].CopyFrom(orig[i])
+		// Degrade the base copy.
+		for j := range base[i].Y.Pix {
+			base[i].Y.Pix[j] = base[i].Y.Pix[j]/2 + 60
+		}
+	}
+	enc, err := NewEnhEncoder(EnhConfig{W: 64, H: 48, QP: 1}, sp, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := enc.EncodeSequence(orig, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewEnhDecoder(sp, nil, nil)
+	out, err := dec.DecodeSequence(stream, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if p := video.PSNR(orig[i], out[i]); p < 40 {
+			t.Errorf("frame %d enhancement PSNR %.1f too low", i, p)
+		}
+	}
+}
+
+func TestEnhDecoderRejectsWrongBaseCount(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	synth := video.NewSynth(64, 48, 31)
+	orig := synth.Sequence(sp, 2)
+	enc, _ := NewEnhEncoder(EnhConfig{W: 64, H: 48, QP: 4}, sp, nil, nil)
+	stream, err := enc.EncodeSequence(orig, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewEnhDecoder(sp, nil, nil)
+	if _, err := dec.DecodeSequence(stream, orig[:1]); err == nil {
+		t.Fatal("wrong base count accepted")
+	}
+}

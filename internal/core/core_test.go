@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStudyMinimalRun(t *testing.T) {
+	// A compact configuration: one table, one figure, no sweep. The
+	// default 352x288 fallacy workload still runs.
+	st := NewStudy(Options{Frames: 4, Tables: []int{1}, Figures: []int{3}, SkipSweeps: true})
+	rep, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Tables[1]; !ok {
+		t.Fatal("table 1 missing")
+	}
+	if len(rep.Figures[3]) == 0 {
+		t.Fatal("figure 3 missing")
+	}
+	if len(rep.Fallacy) != 5 {
+		t.Fatalf("want 5 fallacy verdicts, got %d", len(rep.Fallacy))
+	}
+	for _, f := range rep.Fallacy {
+		if !f.Refuted {
+			t.Errorf("fallacy %q not refuted: %s", f.Name, f.Detail)
+		}
+	}
+	text := rep.Text()
+	for _, want := range []string{"Table 1", "Figure 3", "fallacy verdicts", "REFUTED"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report text missing %q", want)
+		}
+	}
+}
+
+func TestStudyDefaultsCoverEverything(t *testing.T) {
+	st := NewStudy(Options{})
+	if len(st.opt.Tables) != 8 || len(st.opt.Figures) != 3 {
+		t.Fatalf("defaults wrong: %+v", st.opt)
+	}
+}
+
+func TestStudyRejectsUnknownFigure(t *testing.T) {
+	st := NewStudy(Options{Frames: 4, Tables: []int{1}, Figures: []int{9}, SkipSweeps: true})
+	if _, err := st.Run(); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package dct implements the 8×8 forward and inverse discrete cosine
+// transform, H.263-style quantization (the MPEG-4 "second quantization
+// method" used by the MoMuSys reference software in short-header mode),
+// and the zigzag coefficient scan.
+//
+// The transform is a separable floating-point DCT-II/DCT-III pair with
+// precomputed basis tables. IDCT(DCT(x)) reproduces x to well under one
+// quantization step, which is all the codec requires; a property test
+// asserts the roundtrip error bound.
+package dct
+
+import "math"
+
+// BlockSize is the transform dimension.
+const BlockSize = 8
+
+// Block is an 8×8 coefficient or sample-difference block in row-major
+// order. Samples use the int32 range; coefficients after a forward
+// transform of 9-bit input fit comfortably.
+type Block [BlockSize * BlockSize]int32
+
+// cosTable[u][x] = c(u) * cos((2x+1)uπ/16), the orthonormal DCT basis.
+var cosTable [BlockSize][BlockSize]float64
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		cu := math.Sqrt(2.0 / BlockSize)
+		if u == 0 {
+			cu = math.Sqrt(1.0 / BlockSize)
+		}
+		for x := 0; x < BlockSize; x++ {
+			cosTable[u][x] = cu * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+}
+
+// Forward transforms spatial block b in place to frequency coefficients.
+func Forward(b *Block) {
+	var tmp [BlockSize][BlockSize]float64
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for x := 0; x < BlockSize; x++ {
+				s += float64(b[y*BlockSize+x]) * cosTable[u][x]
+			}
+			tmp[y][u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < BlockSize; u++ {
+		for v := 0; v < BlockSize; v++ {
+			var s float64
+			for y := 0; y < BlockSize; y++ {
+				s += tmp[y][u] * cosTable[v][y]
+			}
+			b[v*BlockSize+u] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// Inverse transforms frequency coefficients b in place back to spatial
+// samples.
+func Inverse(b *Block) {
+	var tmp [BlockSize][BlockSize]float64
+	// Columns (inverse of the second forward pass).
+	for u := 0; u < BlockSize; u++ {
+		for y := 0; y < BlockSize; y++ {
+			var s float64
+			for v := 0; v < BlockSize; v++ {
+				s += float64(b[v*BlockSize+u]) * cosTable[v][y]
+			}
+			tmp[y][u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for u := 0; u < BlockSize; u++ {
+				s += tmp[y][u] * cosTable[u][x]
+			}
+			b[y*BlockSize+x] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// OpsForward is the approximate graduated-instruction cost of one 8×8
+// forward or inverse transform (two separable passes of 64
+// multiply-accumulate pairs each, plus loop overhead), used by the
+// timing model.
+const OpsForward = 2*64*8*2 + 200
+
+// Quantizer implements H.263-style scalar quantization with a quantizer
+// parameter QP in [1, 31].
+type Quantizer struct {
+	QP int32
+}
+
+// NewQuantizer clamps qp into the legal range.
+func NewQuantizer(qp int) Quantizer {
+	if qp < 1 {
+		qp = 1
+	}
+	if qp > 31 {
+		qp = 31
+	}
+	return Quantizer{QP: int32(qp)}
+}
+
+// QuantIntra quantizes an intra block in place: the DC coefficient is
+// divided by 8 (as MPEG-4 intra DC coding does at this level), AC
+// coefficients by 2·QP.
+func (q Quantizer) QuantIntra(b *Block) {
+	b[0] = divRound(b[0], 8)
+	for i := 1; i < len(b); i++ {
+		b[i] = quantAC(b[i], q.QP, true)
+	}
+}
+
+// DequantIntra reverses QuantIntra (up to quantization loss).
+func (q Quantizer) DequantIntra(b *Block) {
+	b[0] *= 8
+	for i := 1; i < len(b); i++ {
+		b[i] = dequantAC(b[i], q.QP)
+	}
+}
+
+// QuantInter quantizes an inter (residual) block in place with the H.263
+// dead zone.
+func (q Quantizer) QuantInter(b *Block) {
+	for i := range b {
+		b[i] = quantAC(b[i], q.QP, false)
+	}
+}
+
+// DequantInter reverses QuantInter (up to quantization loss).
+func (q Quantizer) DequantInter(b *Block) {
+	for i := range b {
+		b[i] = dequantAC(b[i], q.QP)
+	}
+}
+
+func quantAC(c, qp int32, intra bool) int32 {
+	neg := c < 0
+	if neg {
+		c = -c
+	}
+	var lvl int32
+	if intra {
+		lvl = c / (2 * qp)
+	} else {
+		lvl = (c - qp/2) / (2 * qp)
+		if lvl < 0 {
+			lvl = 0
+		}
+	}
+	if neg {
+		return -lvl
+	}
+	return lvl
+}
+
+func dequantAC(lvl, qp int32) int32 {
+	if lvl == 0 {
+		return 0
+	}
+	neg := lvl < 0
+	if neg {
+		lvl = -lvl
+	}
+	var c int32
+	if qp%2 == 1 {
+		c = qp * (2*lvl + 1)
+	} else {
+		c = qp*(2*lvl+1) - 1
+	}
+	if neg {
+		return -c
+	}
+	return c
+}
+
+func divRound(a, d int32) int32 {
+	if a >= 0 {
+		return (a + d/2) / d
+	}
+	return -((-a + d/2) / d)
+}
+
+// OpsQuant is the approximate instruction cost of quantizing or
+// dequantizing one block.
+const OpsQuant = 64 * 4
+
+// ZigzagOrder is the standard zigzag scan mapping: position i of the
+// scan reads coefficient ZigzagOrder[i] of the row-major block.
+var ZigzagOrder = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// inverseZigzag[j] is the scan position of row-major coefficient j.
+var inverseZigzag [64]int
+
+func init() {
+	for i, j := range ZigzagOrder {
+		inverseZigzag[j] = i
+	}
+}
+
+// Scan writes the zigzag scan of b into out.
+func Scan(b *Block, out *[64]int32) {
+	for i, j := range ZigzagOrder {
+		out[i] = b[j]
+	}
+}
+
+// Unscan reverses Scan.
+func Unscan(in *[64]int32, b *Block) {
+	for i, j := range ZigzagOrder {
+		b[j] = in[i]
+	}
+}
+
+// ScanPos returns the zigzag position of row-major coefficient index j.
+func ScanPos(j int) int { return inverseZigzag[j] }

@@ -1,0 +1,117 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastForwardMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b Block
+		for i := range a {
+			v := int32(rng.Intn(256)) - 128
+			a[i], b[i] = v, v
+		}
+		Forward(&a)
+		FastForward(&b)
+		for i := range a {
+			d := a[i] - b[i]
+			if d < -2 || d > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastInverseMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b Block
+		for i := range a {
+			v := int32(rng.Intn(512)) - 256
+			a[i], b[i] = v, v
+		}
+		Inverse(&a)
+		FastInverse(&b)
+		for i := range a {
+			d := a[i] - b[i]
+			if d < -2 || d > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b, orig Block
+		for i := range b {
+			b[i] = int32(rng.Intn(256)) - 128
+		}
+		orig = b
+		FastForward(&b)
+		FastInverse(&b)
+		for i := range b {
+			d := b[i] - orig[i]
+			if d < -3 || d > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastDCTConstantBlock(t *testing.T) {
+	var b Block
+	for i := range b {
+		b[i] = 100
+	}
+	FastForward(&b)
+	if b[0] < 798 || b[0] > 802 {
+		t.Fatalf("fast DC of constant block = %d want ~800", b[0])
+	}
+	for i := 1; i < 64; i++ {
+		if b[i] < -2 || b[i] > 2 {
+			t.Fatalf("fast AC %d = %d want ~0", i, b[i])
+		}
+	}
+}
+
+func BenchmarkFastForward(b *testing.B) {
+	var blk Block
+	for i := range blk {
+		blk[i] = int32(i * 3 % 255)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := blk
+		FastForward(&c)
+	}
+}
+
+func BenchmarkFastInverse(b *testing.B) {
+	var blk Block
+	for i := range blk {
+		blk[i] = int32(i * 3 % 255)
+	}
+	FastForward(&blk)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := blk
+		FastInverse(&c)
+	}
+}

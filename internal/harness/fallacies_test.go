@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// These integration tests assert the paper's five refuted fallacies
+// (Section 3.2) as invariants of the reproduction, at reduced scale.
+// Each test name states the fallacy; the assertions encode the paper's
+// refutation.
+
+// Fallacy 1: "MPEG-4 exhibits streaming references." Refutation: primary
+// cache behaviour is nearly optimal — high hit rates and high line reuse.
+func TestFallacyStreamingReferences(t *testing.T) {
+	machines := perf.PaperMachines()
+	encRes, decRes, err := EncodeDecode(machines, Workload{W: 320, H: 256, Frames: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range encRes {
+		if r.Whole.L1MissRate > 0.005 {
+			t.Errorf("encode %s: L1 miss rate %.3f%% exceeds 0.5%%", r.Machine.Label(), r.Whole.L1MissRate*100)
+		}
+		if r.Whole.L1LineReuse < 200 {
+			t.Errorf("encode %s: L1 line reuse %.0f below 200", r.Machine.Label(), r.Whole.L1LineReuse)
+		}
+	}
+	for _, r := range decRes {
+		if r.Whole.L1MissRate > 0.02 {
+			t.Errorf("decode %s: L1 miss rate %.3f%% exceeds 2%%", r.Machine.Label(), r.Whole.L1MissRate*100)
+		}
+		if r.Whole.L1LineReuse < 50 {
+			t.Errorf("decode %s: L1 line reuse %.0f below 50", r.Machine.Label(), r.Whole.L1LineReuse)
+		}
+	}
+}
+
+// Fallacy 2: "MPEG-4 is bound by DRAM latency." Refutation: processor
+// stall time waiting for DRAM stays modest (paper: <= ~12% worst case),
+// and conservative software prefetching is mostly wasted (over half of
+// prefetches hit L1).
+func TestFallacyDRAMLatencyBound(t *testing.T) {
+	machines := perf.PaperMachines()
+	encRes, decRes, err := EncodeDecode(machines, Workload{W: 320, H: 256, Frames: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range append(encRes, decRes...) {
+		if r.Whole.DRAMTimeFrac > 0.15 {
+			t.Errorf("%s: DRAM stall %.1f%% exceeds 15%%", r.Machine.Label(), r.Whole.DRAMTimeFrac*100)
+		}
+	}
+	for _, r := range encRes {
+		if !r.Machine.HasPrefetchHitCounter {
+			continue
+		}
+		hitFrac := 1 - r.Whole.PrefetchL1Miss
+		if hitFrac < 0.5 {
+			t.Errorf("%s: only %.0f%% of prefetches hit L1; expected wasted prefetching (>50%%)",
+				r.Machine.Label(), hitFrac*100)
+		}
+	}
+}
+
+// Fallacy 3: "MPEG-4 is hungry for bus bandwidth." Refutation: only a
+// few percent of the sustained bus bandwidth is consumed.
+func TestFallacyBusBandwidthBound(t *testing.T) {
+	machines := perf.PaperMachines()
+	encRes, decRes, err := EncodeDecode(machines, Workload{W: 320, H: 256, Frames: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range append(encRes, decRes...) {
+		if r.Whole.BusUtilization > 0.10 {
+			t.Errorf("%s: bus utilisation %.1f%% exceeds 10%% of sustained bandwidth",
+				r.Machine.Label(), r.Whole.BusUtilization*100)
+		}
+	}
+}
+
+// Fallacy 4: "Memory performance degrades with growing image size."
+// Refutation: cache performance is roughly independent of frame size
+// (and some metrics improve).
+func TestFallacyImageSizeDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("size sweep is slow")
+	}
+	m := []perf.Machine{perf.O2R12K1MB()}
+	sizes := [][2]int{{160, 128}, {320, 256}, {480, 384}}
+	var l1 []float64
+	for _, sz := range sizes {
+		wl := Workload{W: sz[0], H: sz[1], Frames: 5}
+		_, decRes, err := EncodeDecode(m, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1 = append(l1, decRes[0].Whole.L1MissRate)
+	}
+	// Tripling the frame area must not even double the L1 miss rate.
+	for i := 1; i < len(l1); i++ {
+		if l1[i] > 2*l1[0] {
+			t.Errorf("L1 miss rate grew with image size: %v", l1)
+		}
+	}
+}
+
+// Fallacy 5: "Memory performance degrades as the number of visual
+// objects and layers grows." Refutation: miss rates stay flat or improve
+// ("improving under pressure").
+func TestFallacyObjectLayerDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("object sweep is slow")
+	}
+	m := []perf.Machine{perf.OnyxR10K2MB()}
+	configs := []struct{ obj, lay int }{{1, 1}, {3, 1}, {3, 2}}
+	var encL1, decL1 []float64
+	for _, c := range configs {
+		encRes, decRes, err := EncodeDecode(m, Workload{W: 160, H: 128, Frames: 6, Objects: c.obj, Layers: c.lay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		encL1 = append(encL1, encRes[0].Whole.L1MissRate)
+		decL1 = append(decL1, decRes[0].Whole.L1MissRate)
+	}
+	// The claim is "does not change noticeably"; at this reduced frame
+	// size the per-object constant costs weigh relatively more than at
+	// PAL size, so allow 2x headroom. All rates stay well under 1%.
+	for i := 1; i < len(encL1); i++ {
+		if encL1[i] > encL1[0]*2.0 {
+			t.Errorf("encode L1 miss rate degraded with objects/layers: %v", encL1)
+		}
+		if decL1[i] > decL1[0]*2.0 {
+			t.Errorf("decode L1 miss rate degraded with objects/layers: %v", decL1)
+		}
+	}
+	// The paper's headline paradox — decoding *improves* going from one
+	// layer to two ("improving under pressure") — must reproduce.
+	if decL1[2] >= decL1[1] {
+		t.Errorf("decode did not improve from 3VO/1L to 3VO/2L: %v", decL1)
+	}
+}
+
+// The paper's concluding observation: even on non-SIMD hardware "the
+// performance bottleneck is still the fetch/issue rate" — execution is
+// dominated by issue-bound cycles, not memory stalls.
+func TestConclusionFetchIssueBound(t *testing.T) {
+	machines := perf.PaperMachines()
+	encRes, decRes, err := EncodeDecode(machines, Workload{W: 320, H: 256, Frames: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range append(encRes, decRes...) {
+		if r.Whole.IssueTimeFrac < 0.75 {
+			t.Errorf("%s: only %.0f%% of time issue-bound; memory dominates unexpectedly",
+				r.Machine.Label(), r.Whole.IssueTimeFrac*100)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// Figure2Sizes is the growing-image-size sweep (the paper reports
+// 720×576 through 2048×1024; we add smaller points to show the trend).
+var Figure2Sizes = [][2]int{{512, 384}, {720, 576}, {1024, 768}, {1440, 960}, {2048, 1024}}
+
+// Figure2 regenerates "Memory Statistics for Growing Image Size
+// (Decoding, 1MB L2C)": L2 miss rate, L2–DRAM bandwidth and DRAM stall
+// time as functions of frame size, all of which the paper shows flat or
+// falling.
+func Figure2(frames int) ([]perf.Series, error) {
+	m := perf.O2R12K1MB()
+	missRate := perf.Series{Label: "Figure 2a: L2C miss rate (decode, 1MB L2C)", YUnit: "%"}
+	bw := perf.Series{Label: "Figure 2b: L2-DRAM bandwidth (decode, 1MB L2C)", YUnit: "MB/s"}
+	stall := perf.Series{Label: "Figure 2c: DRAM stall time (decode, 1MB L2C)", YUnit: "%"}
+	for _, sz := range Figure2Sizes {
+		wl := Workload{W: sz[0], H: sz[1], Frames: frames}
+		_, ss, err := RunEncode([]perf.Machine{m}, wl)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunDecode([]perf.Machine{m}, wl, ss)
+		if err != nil {
+			return nil, err
+		}
+		x := wl.Label()
+		missRate.X = append(missRate.X, x)
+		missRate.Y = append(missRate.Y, res[0].Whole.L2MissRate*100)
+		bw.X = append(bw.X, x)
+		bw.Y = append(bw.Y, res[0].Whole.L2DRAMMBps)
+		stall.X = append(stall.X, x)
+		stall.Y = append(stall.Y, res[0].Whole.DRAMTimeFrac*100)
+	}
+	return []perf.Series{missRate, bw, stall}, nil
+}
+
+// ObjectSweepPoint is one bar of Figures 3/4: a (VO count, layer count)
+// configuration measured for encode and decode at one resolution.
+type ObjectSweepPoint struct {
+	Label      string
+	Objects    int
+	Layers     int
+	Resolution string
+	EncodeL1   float64 // percent
+	DecodeL1   float64
+	EncodeL2   float64
+	DecodeL2   float64
+}
+
+// ObjectSweepConfigs are the paper's three bar groups.
+var ObjectSweepConfigs = []struct {
+	Objects, Layers int
+	Label           string
+}{
+	{1, 1, "1 VO, 1 layer"},
+	{3, 1, "3 VOs, 1 layer each"},
+	{3, 2, "3 VOs, 2 layers each"},
+}
+
+// RunObjectSweep measures the Figures 3/4 sweep on the R10K/2MB machine
+// (the machine the paper plots).
+func RunObjectSweep(frames int) ([]ObjectSweepPoint, error) {
+	m := perf.OnyxR10K2MB()
+	var out []ObjectSweepPoint
+	for _, res := range TableResolutions {
+		for _, cfgPt := range ObjectSweepConfigs {
+			wl := Workload{W: res[0], H: res[1], Frames: frames,
+				Objects: cfgPt.Objects, Layers: cfgPt.Layers}
+			encRes, decRes, err := EncodeDecode([]perf.Machine{m}, wl)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ObjectSweepPoint{
+				Label:      cfgPt.Label,
+				Objects:    cfgPt.Objects,
+				Layers:     cfgPt.Layers,
+				Resolution: wl.Label(),
+				EncodeL1:   encRes[0].Whole.L1MissRate * 100,
+				DecodeL1:   decRes[0].Whole.L1MissRate * 100,
+				EncodeL2:   encRes[0].Whole.L2MissRate * 100,
+				DecodeL2:   decRes[0].Whole.L2MissRate * 100,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure3Series converts sweep points into the Figure 3 bar series
+// (L1C miss rates for varying numbers of objects and layers).
+func Figure3Series(points []ObjectSweepPoint) []perf.Series {
+	return sweepSeries(points, "Figure 3: L1C miss rate", func(p ObjectSweepPoint) (float64, float64) {
+		return p.EncodeL1, p.DecodeL1
+	})
+}
+
+// Figure4Series converts sweep points into the Figure 4 bar series
+// (L2C miss rates).
+func Figure4Series(points []ObjectSweepPoint) []perf.Series {
+	return sweepSeries(points, "Figure 4: L2C miss rate", func(p ObjectSweepPoint) (float64, float64) {
+		return p.EncodeL2, p.DecodeL2
+	})
+}
+
+func sweepSeries(points []ObjectSweepPoint, title string, pick func(ObjectSweepPoint) (enc, dec float64)) []perf.Series {
+	var out []perf.Series
+	byRes := map[string][]ObjectSweepPoint{}
+	var resOrder []string
+	for _, p := range points {
+		if _, ok := byRes[p.Resolution]; !ok {
+			resOrder = append(resOrder, p.Resolution)
+		}
+		byRes[p.Resolution] = append(byRes[p.Resolution], p)
+	}
+	for _, res := range resOrder {
+		s := perf.Series{Label: fmt.Sprintf("%s, %s (R10K 2MB)", title, res), YUnit: "%"}
+		for _, p := range byRes[res] {
+			e, d := pick(p)
+			s.X = append(s.X, "encode "+p.Label)
+			s.Y = append(s.Y, e)
+			s.X = append(s.X, "decode "+p.Label)
+			s.Y = append(s.Y, d)
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/codec"
+	"repro/internal/motion"
+	"repro/internal/perf"
+	"repro/internal/simmem"
+)
+
+// RatioPoint is one point of the processor-to-memory speed sweep: the
+// DRAM latency scaled by Factor relative to the baseline machine, with
+// the resulting modelled stall fractions.
+type RatioPoint struct {
+	Factor        float64
+	EncodeDRAM    float64 // fraction of encode time stalled on DRAM
+	DecodeDRAM    float64
+	EncodeSeconds float64
+	DecodeSeconds float64
+}
+
+// RunRatioSweep performs the study the paper names as future work:
+// "determine at what ratio of processor-to-memory speed ... the
+// performance of MPEG-4 does finally become memory limited". The
+// workload is traced once; the timing model is then re-evaluated with
+// the DRAM penalty scaled by each factor (counters are
+// latency-independent, so this is exact, not an approximation).
+func RunRatioSweep(wl Workload, factors []float64) ([]RatioPoint, error) {
+	if len(factors) == 0 {
+		factors = []float64{1, 2, 4, 8, 16, 32, 64}
+	}
+	base := perf.O2R12K1MB()
+	encRes, ss, err := RunEncode([]perf.Machine{base}, wl)
+	if err != nil {
+		return nil, err
+	}
+	decRes, err := RunDecode([]perf.Machine{base}, wl, ss)
+	if err != nil {
+		return nil, err
+	}
+	encRaw := encRes[0].Whole.Raw
+	decRaw := decRes[0].Whole.Raw
+	out := make([]RatioPoint, 0, len(factors))
+	for _, f := range factors {
+		m := base
+		m.DRAMCycles = base.DRAMCycles * f
+		e := perf.Compute(m, encRaw)
+		d := perf.Compute(m, decRaw)
+		out = append(out, RatioPoint{
+			Factor:        f,
+			EncodeDRAM:    e.DRAMTimeFrac,
+			DecodeDRAM:    d.DRAMTimeFrac,
+			EncodeSeconds: e.Seconds,
+			DecodeSeconds: d.Seconds,
+		})
+	}
+	return out, nil
+}
+
+// MemoryBoundCrossover returns the first sweep factor at which decoding
+// spends at least half its time in DRAM stalls, or 0 if none does.
+func MemoryBoundCrossover(points []RatioPoint) float64 {
+	for _, p := range points {
+		if p.DecodeDRAM >= 0.5 {
+			return p.Factor
+		}
+	}
+	return 0
+}
+
+// RatioSweepSeries renders the sweep for display.
+func RatioSweepSeries(points []RatioPoint) []perf.Series {
+	enc := perf.Series{Label: "DRAM stall fraction vs memory-latency factor (encode)", YUnit: "%"}
+	dec := perf.Series{Label: "DRAM stall fraction vs memory-latency factor (decode)", YUnit: "%"}
+	for _, p := range points {
+		x := fmt.Sprintf("%gx", p.Factor)
+		enc.X = append(enc.X, x)
+		enc.Y = append(enc.Y, p.EncodeDRAM*100)
+		dec.X = append(dec.X, x)
+		dec.Y = append(dec.Y, p.DecodeDRAM*100)
+	}
+	return []perf.Series{enc, dec}
+}
+
+// AblationResult is one configuration of an ablation experiment.
+type AblationResult struct {
+	Name    string
+	Encode  perf.Metrics
+	Bytes   int
+	Scratch cache.Stats
+}
+
+// RunSearchAblation compares full search against diamond search on the
+// same workload and machine: the memory-behaviour cost of the exhaustive
+// search the paper's locality argument rests on.
+func RunSearchAblation(wl Workload) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, alg := range []motion.Algorithm{motion.FullSearch, motion.DiamondSearch} {
+		res, ss, err := runEncodeConfigured(wl, func(c *codec.Config) { c.SearchAlg = alg })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Name: "search=" + alg.String(), Encode: res, Bytes: ss.TotalBytes()})
+	}
+	return out, nil
+}
+
+// RunPrefetchAblation sweeps the software-prefetch cadence, reproducing
+// the paper's observation that conservative prefetching mostly hits L1.
+func RunPrefetchAblation(wl Workload, intervals []int) ([]AblationResult, error) {
+	if len(intervals) == 0 {
+		intervals = []int{0, 16, 48, 128}
+	}
+	var out []AblationResult
+	for _, iv := range intervals {
+		ivCopy := iv
+		res, ss, err := runEncodeConfigured(wl, func(c *codec.Config) { c.PrefetchInterval = ivCopy })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Name: fmt.Sprintf("prefetch=%d", iv), Encode: res, Bytes: ss.TotalBytes()})
+	}
+	return out, nil
+}
+
+// RunStagingAblation compares the full MoMuSys-style per-VOP staging
+// model against a lean codec without it — the design choice that
+// dominates L2-level traffic (DESIGN.md).
+func RunStagingAblation(wl Workload) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, disable := range []bool{false, true} {
+		d := disable
+		name := "staging=on"
+		if d {
+			name = "staging=off"
+		}
+		res, ss, err := runEncodeConfigured(wl, func(c *codec.Config) { c.DisableStaging = d })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Name: name, Encode: res, Bytes: ss.TotalBytes()})
+	}
+	return out, nil
+}
+
+// RunColoringAblation compares cache-coloured allocation against naive
+// page-aligned allocation: without colouring, the three planes of the
+// masked SAD kernel fall into the same L1 set and thrash.
+func RunColoringAblation(wl Workload) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, color := range []bool{true, false} {
+		name := "coloring=on"
+		space := simmem.NewSpace(0)
+		if !color {
+			name = "coloring=off"
+			space.DisableColoring()
+		}
+		res, ss, err := runEncodeInSpace(wl, space)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Name: name, Encode: res, Bytes: ss.TotalBytes()})
+	}
+	return out, nil
+}
+
+// runEncodeConfigured encodes wl on the O2 model with a modified codec
+// configuration.
+func runEncodeConfigured(wl Workload, mod func(*codec.Config)) (perf.Metrics, *codec.SessionStream, error) {
+	wl = wl.normalize()
+	space := simmem.NewSpace(0)
+	frames := wl.frames(space)
+	m := perf.O2R12K1MB()
+	h := m.NewHierarchy()
+	cfg := wl.sessionConfig()
+	mod(&cfg.Object)
+	ss, err := codec.EncodeSession(cfg, space, h, nil, frames)
+	if err != nil {
+		return perf.Metrics{}, nil, err
+	}
+	return perf.Compute(m, h.Snapshot()), ss, nil
+}
+
+func runEncodeInSpace(wl Workload, space *simmem.Space) (perf.Metrics, *codec.SessionStream, error) {
+	wl = wl.normalize()
+	frames := wl.frames(space)
+	m := perf.O2R12K1MB()
+	h := m.NewHierarchy()
+	ss, err := codec.EncodeSession(wl.sessionConfig(), space, h, nil, frames)
+	if err != nil {
+		return perf.Metrics{}, nil, err
+	}
+	return perf.Compute(m, h.Snapshot()), ss, nil
+}
+
+// FormatAblation renders ablation results as an aligned text block.
+func FormatAblation(title string, results []AblationResult) string {
+	out := title + "\n"
+	out += fmt.Sprintf("  %-16s %9s %9s %10s %12s %10s\n",
+		"config", "L1miss%", "L2miss%", "DRAM%", "L2DRAM MB/s", "bytes")
+	for _, r := range results {
+		out += fmt.Sprintf("  %-16s %8.3f%% %8.2f%% %9.2f%% %12.1f %10d\n",
+			r.Name, r.Encode.L1MissRate*100, r.Encode.L2MissRate*100,
+			r.Encode.DRAMTimeFrac*100, r.Encode.L2DRAMMBps, r.Bytes)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// Resolutions used by the paper's tables: PAL 720×576 and a 1024×768
+// size between NTSC and HDTV.
+var TableResolutions = [][2]int{{720, 576}, {1024, 768}}
+
+// TableSpec identifies one of the paper's measurement tables.
+type TableSpec struct {
+	Num     int
+	Title   string
+	Encode  bool
+	Objects int
+	Layers  int
+}
+
+// TableSpecs enumerates Tables 2–7 in paper order.
+func TableSpecs() []TableSpec {
+	return []TableSpec{
+		{2, "Video Encoding: One Visual Object, One Layer", true, 1, 1},
+		{3, "Video Decoding: One Visual Object, One Layer", false, 1, 1},
+		{4, "Video Encoding: Three Visual Objects, One Layer Each", true, 3, 1},
+		{5, "Video Decoding: Three Visual Objects, One Layer Each", false, 3, 1},
+		{6, "Video Encoding: Three Visual Objects, Two Layers Each", true, 3, 2},
+		{7, "Video Decoding: Three Visual Objects, Two Layers Each", false, 3, 2},
+	}
+}
+
+// TableSpecByNum returns the spec for table n (2..7).
+func TableSpecByNum(n int) (TableSpec, error) {
+	for _, s := range TableSpecs() {
+		if s.Num == n {
+			return s, nil
+		}
+	}
+	return TableSpec{}, fmt.Errorf("harness: no table %d", n)
+}
+
+// RunTable regenerates one of Tables 2–7 with the given sequence length
+// (0 = default). It also returns the per-column raw results keyed the
+// same way as the columns.
+func RunTable(spec TableSpec, frames int) (*perf.Table, []Result, error) {
+	machines := perf.PaperMachines()
+	tab := perf.NewTable(fmt.Sprintf("Table %d. %s", spec.Num, spec.Title))
+	var all []Result
+	for _, res := range TableResolutions {
+		wl := Workload{W: res[0], H: res[1], Frames: frames,
+			Objects: spec.Objects, Layers: spec.Layers}
+		encRes, ss, err := RunEncode(machines, wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		results := encRes
+		if !spec.Encode {
+			results, err = RunDecode(machines, wl, ss)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for i, r := range results {
+			tab.AddColumn(fmt.Sprintf("%s %s", wl.Label(), machines[i].Label()), r.Whole)
+			all = append(all, r)
+		}
+	}
+	return tab, all, nil
+}
+
+// Table1 renders the platform-highlights table (paper Table 1).
+func Table1() string {
+	out := "Table 1. Common Platform Highlights\n"
+	out += fmt.Sprintf("%-18s %s\n", "L1 D-cache", "32 KB, 2-way, 32 B lines")
+	out += fmt.Sprintf("%-18s %s\n", "L2 cache", "128 B lines (size varies by machine)")
+	out += fmt.Sprintf("%-18s %s\n", "system bus", "64 bits, 133 MHz, split transaction")
+	out += fmt.Sprintf("%-18s %s\n", "main memory", "4-way interleaved SDRAM")
+	out += fmt.Sprintf("%-18s %s\n", "bus bandwidth", "680 MB/s sustained, 1064 MB/s peak")
+	out += fmt.Sprintf("%-18s %s\n", "operating system", "IRIX64 V6.5 (modelled)")
+	out += "\nmachines:\n"
+	for _, m := range perf.PaperMachines() {
+		out += fmt.Sprintf("  %-14s %s, %.0f MHz, L2 %d MB\n",
+			m.Name, m.CPU, m.ClockMHz, m.L2.SizeBytes>>20)
+	}
+	return out
+}
+
+// Table8 regenerates the burstiness table: per-phase (VopEncode /
+// VopDecode) metrics against whole-program metrics, on the R12K/8MB
+// machine, at both table resolutions. Cells are "phase (whole)".
+func Table8(frames int) (*perf.Table, error) {
+	m := perf.Onyx2R12K8MB()
+	tab := &perf.Table{
+		Title: "Table 8. Burstiness of VopEncode/VopDecode vs whole program (R12K, 8MB L2C)",
+		Cells: map[string][]string{},
+		Rows: []string{
+			"L1C miss rate",
+			"L2C miss rate",
+			"L1-L2 b/w (MB/s)",
+			"L2-DRAM b/w (MB/s)",
+		},
+	}
+	for _, res := range TableResolutions {
+		wl := Workload{W: res[0], H: res[1], Frames: frames}
+		encRes, ss, err := RunEncode([]perf.Machine{m}, wl)
+		if err != nil {
+			return nil, err
+		}
+		decRes, err := RunDecode([]perf.Machine{m}, wl, ss)
+		if err != nil {
+			return nil, err
+		}
+		addPhaseColumn(tab, fmt.Sprintf("VopEncode %s", wl.Label()), encRes[0], "VopEncode")
+		addPhaseColumn(tab, fmt.Sprintf("VopDecode %s", wl.Label()), decRes[0], "VopDecode")
+	}
+	return tab, nil
+}
+
+func addPhaseColumn(tab *perf.Table, label string, r Result, phase string) {
+	ph, ok := r.Phases[phase]
+	if !ok {
+		ph = r.Whole
+	}
+	cells := map[string]string{}
+	for _, row := range tab.Rows {
+		cells[row] = fmt.Sprintf("%s (%s)", ph.RowValue(row), r.Whole.RowValue(row))
+	}
+	tab.AddCustomColumn(label, cells)
+}

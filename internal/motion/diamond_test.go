@@ -1,0 +1,108 @@
+package motion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+// smooth returns a plane with a smooth 2-D gradient texture, on which
+// the diamond descent's SAD landscape is monotone toward the optimum.
+func smooth(sp *simmem.Space, w, h int) *video.Plane {
+	p := video.NewPlane(sp, w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p.Set(x, y, byte(2*x+3*y))
+		}
+	}
+	return p
+}
+
+func TestDiamondFindsKnownShift(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := smooth(sp, 96, 96)
+	// Diamond search descends the SAD gradient; on a smooth texture it
+	// must find the exact displacement.
+	for _, shift := range [][2]int{{0, 0}, {1, 0}, {0, 2}, {2, 2}, {-3, 1}} {
+		cur := shifted(sp, ref, shift[0], shift[1])
+		s := Searcher{Range: 8}
+		mv, sad := s.SearchDiamond(simmem.Nop{}, cur, ref, nil, 32, 32)
+		if sad != 0 {
+			t.Errorf("shift %v: diamond SAD %d (mv %+v)", shift, sad, mv)
+		}
+	}
+}
+
+func TestDiamondFewerReferencesThanFull(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 96, 96, 5)
+	cur := shifted(sp, ref, 3, -2)
+	var full, dia simmem.Count
+	s1 := Searcher{Range: 8}
+	s1.Search(&full, cur, ref, nil, 32, 32)
+	s2 := Searcher{Range: 8}
+	s2.SearchDiamond(&dia, cur, ref, nil, 32, 32)
+	if dia.Loads >= full.Loads {
+		t.Fatalf("diamond used %d loads, full %d — diamond should reference less", dia.Loads, full.Loads)
+	}
+}
+
+func TestDiamondNeverWorseThanZeroMV(t *testing.T) {
+	f := func(seed int64) bool {
+		sp := simmem.NewSpace(0)
+		ref := textured(sp, 64, 64, seed)
+		cur := textured(sp, 64, 64, seed+1)
+		s := Searcher{Range: 4}
+		_, sad := s.SearchDiamond(simmem.Nop{}, cur, ref, nil, 16, 16)
+		zero := SAD16(simmem.Nop{}, cur, ref, 16, 16, 16, 16, 1<<30)
+		return sad <= zero
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiamondRespectsBounds(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 48, 48, 4)
+	cur := textured(sp, 48, 48, 5)
+	s := Searcher{Range: 16}
+	// Corner macroblocks must not index out of the plane.
+	s.SearchDiamond(simmem.Nop{}, cur, ref, nil, 0, 0)
+	s.SearchDiamond(simmem.Nop{}, cur, ref, nil, 32, 32)
+}
+
+func TestSearchWithDispatch(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 64, 64, 9)
+	cur := shifted(sp, ref, 1, 1)
+	s := Searcher{Range: 4}
+	mvF, _ := s.SearchWith(FullSearch, simmem.Nop{}, cur, ref, nil, 16, 16)
+	mvD, _ := s.SearchWith(DiamondSearch, simmem.Nop{}, cur, ref, nil, 16, 16)
+	if mvF != (MV{X: -2, Y: -2}) {
+		t.Errorf("full search found %+v", mvF)
+	}
+	if mvD != (MV{X: -2, Y: -2}) {
+		t.Errorf("diamond search found %+v", mvD)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if FullSearch.String() != "full" || DiamondSearch.String() != "diamond" || Algorithm(9).String() != "unknown" {
+		t.Fatal("Algorithm strings wrong")
+	}
+}
+
+func TestDiamondPrefetches(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 96, 96, 11)
+	cur := textured(sp, 96, 96, 12)
+	var ct simmem.Count
+	s := Searcher{Range: 8, PrefetchInterval: 2}
+	s.SearchDiamond(&ct, cur, ref, nil, 32, 32)
+	if ct.Prefetches == 0 {
+		t.Fatal("diamond search issued no prefetches with cadence set")
+	}
+}

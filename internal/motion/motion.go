@@ -1,0 +1,313 @@
+// Package motion implements block motion estimation and compensation for
+// 16×16 macroblocks (and 8×8 chroma blocks): instrumented SAD kernels,
+// restricted-window full search with early termination, half-pel
+// refinement with bilinear interpolation, and forward / backward /
+// bidirectionally-interpolated compensation.
+//
+// The paper identifies motion estimation as the encoder's dominant
+// kernel and explains why it generates cache locality despite streaming
+// per-candidate references: the search proceeds over a restricted window
+// with candidate offsets one pixel apart, so consecutive candidate
+// blocks overlap almost entirely. The kernels here reproduce exactly
+// that access pattern and report every pixel load to the tracer.
+package motion
+
+import (
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+// MV is a motion vector in half-pel units: full-pel displacement is
+// X>>1, Y>>1, and the low bit selects half-pel interpolation.
+type MV struct {
+	X, Y int
+}
+
+// FullPel reports whether the vector has no half-pel component.
+func (v MV) FullPel() bool { return v.X&1 == 0 && v.Y&1 == 0 }
+
+// MBSize is the luma macroblock dimension.
+const MBSize = 16
+
+// opsPerSADRow approximates the graduated ALU instructions of one
+// 16-pixel SAD row (load-expand, absolute difference, accumulate).
+const opsPerSADRow = 40
+
+// SAD16 computes the sum of absolute differences between the 16×16
+// current-frame block at (cx, cy) and the reference block at (rx, ry),
+// terminating early once the partial sum exceeds limit (pass a large
+// limit to disable). Every pixel row read on both planes is reported to
+// t. The caller guarantees both blocks lie inside their planes.
+func SAD16(t simmem.Tracer, cur, ref *video.Plane, cx, cy, rx, ry, limit int) int {
+	sad := 0
+	for row := 0; row < MBSize; row++ {
+		co := (cy+row)*cur.Stride + cx
+		ro := (ry+row)*ref.Stride + rx
+		c := cur.Pix[co : co+MBSize]
+		r := ref.Pix[ro : ro+MBSize]
+		for i := 0; i < MBSize; i++ {
+			d := int(c[i]) - int(r[i])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		simmem.AccessRunUnit(t, cur.Addr+uint64(co), MBSize, 1, simmem.Load)
+		simmem.AccessRunUnit(t, ref.Addr+uint64(ro), MBSize, 1, simmem.Load)
+		t.Ops(opsPerSADRow)
+		if sad > limit {
+			return sad
+		}
+	}
+	return sad
+}
+
+// SAD16Masked is SAD16 restricted to pixels whose alpha is nonzero in
+// the current frame's binary alpha plane (arbitrary-shape VOPs match
+// only object pixels). Alpha loads are reported too.
+func SAD16Masked(t simmem.Tracer, cur, ref, alpha *video.Plane, cx, cy, rx, ry, limit int) int {
+	sad := 0
+	for row := 0; row < MBSize; row++ {
+		co := (cy+row)*cur.Stride + cx
+		ro := (ry+row)*ref.Stride + rx
+		ao := (cy+row)*alpha.Stride + cx
+		c := cur.Pix[co : co+MBSize]
+		r := ref.Pix[ro : ro+MBSize]
+		a := alpha.Pix[ao : ao+MBSize]
+		for i := 0; i < MBSize; i++ {
+			if a[i] == 0 {
+				continue
+			}
+			d := int(c[i]) - int(r[i])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		simmem.AccessRunUnit(t, cur.Addr+uint64(co), MBSize, 1, simmem.Load)
+		simmem.AccessRunUnit(t, ref.Addr+uint64(ro), MBSize, 1, simmem.Load)
+		simmem.AccessRunUnit(t, alpha.Addr+uint64(ao), MBSize, 1, simmem.Load)
+		t.Ops(opsPerSADRow + 16)
+		if sad > limit {
+			return sad
+		}
+	}
+	return sad
+}
+
+// Searcher runs restricted-window full search as the MoMuSys encoder
+// does: candidates at one-pixel offsets over a ±Range window, clamped to
+// the plane interior, with the zero vector evaluated first to seed early
+// termination. PrefetchInterval > 0 makes the kernel issue one software
+// prefetch of the next candidate row every PrefetchInterval candidate
+// evaluations, modelling the MIPSpro compiler's conservative prefetch
+// insertion (about 1 prefetch per 1000 graduated loads in the paper).
+type Searcher struct {
+	Range            int
+	PrefetchInterval int
+
+	candidates int // internal counter driving prefetch cadence
+}
+
+// Search finds the best full-pel MV for the macroblock whose top-left
+// luma corner is (mbx, mby), searching ref. alpha may be nil for
+// rectangular VOPs. The returned MV is in half-pel units with zero low
+// bits; the SAD of the winner is returned alongside.
+func (s *Searcher) Search(t simmem.Tracer, cur, ref, alpha *video.Plane, mbx, mby int) (MV, int) {
+	r := s.Range
+	if r <= 0 {
+		r = 8
+	}
+	sadAt := func(dx, dy, limit int) int {
+		rx, ry := mbx+dx, mby+dy
+		if alpha != nil {
+			return SAD16Masked(t, cur, ref, alpha, mbx, mby, rx, ry, limit)
+		}
+		return SAD16(t, cur, ref, mbx, mby, rx, ry, limit)
+	}
+	// Zero vector first: seeds early termination and gets the bias the
+	// standard gives it (favour (0,0) on ties to shorten MV codes).
+	best := sadAt(0, 0, 1<<30)
+	bestMV := MV{}
+	if best <= MBSize { // essentially perfect match; stop immediately
+		return bestMV, best
+	}
+	for dy := -r; dy <= r; dy++ {
+		if mby+dy < 0 || mby+dy+MBSize > ref.H {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if mbx+dx < 0 || mbx+dx+MBSize > ref.W {
+				continue
+			}
+			s.candidates++
+			if s.PrefetchInterval > 0 && s.candidates%s.PrefetchInterval == 0 {
+				// Prefetch the first row of the next candidate line.
+				py := mby + dy + MBSize
+				if py < ref.H {
+					t.Access(ref.Addr+uint64(py*ref.Stride+mbx), 0, simmem.Prefetch)
+				}
+			}
+			sad := sadAt(dx, dy, best)
+			if sad < best {
+				best = sad
+				bestMV = MV{X: dx * 2, Y: dy * 2}
+			}
+		}
+	}
+	return bestMV, best
+}
+
+// RefineHalfPel improves a full-pel winner by testing the eight half-pel
+// neighbours on a bilinearly interpolated reference, as the MPEG-4
+// encoder does after integer search. It returns the refined half-pel MV
+// and its SAD.
+func RefineHalfPel(t simmem.Tracer, cur, ref *video.Plane, mbx, mby int, full MV, fullSAD int) (MV, int) {
+	best, bestMV := fullSAD, full
+	for _, d := range [8][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+		cand := MV{X: full.X + d[0], Y: full.Y + d[1]}
+		sad, ok := sadHalfPel(t, cur, ref, mbx, mby, cand, best)
+		if ok && sad < best {
+			best, bestMV = sad, cand
+		}
+	}
+	return bestMV, best
+}
+
+// sadHalfPel computes SAD against the half-pel interpolated reference.
+// Returns ok=false if the interpolation support would leave the plane.
+func sadHalfPel(t simmem.Tracer, cur, ref *video.Plane, mbx, mby int, mv MV, limit int) (int, bool) {
+	bx := mbx + (mv.X >> 1)
+	by := mby + (mv.Y >> 1)
+	hx := mv.X & 1
+	hy := mv.Y & 1
+	if bx < 0 || by < 0 || bx+MBSize+hx > ref.W || by+MBSize+hy > ref.H {
+		return 0, false
+	}
+	sad := 0
+	for row := 0; row < MBSize; row++ {
+		co := (mby+row)*cur.Stride + mbx
+		c := cur.Pix[co : co+MBSize]
+		r0 := (by + row) * ref.Stride
+		r1 := r0
+		if hy == 1 {
+			r1 = r0 + ref.Stride
+		}
+		for i := 0; i < MBSize; i++ {
+			p := interpPixel(ref, r0, r1, bx+i, hx)
+			d := int(c[i]) - p
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		simmem.AccessRunUnit(t, cur.Addr+uint64(co), MBSize, 1, simmem.Load)
+		simmem.AccessRunUnit(t, ref.Addr+uint64(r0+bx), MBSize+hx, 1, simmem.Load)
+		if hy == 1 {
+			simmem.AccessRunUnit(t, ref.Addr+uint64(r1+bx), MBSize+hx, 1, simmem.Load)
+		}
+		t.Ops(opsPerSADRow + 24)
+		if sad > limit {
+			return sad, true
+		}
+	}
+	return sad, true
+}
+
+func interpPixel(ref *video.Plane, r0, r1, x, hx int) int {
+	switch {
+	case hx == 0 && r0 == r1:
+		return int(ref.Pix[r0+x])
+	case hx == 1 && r0 == r1:
+		return (int(ref.Pix[r0+x]) + int(ref.Pix[r0+x+1]) + 1) >> 1
+	case hx == 0:
+		return (int(ref.Pix[r0+x]) + int(ref.Pix[r1+x]) + 1) >> 1
+	default:
+		return (int(ref.Pix[r0+x]) + int(ref.Pix[r0+x+1]) +
+			int(ref.Pix[r1+x]) + int(ref.Pix[r1+x+1]) + 2) >> 2
+	}
+}
+
+// Compensate copies the motion-compensated size×size reference block for
+// the block whose top-left corner in dst is (bx, by), displaced by the
+// half-pel vector mv, into dst. Out-of-range interpolation support is
+// clamped to the plane edge (unrestricted-MC clamping in place of
+// physical padding). Loads from ref and stores to dst are traced.
+func Compensate(t simmem.Tracer, dst, ref *video.Plane, bx, by, size int, mv MV) {
+	CompensateTo(t, dst, ref, bx, by, bx, by, size, mv)
+}
+
+// CompensateTo is Compensate with independent block origins: the
+// prediction for the reference block at (srcX, srcY) displaced by mv is
+// written to dst at (dx, dy). The codec compensates into a small
+// macroblock buffer (dx, dy = 0), as the reference software does.
+func CompensateTo(t simmem.Tracer, dst, ref *video.Plane, dx, dy, srcX, srcY, size int, mv MV) {
+	sx := srcX + (mv.X >> 1)
+	sy := srcY + (mv.Y >> 1)
+	hx := mv.X & 1
+	hy := mv.Y & 1
+	for row := 0; row < size; row++ {
+		y0 := clampInt(sy+row, 0, ref.H-1)
+		y1 := clampInt(y0+hy, 0, ref.H-1)
+		do := (dy+row)*dst.Stride + dx
+		d := dst.Pix[do : do+size]
+		for i := 0; i < size; i++ {
+			x0 := clampInt(sx+i, 0, ref.W-1)
+			x1 := clampInt(x0+hx, 0, ref.W-1)
+			v := (int(ref.Pix[y0*ref.Stride+x0]) + int(ref.Pix[y0*ref.Stride+x1]) +
+				int(ref.Pix[y1*ref.Stride+x0]) + int(ref.Pix[y1*ref.Stride+x1]) + 2) >> 2
+			if hx == 0 && hy == 0 {
+				v = int(ref.Pix[y0*ref.Stride+x0])
+			}
+			d[i] = byte(v)
+		}
+		simmem.AccessRunUnit(t, ref.Addr+uint64(y0*ref.Stride+clampInt(sx, 0, ref.W-1)), size+hx, 1, simmem.Load)
+		if hy == 1 {
+			simmem.AccessRunUnit(t, ref.Addr+uint64(y1*ref.Stride+clampInt(sx, 0, ref.W-1)), size+hx, 1, simmem.Load)
+		}
+		simmem.AccessRunUnit(t, dst.Addr+uint64(do), size, 1, simmem.Store)
+		t.Ops(uint64(size) * 3)
+	}
+}
+
+// CompensateAvg writes the average of forward and backward compensated
+// predictions (B-VOP interpolated mode) into dst.
+func CompensateAvg(t simmem.Tracer, dst, fwd, bwd *video.Plane, bx, by, size int, fmv, bmv MV, scratchF, scratchB *video.Plane) {
+	CompensateAvgTo(t, dst, fwd, bwd, bx, by, bx, by, size, fmv, bmv, scratchF, scratchB)
+}
+
+// CompensateAvgTo is CompensateAvg with independent destination origin;
+// scratchF and scratchB are written at the destination origin and may be
+// macroblock-sized buffers.
+func CompensateAvgTo(t simmem.Tracer, dst, fwd, bwd *video.Plane, dx, dy, srcX, srcY, size int, fmv, bmv MV, scratchF, scratchB *video.Plane) {
+	CompensateTo(t, scratchF, fwd, dx, dy, srcX, srcY, size, fmv)
+	CompensateTo(t, scratchB, bwd, dx, dy, srcX, srcY, size, bmv)
+	for row := 0; row < size; row++ {
+		fo := (dy+row)*scratchF.Stride + dx
+		bo := (dy+row)*scratchB.Stride + dx
+		do := (dy+row)*dst.Stride + dx
+		f := scratchF.Pix[fo : fo+size]
+		b := scratchB.Pix[bo : bo+size]
+		d := dst.Pix[do : do+size]
+		for i := 0; i < size; i++ {
+			d[i] = byte((int(f[i]) + int(b[i]) + 1) >> 1)
+		}
+		simmem.AccessRunUnit(t, scratchF.Addr+uint64(fo), size, 1, simmem.Load)
+		simmem.AccessRunUnit(t, scratchB.Addr+uint64(bo), size, 1, simmem.Load)
+		simmem.AccessRunUnit(t, dst.Addr+uint64(do), size, 1, simmem.Store)
+		t.Ops(uint64(size) * 2)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,245 @@
+package motion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+func textured(sp *simmem.Space, w, h int, seed int64) *video.Plane {
+	p := video.NewPlane(sp, w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range p.Pix {
+		p.Pix[i] = byte(rng.Intn(256))
+	}
+	return p
+}
+
+// shifted returns a copy of src displaced by (dx, dy): the content at
+// (x, y) of the result equals src at (x-dx, y-dy), clamped.
+func shifted(sp *simmem.Space, src *video.Plane, dx, dy int) *video.Plane {
+	p := video.NewPlane(sp, src.W, src.H)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			sx := clampInt(x-dx, 0, src.W-1)
+			sy := clampInt(y-dy, 0, src.H-1)
+			p.Set(x, y, src.At(sx, sy))
+		}
+	}
+	return p
+}
+
+func TestSADZeroForIdenticalBlocks(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	p := textured(sp, 64, 64, 1)
+	if sad := SAD16(simmem.Nop{}, p, p, 16, 16, 16, 16, 1<<30); sad != 0 {
+		t.Fatalf("self-SAD = %d", sad)
+	}
+}
+
+func TestSADTracesLoads(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := textured(sp, 64, 64, 1)
+	b := textured(sp, 64, 64, 2)
+	var ct simmem.Count
+	SAD16(&ct, a, b, 0, 0, 0, 0, 1<<30)
+	if ct.LoadBytes != 2*16*16 {
+		t.Fatalf("SAD16 traced %d load bytes, want 512", ct.LoadBytes)
+	}
+	if ct.OpCount == 0 {
+		t.Fatal("SAD16 reported no ops")
+	}
+}
+
+func TestSADEarlyTermination(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := textured(sp, 64, 64, 1)
+	b := textured(sp, 64, 64, 2)
+	var full, short simmem.Count
+	SAD16(&full, a, b, 0, 0, 0, 0, 1<<30)
+	SAD16(&short, a, b, 0, 0, 0, 0, 0) // limit 0: stop after first row
+	if short.LoadBytes >= full.LoadBytes {
+		t.Fatalf("early termination did not reduce traffic: %d vs %d", short.LoadBytes, full.LoadBytes)
+	}
+}
+
+func TestSearchFindsKnownShift(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 96, 96, 3)
+	for _, shift := range [][2]int{{0, 0}, {3, 2}, {-4, 5}, {7, -7}} {
+		cur := shifted(sp, ref, shift[0], shift[1])
+		s := Searcher{Range: 8}
+		// Use an interior MB so the shifted content is fully present.
+		// Convention: prediction = ref(x+mv), so content displaced by
+		// (+dx,+dy) matches at MV (-dx,-dy).
+		mv, sad := s.Search(simmem.Nop{}, cur, ref, nil, 32, 32)
+		if mv.X != -shift[0]*2 || mv.Y != -shift[1]*2 {
+			t.Errorf("shift %v: found MV (%d,%d) sad=%d", shift, mv.X/2, mv.Y/2, sad)
+		}
+		if sad != 0 {
+			t.Errorf("shift %v: nonzero SAD %d at true offset", shift, sad)
+		}
+	}
+}
+
+func TestSearchRespectsBounds(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 48, 48, 4)
+	cur := textured(sp, 48, 48, 5)
+	s := Searcher{Range: 16}
+	// Corner macroblock: candidates must all stay in-plane (would panic
+	// on slice bounds otherwise).
+	mv, _ := s.Search(simmem.Nop{}, cur, ref, nil, 0, 0)
+	if mv.X/2 < -0 && mv.Y/2 < 0 {
+		t.Fatal("corner search produced out-of-range vector")
+	}
+	s.Search(simmem.Nop{}, cur, ref, nil, 32, 32) // bottom-right corner
+}
+
+func TestSearchMaskedIgnoresBackground(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 96, 96, 6)
+	cur := shifted(sp, ref, 2, 1)
+	// Corrupt the current frame outside the mask: masked search must
+	// still find the shift.
+	alpha := video.NewPlane(sp, 96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			if x%2 == 0 {
+				alpha.Set(x, y, 255)
+			} else {
+				cur.Set(x, y, byte(x*37+y)) // garbage on transparent pixels
+			}
+		}
+	}
+	s := Searcher{Range: 8}
+	mv, sad := s.Search(simmem.Nop{}, cur, ref, alpha, 32, 32)
+	if mv.X != -4 || mv.Y != -2 {
+		t.Fatalf("masked search found (%d,%d) sad=%d want (-4,-2)", mv.X, mv.Y, sad)
+	}
+}
+
+func TestSearchPrefetchCadence(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 96, 96, 7)
+	cur := textured(sp, 96, 96, 8)
+	var ct simmem.Count
+	s := Searcher{Range: 8, PrefetchInterval: 16}
+	s.Search(&ct, cur, ref, nil, 32, 32)
+	if ct.Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	// The paper reports prefetches around 1/1000 of loads; ours should
+	// be sparse too (well under 1% of loads with interval 16 and early
+	// termination).
+	if ct.Prefetches*50 > ct.Loads {
+		t.Fatalf("prefetch cadence too dense: %d prefetches vs %d loads", ct.Prefetches, ct.Loads)
+	}
+}
+
+func TestHalfPelRefinementImproves(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	// Build ref, then current = ref shifted by exactly half a pixel
+	// horizontally (average of neighbours).
+	ref := textured(sp, 96, 96, 9)
+	cur := video.NewPlane(sp, 96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			x1 := clampInt(x+1, 0, 95)
+			cur.Set(x, y, byte((int(ref.At(x, y))+int(ref.At(x1, y))+1)>>1))
+		}
+	}
+	s := Searcher{Range: 4}
+	fullMV, fullSAD := s.Search(simmem.Nop{}, cur, ref, nil, 32, 32)
+	mv, sad := RefineHalfPel(simmem.Nop{}, cur, ref, 32, 32, fullMV, fullSAD)
+	if sad > fullSAD {
+		t.Fatalf("refinement worsened SAD: %d -> %d", fullSAD, sad)
+	}
+	if mv.FullPel() {
+		t.Fatalf("expected a half-pel winner, got %+v (sad %d vs full %d)", mv, sad, fullSAD)
+	}
+}
+
+func TestCompensateFullPelExact(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 64, 64, 10)
+	dst := video.NewPlane(sp, 64, 64)
+	Compensate(simmem.Nop{}, dst, ref, 16, 16, 16, MV{X: 2 * 2, Y: -3 * 2})
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			want := ref.At(16+x+2, 16+y-3)
+			if got := dst.At(16+x, 16+y); got != want {
+				t.Fatalf("MC mismatch at (%d,%d): %d want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestCompensateHalfPelAverages(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := video.NewPlane(sp, 32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			ref.Set(x, y, byte(x*8))
+		}
+	}
+	dst := video.NewPlane(sp, 32, 32)
+	Compensate(simmem.Nop{}, dst, ref, 8, 8, 8, MV{X: 1, Y: 0})
+	want := byte((int(ref.At(8, 8)) + int(ref.At(9, 8)) + 1) >> 1)
+	if got := dst.At(8, 8); got != want {
+		t.Fatalf("half-pel MC: %d want %d", got, want)
+	}
+}
+
+func TestCompensateClampsAtEdges(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	ref := textured(sp, 32, 32, 11)
+	dst := video.NewPlane(sp, 32, 32)
+	// Vector pointing far outside: must clamp, not panic.
+	Compensate(simmem.Nop{}, dst, ref, 0, 0, 16, MV{X: -40, Y: -40})
+	if dst.At(0, 0) != ref.At(0, 0) {
+		t.Fatal("edge clamp wrong")
+	}
+}
+
+func TestCompensateAvg(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	f := video.NewPlane(sp, 32, 32)
+	b := video.NewPlane(sp, 32, 32)
+	f.Fill(100)
+	b.Fill(50)
+	dst := video.NewPlane(sp, 32, 32)
+	sf := video.NewPlane(sp, 32, 32)
+	sb := video.NewPlane(sp, 32, 32)
+	CompensateAvg(simmem.Nop{}, dst, f, b, 8, 8, 16, MV{}, MV{}, sf, sb)
+	if dst.At(10, 10) != 75 {
+		t.Fatalf("bidirectional average = %d want 75", dst.At(10, 10))
+	}
+}
+
+func TestQuickSearchNeverWorseThanZeroMV(t *testing.T) {
+	f := func(seed int64) bool {
+		sp := simmem.NewSpace(0)
+		ref := textured(sp, 64, 64, seed)
+		cur := textured(sp, 64, 64, seed+1)
+		s := Searcher{Range: 4}
+		_, sad := s.Search(simmem.Nop{}, cur, ref, nil, 16, 16)
+		zero := SAD16(simmem.Nop{}, cur, ref, 16, 16, 16, 16, 1<<30)
+		return sad <= zero
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVFullPel(t *testing.T) {
+	if !(MV{X: 2, Y: -4}).FullPel() {
+		t.Fatal("even MV reported as half-pel")
+	}
+	if (MV{X: 1, Y: 0}).FullPel() {
+		t.Fatal("odd MV reported as full-pel")
+	}
+}

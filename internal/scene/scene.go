@@ -1,0 +1,142 @@
+// Package scene composes decoded visual objects into a display scene.
+//
+// MPEG-4 transmits uncorrelated objects separately; at the reception
+// site the compositor reassembles the audiovisual scene, applying each
+// object's binary alpha support in painter's order (background first).
+// The compositor's memory traffic is part of the decode-side workload
+// and is reported to the tracer like every other stage.
+package scene
+
+import (
+	"fmt"
+
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+// Compositor blends object frames into an output frame.
+type Compositor struct {
+	t simmem.Tracer
+}
+
+// NewCompositor returns a compositor reporting traffic to t (nil for
+// untraced operation).
+func NewCompositor(t simmem.Tracer) *Compositor {
+	if t == nil {
+		t = simmem.Nop{}
+	}
+	return &Compositor{t: t}
+}
+
+// Compose blends the object frames (in painter's order: index 0 is the
+// back layer) into dst. Objects without an alpha plane are treated as
+// fully opaque full-frame layers. All frames must share dst's size.
+func (c *Compositor) Compose(dst *video.Frame, objects []*video.Frame) error {
+	if len(objects) == 0 {
+		return fmt.Errorf("scene: no objects to compose")
+	}
+	for i, o := range objects {
+		if o.W != dst.W || o.H != dst.H {
+			return fmt.Errorf("scene: object %d is %dx%d, scene %dx%d", i, o.W, o.H, dst.W, dst.H)
+		}
+	}
+	for li, o := range objects {
+		if li == 0 || o.Alpha == nil {
+			// Opaque layer: copy wholesale.
+			c.copyPlane(dst.Y, o.Y)
+			c.copyPlane(dst.Cb, o.Cb)
+			c.copyPlane(dst.Cr, o.Cr)
+			continue
+		}
+		// Shaped layers blend inside their bounding box only (the VOP
+		// position/size is signalled, so the compositor does not scan
+		// the full frame).
+		x0, y0, x1, y1 := video.BBox(o.Alpha, o.W, o.H)
+		if x1 <= x0 || y1 <= y0 {
+			continue
+		}
+		c.blendLuma(dst.Y, o.Y, o.Alpha, x0, y0, x1, y1)
+		c.blendChroma(dst.Cb, o.Cb, o.Alpha, x0, y0, x1, y1)
+		c.blendChroma(dst.Cr, o.Cr, o.Alpha, x0, y0, x1, y1)
+	}
+	dst.TimeIndex = objects[0].TimeIndex
+	return nil
+}
+
+func (c *Compositor) copyPlane(dst, src *video.Plane) {
+	for y := 0; y < dst.H; y++ {
+		so, do := y*src.Stride, y*dst.Stride
+		copy(dst.Pix[do:do+dst.W], src.Pix[so:so+src.W])
+		simmem.AccessRun(c.t, src.Addr+uint64(so), src.W, simmem.Load)
+		simmem.AccessRun(c.t, dst.Addr+uint64(do), dst.W, simmem.Store)
+	}
+	c.t.Ops(uint64(dst.H) * 4)
+}
+
+func (c *Compositor) blendLuma(dst, src, alpha *video.Plane, x0, y0, x1, y1 int) {
+	w := x1 - x0
+	for y := y0; y < y1; y++ {
+		so, do, ao := y*src.Stride+x0, y*dst.Stride+x0, y*alpha.Stride+x0
+		srow := src.Pix[so : so+w]
+		drow := dst.Pix[do : do+w]
+		arow := alpha.Pix[ao : ao+w]
+		for x := range srow {
+			if arow[x] != 0 {
+				drow[x] = srow[x]
+			}
+		}
+		simmem.AccessRunUnit(c.t, src.Addr+uint64(so), w, 1, simmem.Load)
+		simmem.AccessRunUnit(c.t, alpha.Addr+uint64(ao), w, 1, simmem.Load)
+		simmem.AccessRunUnit(c.t, dst.Addr+uint64(do), w, 1, simmem.Store)
+		c.t.Ops(uint64(w) * 2)
+	}
+}
+
+func (c *Compositor) blendChroma(dst, src, alpha *video.Plane, x0, y0, x1, y1 int) {
+	// Chroma planes are half size; a chroma sample is painted when any
+	// of its four luma alphas is set.
+	cw := (x1 - x0) / 2
+	for y := y0 / 2; y < y1/2; y++ {
+		so, do := y*src.Stride+x0/2, y*dst.Stride+x0/2
+		srow := src.Pix[so : so+cw]
+		drow := dst.Pix[do : do+cw]
+		a0 := alpha.Pix[(2*y)*alpha.Stride+x0:]
+		a1 := alpha.Pix[(2*y+1)*alpha.Stride+x0:]
+		for x := range srow {
+			if a0[2*x] != 0 || a0[2*x+1] != 0 || a1[2*x] != 0 || a1[2*x+1] != 0 {
+				drow[x] = srow[x]
+			}
+		}
+		simmem.AccessRunUnit(c.t, src.Addr+uint64(so), cw, 1, simmem.Load)
+		simmem.AccessRunUnit(c.t, alpha.Addr+uint64(2*y*alpha.Stride+x0), x1-x0, 1, simmem.Load)
+		simmem.AccessRunUnit(c.t, dst.Addr+uint64(do), cw, 1, simmem.Store)
+		c.t.Ops(uint64(cw) * 5)
+	}
+}
+
+// ComposeSequence composes per-object display sequences frame by frame
+// into freshly allocated scene frames.
+func (c *Compositor) ComposeSequence(space *simmem.Space, objects [][]*video.Frame) ([]*video.Frame, error) {
+	if len(objects) == 0 || len(objects[0]) == 0 {
+		return nil, fmt.Errorf("scene: empty object set")
+	}
+	n := len(objects[0])
+	for i, seq := range objects {
+		if len(seq) != n {
+			return nil, fmt.Errorf("scene: object %d has %d frames, want %d", i, len(seq), n)
+		}
+	}
+	out := make([]*video.Frame, n)
+	for t := 0; t < n; t++ {
+		f := video.NewFrame(space, objects[0][t].W, objects[0][t].H)
+		layers := make([]*video.Frame, len(objects))
+		for o := range objects {
+			layers[o] = objects[o][t]
+		}
+		if err := c.Compose(f, layers); err != nil {
+			return nil, err
+		}
+		out[t] = f
+	}
+	return out, nil
+}

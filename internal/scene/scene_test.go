@@ -1,0 +1,115 @@
+package scene
+
+import (
+	"testing"
+
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+func TestComposeBackgroundOnly(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	bg := video.NewFrame(sp, 32, 32)
+	bg.Y.Fill(77)
+	dst := video.NewFrame(sp, 32, 32)
+	c := NewCompositor(nil)
+	if err := c.Compose(dst, []*video.Frame{bg}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Y.At(5, 5) != 77 {
+		t.Fatal("background not copied")
+	}
+}
+
+func TestComposePaintersOrder(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	bg := video.NewFrame(sp, 32, 32)
+	bg.Y.Fill(10)
+	obj := video.NewAlphaFrame(sp, 32, 32)
+	obj.Y.Fill(200)
+	obj.Cb.Fill(90)
+	obj.Cr.Fill(170)
+	// Object covers left half only.
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 16; x++ {
+			obj.Alpha.Set(x, y, 255)
+		}
+	}
+	dst := video.NewFrame(sp, 32, 32)
+	c := NewCompositor(nil)
+	if err := c.Compose(dst, []*video.Frame{bg, obj}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Y.At(5, 5) != 200 {
+		t.Fatal("object not painted inside support")
+	}
+	if dst.Y.At(20, 5) != 10 {
+		t.Fatal("object painted outside support")
+	}
+	if dst.Cb.At(2, 2) != 90 || dst.Cr.At(2, 2) != 170 {
+		t.Fatal("chroma not blended")
+	}
+	if dst.Cb.At(12, 2) == 90 {
+		t.Fatal("chroma painted outside support")
+	}
+}
+
+func TestComposeSizeMismatch(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	bg := video.NewFrame(sp, 32, 32)
+	small := video.NewFrame(sp, 16, 16)
+	dst := video.NewFrame(sp, 32, 32)
+	c := NewCompositor(nil)
+	if err := c.Compose(dst, []*video.Frame{bg, small}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := c.Compose(dst, nil); err == nil {
+		t.Fatal("empty object list accepted")
+	}
+}
+
+func TestComposeTraced(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	bg := video.NewFrame(sp, 32, 32)
+	obj := video.NewAlphaFrame(sp, 32, 32)
+	obj.Alpha.Fill(255)
+	dst := video.NewFrame(sp, 32, 32)
+	var ct simmem.Count
+	c := NewCompositor(&ct)
+	if err := c.Compose(dst, []*video.Frame{bg, obj}); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Loads == 0 || ct.Stores == 0 {
+		t.Fatal("compositor reported no traffic")
+	}
+}
+
+func TestComposeSequence(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	synth := video.NewSynth(64, 48, 3)
+	bg := synth.ObjectSequence(sp, -1, 3)
+	fg := synth.ObjectSequence(sp, 0, 3)
+	c := NewCompositor(nil)
+	out, err := c.ComposeSequence(sp, [][]*video.Frame{bg, fg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("composed %d frames", len(out))
+	}
+	// Composed scene should differ from background alone wherever the
+	// object lives.
+	diff := 0
+	for i := range out[0].Y.Pix {
+		if out[0].Y.Pix[i] != bg[0].Y.Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("composition identical to background")
+	}
+	// Ragged input rejected.
+	if _, err := c.ComposeSequence(sp, [][]*video.Frame{bg, fg[:2]}); err == nil {
+		t.Fatal("ragged sequences accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package shape implements MPEG-4 binary shape (alpha) coding: binary
+// alpha blocks (BABs) classified as transparent, opaque or coded, with
+// coded blocks compressed by an adaptive context-based binary arithmetic
+// coder in the style of the standard's CAE.
+//
+// The context model uses a 7-pixel causal neighbourhood (the standard's
+// intra CAE uses 10; seven preserves the same decode structure — a
+// context gather followed by one adaptive binary decode per pixel —
+// while keeping the model small). Each BAB is coded independently of
+// horizontally adjacent BABs but uses the reconstructed plane above and
+// to the left for context, exactly like the reference coder.
+package shape
+
+import (
+	"repro/internal/bits"
+)
+
+// BinEncoder is an adaptive binary arithmetic encoder writing to a bit
+// writer (Witten–Neal–Cleary style with pending-bit carry resolution).
+type BinEncoder struct {
+	w       *bits.Writer
+	low     uint32
+	high    uint32
+	pending int
+}
+
+// NewBinEncoder returns an encoder writing to w.
+func NewBinEncoder(w *bits.Writer) *BinEncoder {
+	return &BinEncoder{w: w, high: 0xFFFFFFFF}
+}
+
+const (
+	topBit    = uint32(1) << 31
+	secondBit = uint32(1) << 30
+)
+
+// Encode codes one bit with probability p1/65536 of being 1. p1 must be
+// in [1, 65535].
+func (e *BinEncoder) Encode(bit int, p1 uint16) {
+	split := e.low + uint32((uint64(e.high-e.low)*uint64(p1))>>16)
+	if bit != 0 {
+		e.high = split
+	} else {
+		e.low = split + 1
+	}
+	for {
+		switch {
+		case e.high < topBit:
+			e.emit(0)
+		case e.low >= topBit:
+			e.emit(1)
+			e.low -= topBit
+			e.high -= topBit
+		case e.low >= secondBit && e.high < topBit|secondBit:
+			e.pending++
+			e.low -= secondBit
+			e.high -= secondBit
+		default:
+			return
+		}
+		e.low <<= 1
+		e.high = e.high<<1 | 1
+	}
+}
+
+func (e *BinEncoder) emit(b uint32) {
+	e.w.PutBit(b)
+	for ; e.pending > 0; e.pending-- {
+		e.w.PutBit(b ^ 1)
+	}
+}
+
+// Flush terminates the code so the decoder can resolve the final
+// interval. It writes two disambiguation bits plus padding.
+func (e *BinEncoder) Flush() {
+	e.pending++
+	if e.low < secondBit {
+		e.emit(0)
+	} else {
+		e.emit(1)
+	}
+	// Pad so the decoder's 32-bit value register can fill.
+	for i := 0; i < 32; i++ {
+		e.w.PutBit(0)
+	}
+}
+
+// BinDecoder mirrors BinEncoder.
+type BinDecoder struct {
+	r     *bits.Reader
+	low   uint32
+	high  uint32
+	value uint32
+}
+
+// NewBinDecoder returns a decoder reading from r. It consumes the first
+// 32 bits immediately.
+func NewBinDecoder(r *bits.Reader) *BinDecoder {
+	d := &BinDecoder{r: r, high: 0xFFFFFFFF}
+	for i := 0; i < 32; i++ {
+		b, err := r.Bit()
+		if err != nil {
+			b = 0
+		}
+		d.value = d.value<<1 | b
+	}
+	return d
+}
+
+// Decode decodes one bit with probability p1/65536 of being 1.
+func (d *BinDecoder) Decode(p1 uint16) int {
+	split := d.low + uint32((uint64(d.high-d.low)*uint64(p1))>>16)
+	var bit int
+	if d.value <= split {
+		bit = 1
+		d.high = split
+	} else {
+		d.low = split + 1
+	}
+	for {
+		switch {
+		case d.high < topBit:
+			// nothing
+		case d.low >= topBit:
+			d.low -= topBit
+			d.high -= topBit
+			d.value -= topBit
+		case d.low >= secondBit && d.high < topBit|secondBit:
+			d.low -= secondBit
+			d.high -= secondBit
+			d.value -= secondBit
+		default:
+			return bit
+		}
+		d.low <<= 1
+		d.high = d.high<<1 | 1
+		b, err := d.r.Bit()
+		if err != nil {
+			b = 0
+		}
+		d.value = d.value<<1 | b
+	}
+}
+
+// numContexts is the size of the 7-bit causal context space.
+const numContexts = 128
+
+// Model is the adaptive probability model: per-context 0/1 counts.
+type Model struct {
+	c0, c1 [numContexts]uint16
+}
+
+// NewModel returns a model initialised to the uniform prior.
+func NewModel() *Model {
+	m := &Model{}
+	for i := 0; i < numContexts; i++ {
+		m.c0[i], m.c1[i] = 1, 1
+	}
+	return m
+}
+
+// P1 returns the current probability (scaled to 1..65535) that the next
+// bit in context ctx is 1.
+func (m *Model) P1(ctx int) uint16 {
+	c0, c1 := uint32(m.c0[ctx]), uint32(m.c1[ctx])
+	p := c1 * 65536 / (c0 + c1)
+	if p < 1 {
+		p = 1
+	}
+	if p > 65535 {
+		p = 65535
+	}
+	return uint16(p)
+}
+
+// Update records an observed bit in context ctx, halving the counts when
+// they saturate so the model adapts to local statistics.
+func (m *Model) Update(ctx, bit int) {
+	if bit != 0 {
+		m.c1[ctx]++
+	} else {
+		m.c0[ctx]++
+	}
+	if m.c0[ctx]+m.c1[ctx] >= 1024 {
+		m.c0[ctx] = m.c0[ctx]/2 + 1
+		m.c1[ctx] = m.c1[ctx]/2 + 1
+	}
+}

@@ -1,0 +1,213 @@
+package shape
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+// BABSize is the binary alpha block dimension (one macroblock).
+const BABSize = 16
+
+// BABMode classifies one binary alpha block.
+type BABMode uint8
+
+const (
+	// BABTransparent marks an all-zero (outside the object) block.
+	BABTransparent BABMode = iota
+	// BABOpaque marks an all-255 (inside the object) block.
+	BABOpaque
+	// BABCoded marks a boundary block whose pixels are CAE coded.
+	BABCoded
+)
+
+// Classify returns the mode of the BAB at macroblock (mbx, mby) of alpha.
+func Classify(alpha *video.Plane, mbx, mby int) BABMode {
+	zero, full := true, true
+	for y := 0; y < BABSize; y++ {
+		row := alpha.Pix[(mby+y)*alpha.Stride+mbx : (mby+y)*alpha.Stride+mbx+BABSize]
+		for _, v := range row {
+			if v != 0 {
+				zero = false
+			} else {
+				full = false
+			}
+		}
+	}
+	switch {
+	case zero:
+		return BABTransparent
+	case full:
+		return BABOpaque
+	default:
+		return BABCoded
+	}
+}
+
+// context gathers the 7-pixel causal context for (x, y) from the
+// reconstructed binary plane (values 0/255). Out-of-plane neighbours
+// read as 0, matching the reference coder's border extension. Pixels in
+// the BAB rows (py >= babTop) at or beyond babRight belong to a
+// right-hand neighbour that is not yet decoded; they also read as 0, so
+// encoder and decoder always see identical contexts.
+func context(rec *video.Plane, x, y, babTop, babRight int) int {
+	at := func(px, py int) int {
+		if px < 0 || py < 0 || px >= rec.W || py >= rec.H {
+			return 0
+		}
+		if py >= babTop && px >= babRight {
+			return 0
+		}
+		if rec.Pix[py*rec.Stride+px] != 0 {
+			return 1
+		}
+		return 0
+	}
+	return at(x-1, y)<<6 | at(x-2, y)<<5 |
+		at(x-1, y-1)<<4 | at(x, y-1)<<3 | at(x+1, y-1)<<2 | at(x+2, y-1)<<1 |
+		at(x, y-2)
+}
+
+// opsPerShapePixel approximates the per-pixel decode cost of CAE.
+const opsPerShapePixel = 22
+
+// EncodePlane codes the binary alpha plane (dimensions multiples of 16):
+// per-BAB modes as 2-bit codes, then one arithmetic-coded stream over
+// the boundary-block pixels. Memory behaviour (context row loads and
+// reconstruction stores) is reported to t.
+func EncodePlane(w *bits.Writer, t simmem.Tracer, alpha *video.Plane) error {
+	if alpha.W%BABSize != 0 || alpha.H%BABSize != 0 {
+		return fmt.Errorf("shape: plane %dx%d not multiple of %d", alpha.W, alpha.H, BABSize)
+	}
+	mbw, mbh := alpha.W/BABSize, alpha.H/BABSize
+	modes := make([]BABMode, mbw*mbh)
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			m := Classify(alpha, mx*BABSize, my*BABSize)
+			modes[my*mbw+mx] = m
+			w.PutBits(uint32(m), 2)
+			// Classification loads are traced for blocks inside or
+			// adjacent to the object only; the segmented input's
+			// bounding box is known, so the coder never scans the far
+			// background (bbox-sized buffers in the reference coder).
+			if m != BABTransparent {
+				simmem.AccessStrided(t, alpha.Addr+uint64(my*BABSize*alpha.Stride+mx*BABSize),
+					BABSize, alpha.Stride, BABSize, simmem.Load)
+				t.Ops(BABSize * BABSize / 2)
+			}
+		}
+	}
+	enc := NewBinEncoder(w)
+	model := NewModel()
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			if modes[my*mbw+mx] != BABCoded {
+				continue
+			}
+			bx, by := mx*BABSize, my*BABSize
+			for y := 0; y < BABSize; y++ {
+				rowOff := (by + y) * alpha.Stride
+				for x := 0; x < BABSize; x++ {
+					px, py := bx+x, by+y
+					ctx := context(alpha, px, py, by, bx+BABSize)
+					bit := 0
+					if alpha.Pix[rowOff+px] != 0 {
+						bit = 1
+					}
+					enc.Encode(bit, model.P1(ctx))
+					model.Update(ctx, bit)
+				}
+				// Context reads touch the current and two previous rows.
+				simmem.AccessRunUnit(t, alpha.Addr+uint64(rowOff+bx), BABSize, 1, simmem.Load)
+				if by+y >= 1 {
+					simmem.AccessRunUnit(t, alpha.Addr+uint64(rowOff-alpha.Stride+bx), BABSize, 1, simmem.Load)
+				}
+				t.Ops(BABSize * opsPerShapePixel)
+			}
+		}
+	}
+	enc.Flush()
+	return nil
+}
+
+// DecodePlane reverses EncodePlane into alpha.
+func DecodePlane(r *bits.Reader, t simmem.Tracer, alpha *video.Plane) error {
+	if alpha.W%BABSize != 0 || alpha.H%BABSize != 0 {
+		return fmt.Errorf("shape: plane %dx%d not multiple of %d", alpha.W, alpha.H, BABSize)
+	}
+	mbw, mbh := alpha.W/BABSize, alpha.H/BABSize
+	modes := make([]BABMode, mbw*mbh)
+	for i := range modes {
+		v, err := r.Bits(2)
+		if err != nil {
+			return err
+		}
+		if BABMode(v) > BABCoded {
+			return fmt.Errorf("shape: invalid BAB mode %d", v)
+		}
+		modes[i] = BABMode(v)
+	}
+	// Fill transparent/opaque blocks first so coded blocks see correct
+	// context from their neighbours. Stores for opaque blocks are traced
+	// (inside the object's bounding box); the transparent background
+	// fill exists only in this API's full-frame alpha representation
+	// (the reference decoder's alpha buffer is bbox-sized) and is
+	// untraced.
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			mode := modes[my*mbw+mx]
+			if mode == BABCoded {
+				continue
+			}
+			v := byte(0)
+			if mode == BABOpaque {
+				v = 255
+			}
+			for y := 0; y < BABSize; y++ {
+				off := (my*BABSize+y)*alpha.Stride + mx*BABSize
+				row := alpha.Pix[off : off+BABSize]
+				for i := range row {
+					row[i] = v
+				}
+				if mode == BABOpaque {
+					simmem.AccessRunUnit(t, alpha.Addr+uint64(off), BABSize, 1, simmem.Store)
+				}
+			}
+			if mode == BABOpaque {
+				t.Ops(BABSize * BABSize / 4)
+			}
+		}
+	}
+	dec := NewBinDecoder(r)
+	model := NewModel()
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			if modes[my*mbw+mx] != BABCoded {
+				continue
+			}
+			bx, by := mx*BABSize, my*BABSize
+			for y := 0; y < BABSize; y++ {
+				rowOff := (by + y) * alpha.Stride
+				for x := 0; x < BABSize; x++ {
+					px, py := bx+x, by+y
+					ctx := context(alpha, px, py, by, bx+BABSize)
+					bit := dec.Decode(model.P1(ctx))
+					model.Update(ctx, bit)
+					if bit != 0 {
+						alpha.Pix[rowOff+px] = 255
+					} else {
+						alpha.Pix[rowOff+px] = 0
+					}
+				}
+				simmem.AccessRunUnit(t, alpha.Addr+uint64(rowOff+bx), BABSize, 1, simmem.Store)
+				if by+y >= 1 {
+					simmem.AccessRunUnit(t, alpha.Addr+uint64(rowOff-alpha.Stride+bx), BABSize, 1, simmem.Load)
+				}
+				t.Ops(BABSize * opsPerShapePixel)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package shape
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/simmem"
+	"repro/internal/video"
+)
+
+func TestBinCoderRoundTripFixedProb(t *testing.T) {
+	w := bits.NewWriter(256)
+	enc := NewBinEncoder(w)
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]int, 2000)
+	for i := range seq {
+		seq[i] = rng.Intn(2)
+		enc.Encode(seq[i], 32768)
+	}
+	enc.Flush()
+	dec := NewBinDecoder(bits.NewReader(w.Bytes()))
+	for i, want := range seq {
+		if got := dec.Decode(32768); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestBinCoderRoundTripSkewedProb(t *testing.T) {
+	for _, p1 := range []uint16{1, 100, 10000, 60000, 65535} {
+		w := bits.NewWriter(256)
+		enc := NewBinEncoder(w)
+		rng := rand.New(rand.NewSource(int64(p1)))
+		seq := make([]int, 1000)
+		for i := range seq {
+			if rng.Intn(65536) < int(p1) {
+				seq[i] = 1
+			}
+			enc.Encode(seq[i], p1)
+		}
+		enc.Flush()
+		dec := NewBinDecoder(bits.NewReader(w.Bytes()))
+		for i, want := range seq {
+			if got := dec.Decode(p1); got != want {
+				t.Fatalf("p1=%d bit %d: got %d want %d", p1, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBinCoderCompressesSkewedSource(t *testing.T) {
+	// 1000 highly skewed bits should code in far fewer than 1000 bits.
+	w := bits.NewWriter(256)
+	enc := NewBinEncoder(w)
+	for i := 0; i < 1000; i++ {
+		bit := 0
+		if i%97 == 0 {
+			bit = 1
+		}
+		enc.Encode(bit, 700) // model: P(1) ~ 1%
+	}
+	enc.Flush()
+	if w.Len() > 400 {
+		t.Fatalf("arithmetic coder produced %d bits for 1000 skewed bits", w.Len())
+	}
+}
+
+func TestQuickBinCoderAdaptive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500
+		seq := make([]int, n)
+		ctxs := make([]int, n)
+		for i := range seq {
+			seq[i] = rng.Intn(2)
+			ctxs[i] = rng.Intn(numContexts)
+		}
+		w := bits.NewWriter(256)
+		enc := NewBinEncoder(w)
+		m := NewModel()
+		for i := range seq {
+			enc.Encode(seq[i], m.P1(ctxs[i]))
+			m.Update(ctxs[i], seq[i])
+		}
+		enc.Flush()
+		dec := NewBinDecoder(bits.NewReader(w.Bytes()))
+		m2 := NewModel()
+		for i := range seq {
+			got := dec.Decode(m2.P1(ctxs[i]))
+			m2.Update(ctxs[i], got)
+			if got != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelBounds(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 5000; i++ {
+		m.Update(7, 1)
+	}
+	if p := m.P1(7); p < 1 || p > 65535 {
+		t.Fatalf("P1 out of range: %d", p)
+	}
+	for i := 0; i < 5000; i++ {
+		m.Update(9, 0)
+	}
+	if p := m.P1(9); p < 1 || p > 65535 {
+		t.Fatalf("P1 out of range: %d", p)
+	}
+	if m.P1(7) <= m.P1(9) {
+		t.Fatal("model did not adapt to observed bits")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	p := video.NewPlane(sp, 32, 32)
+	if Classify(p, 0, 0) != BABTransparent {
+		t.Fatal("zero block not transparent")
+	}
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			p.Set(x, y, 255)
+		}
+	}
+	if Classify(p, 0, 0) != BABOpaque {
+		t.Fatal("full block not opaque")
+	}
+	p.Set(5, 5, 0)
+	if Classify(p, 0, 0) != BABCoded {
+		t.Fatal("mixed block not coded")
+	}
+}
+
+func ellipsePlane(sp *simmem.Space, w, h int) *video.Plane {
+	p := video.NewPlane(sp, w, h)
+	cx, cy := float64(w)/2, float64(h)/2
+	rx, ry := float64(w)*0.3, float64(h)*0.35
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			if dx*dx+dy*dy <= 1 {
+				p.Set(x, y, 255)
+			}
+		}
+	}
+	return p
+}
+
+func TestPlaneRoundTripEllipse(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	src := ellipsePlane(sp, 64, 48)
+	w := bits.NewWriter(1024)
+	if err := EncodePlane(w, simmem.Nop{}, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := video.NewPlane(sp, 64, 48)
+	// Poison the destination to catch unwritten pixels.
+	dst.Fill(7)
+	if err := DecodePlane(bits.NewReader(w.Bytes()), simmem.Nop{}, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Pix {
+		if src.Pix[i] != dst.Pix[i] {
+			t.Fatalf("shape roundtrip mismatch at %d: %d vs %d", i, src.Pix[i], dst.Pix[i])
+		}
+	}
+}
+
+func TestPlaneRoundTripRandomMasks(t *testing.T) {
+	f := func(seed int64) bool {
+		sp := simmem.NewSpace(0)
+		rng := rand.New(rand.NewSource(seed))
+		src := video.NewPlane(sp, 48, 32)
+		// Random blobs: random rectangles of 255.
+		for i := 0; i < 6; i++ {
+			x0, y0 := rng.Intn(40), rng.Intn(24)
+			for y := y0; y < y0+rng.Intn(16)+1 && y < 32; y++ {
+				for x := x0; x < x0+rng.Intn(20)+1 && x < 48; x++ {
+					src.Set(x, y, 255)
+				}
+			}
+		}
+		w := bits.NewWriter(1024)
+		if err := EncodePlane(w, simmem.Nop{}, src); err != nil {
+			return false
+		}
+		dst := video.NewPlane(sp, 48, 32)
+		dst.Fill(1)
+		if err := DecodePlane(bits.NewReader(w.Bytes()), simmem.Nop{}, dst); err != nil {
+			return false
+		}
+		for i := range src.Pix {
+			if src.Pix[i] != dst.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaneCompressionEffective(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	src := ellipsePlane(sp, 128, 128)
+	w := bits.NewWriter(4096)
+	if err := EncodePlane(w, simmem.Nop{}, src); err != nil {
+		t.Fatal(err)
+	}
+	raw := 128 * 128 // one bit per pixel baseline
+	if int(w.Len()) > raw/4 {
+		t.Fatalf("shape coding ineffective: %d bits vs %d raw", w.Len(), raw)
+	}
+}
+
+func TestPlaneDimensionValidation(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	p := video.NewPlane(sp, 20, 20)
+	if err := EncodePlane(bits.NewWriter(8), simmem.Nop{}, p); err == nil {
+		t.Fatal("non-multiple-of-16 plane accepted by encoder")
+	}
+	if err := DecodePlane(bits.NewReader(nil), simmem.Nop{}, p); err == nil {
+		t.Fatal("non-multiple-of-16 plane accepted by decoder")
+	}
+}
+
+func TestDecodePlaneTracesStores(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	src := ellipsePlane(sp, 32, 32)
+	w := bits.NewWriter(512)
+	if err := EncodePlane(w, simmem.Nop{}, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := video.NewPlane(sp, 32, 32)
+	var ct simmem.Count
+	if err := DecodePlane(bits.NewReader(w.Bytes()), &ct, dst); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Stores == 0 || ct.OpCount == 0 {
+		t.Fatal("decode reported no memory traffic")
+	}
+}

@@ -1,0 +1,238 @@
+// Package simmem provides a simulated flat address space and an access
+// tracing interface that couples the codec's data structures to the cache
+// simulator.
+//
+// The paper measures the MoMuSys codec with hardware performance counters
+// on SGI machines. We do not have that hardware; instead every major
+// buffer in the codec (frame planes, macroblock scratch, coefficient
+// arrays, bitstream buffers) is assigned an address range in a simulated
+// address space, and the codec's kernels report their loads, stores and
+// prefetches to a Tracer. A trace-driven memory-hierarchy model behind
+// the Tracer then computes exactly the counter values the paper reports.
+//
+// Tracing granularity: the MIPSpro compiler at -O3 issues mostly 32- and
+// 64-bit loads over pixel data; kernels here report accesses at 4- or
+// 8-byte granularity for contiguous runs (see AccessRun), which matches
+// the graduated-load counts of compiled C within a small constant factor.
+package simmem
+
+// Kind distinguishes the access types the R10K/R12K counters distinguish.
+type Kind uint8
+
+const (
+	Load Kind = iota
+	Store
+	Prefetch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracer receives the memory behaviour of instrumented code.
+//
+// Access reports a single memory operation of the given size in bytes.
+//
+// Run reports a contiguous run of n bytes referenced as unit-sized
+// accesses (unit 1 models the byte loads the MIPSpro compiler emits in
+// pixel kernels, unit 4 int32 coefficient traffic, unit 8 word copies).
+// A Run counts n/unit graduated memory operations but — because
+// same-line references cannot change an LRU cache's state between each
+// other — implementations may probe each covered cache line only once.
+//
+// Ops reports n non-memory (ALU/branch) instructions, used by the timing
+// model to estimate graduated instruction counts.
+type Tracer interface {
+	Access(addr uint64, size uint32, kind Kind)
+	Run(addr uint64, n int, unit uint32, kind Kind)
+	Ops(n uint64)
+}
+
+// Nop is a Tracer that discards everything. It lets the codec run at full
+// speed when no measurement is wanted.
+type Nop struct{}
+
+// Access implements Tracer.
+func (Nop) Access(uint64, uint32, Kind) {}
+
+// Run implements Tracer.
+func (Nop) Run(uint64, int, uint32, Kind) {}
+
+// Ops implements Tracer.
+func (Nop) Ops(uint64) {}
+
+// Count is a Tracer that only counts events, useful in tests.
+type Count struct {
+	Loads, Stores, Prefetches uint64
+	LoadBytes, StoreBytes     uint64
+	OpCount                   uint64
+}
+
+// Access implements Tracer.
+func (c *Count) Access(_ uint64, size uint32, kind Kind) {
+	switch kind {
+	case Load:
+		c.Loads++
+		c.LoadBytes += uint64(size)
+	case Store:
+		c.Stores++
+		c.StoreBytes += uint64(size)
+	case Prefetch:
+		c.Prefetches++
+	}
+}
+
+// Run implements Tracer.
+func (c *Count) Run(addr uint64, n int, unit uint32, kind Kind) {
+	if n <= 0 {
+		return
+	}
+	if unit == 0 {
+		unit = 1
+	}
+	refs := uint64((n + int(unit) - 1) / int(unit))
+	switch kind {
+	case Load:
+		c.Loads += refs
+		c.LoadBytes += uint64(n)
+	case Store:
+		c.Stores += refs
+		c.StoreBytes += uint64(n)
+	case Prefetch:
+		c.Prefetches += refs
+	}
+}
+
+// Ops implements Tracer.
+func (c *Count) Ops(n uint64) { c.OpCount += n }
+
+// Multi fans one access stream out to several tracers. The harness uses
+// it to measure one codec run on all three machine models at once (the
+// machines share the access trace; only their cache responses differ).
+type Multi []Tracer
+
+// Access implements Tracer.
+func (m Multi) Access(addr uint64, size uint32, kind Kind) {
+	for _, t := range m {
+		t.Access(addr, size, kind)
+	}
+}
+
+// Run implements Tracer.
+func (m Multi) Run(addr uint64, n int, unit uint32, kind Kind) {
+	for _, t := range m {
+		t.Run(addr, n, unit, kind)
+	}
+}
+
+// Ops implements Tracer.
+func (m Multi) Ops(n uint64) {
+	for _, t := range m {
+		t.Ops(n)
+	}
+}
+
+// PageSize is the allocation granularity of the simulated address space.
+// IRIX used 16 KB pages on these machines.
+const PageSize = 16 * 1024
+
+// Space is a simulated address space. Allocations are bump-allocated and
+// never freed, mirroring the stable resident set the paper reports (the
+// codec allocates its large buffers once). The zero value starts
+// allocating at a nonzero base so that address 0 never appears.
+type Space struct {
+	next    uint64
+	color   uint64
+	noColor bool
+}
+
+// DisableColoring makes AllocPage return exactly page-aligned addresses
+// (no cache-colour stagger). Used by the ablation experiments to show
+// the conflict-miss pathology coloured allocation avoids.
+func (s *Space) DisableColoring() { s.noColor = true }
+
+// colorStride staggers successive page allocations across cache sets.
+// Without it every large buffer would share identical index bits (three
+// pixel planes would contend for one 2-way L1 set in the SAD kernels) —
+// a pathology real systems avoid through allocator offsets and IRIX's
+// physical page colouring.
+const colorStride = 2112 // 2 KB + one 64 B line
+
+// NewSpace returns a Space whose first allocation begins at base (rounded
+// up to a page). A nonzero base keeps simulated addresses away from 0.
+func NewSpace(base uint64) *Space {
+	if base == 0 {
+		base = PageSize
+	}
+	return &Space{next: roundUp(base, PageSize)}
+}
+
+// Alloc reserves n bytes aligned to align (a power of two, at least 1)
+// and returns the base address.
+func (s *Space) Alloc(n int, align int) uint64 {
+	if n < 0 {
+		panic("simmem: negative allocation")
+	}
+	if align <= 0 {
+		align = 1
+	}
+	if s.next == 0 {
+		s.next = PageSize
+	}
+	addr := roundUp(s.next, uint64(align))
+	s.next = addr + uint64(n)
+	return addr
+}
+
+// AllocPage reserves n bytes for a large buffer: page aligned plus a
+// rotating cache-colour offset, giving the realistic cache-index
+// distribution of a real allocator (see colorStride).
+func (s *Space) AllocPage(n int) uint64 {
+	if s.noColor {
+		return s.Alloc(n, PageSize)
+	}
+	off := (s.color * colorStride) % PageSize
+	s.color++
+	return s.Alloc(n+int(off), PageSize) + off
+}
+
+// Brk returns the current top of the allocated region, i.e. the resident
+// memory footprint's end address.
+func (s *Space) Brk() uint64 { return s.next }
+
+func roundUp(v, align uint64) uint64 {
+	return (v + align - 1) &^ (align - 1)
+}
+
+// AccessRun reports a contiguous run of n bytes starting at addr as
+// word-sized (8-byte) accesses. This models compiler-optimised copies;
+// pixel kernels should use AccessRunUnit with unit 1 instead (byte
+// loads).
+func AccessRun(t Tracer, addr uint64, n int, kind Kind) {
+	t.Run(addr, n, 8, kind)
+}
+
+// AccessRunUnit reports a contiguous run of n bytes as unit-sized
+// accesses.
+func AccessRunUnit(t Tracer, addr uint64, n int, unit uint32, kind Kind) {
+	t.Run(addr, n, unit, kind)
+}
+
+// AccessStrided reports rows of rowBytes bytes separated by stride
+// bytes, rows times, as unit-sized accesses. It models 2-D block kernels
+// (SAD, DCT block gathers, motion compensation).
+func AccessStrided(t Tracer, addr uint64, rowBytes, stride, rows int, kind Kind) {
+	for r := 0; r < rows; r++ {
+		t.Run(addr, rowBytes, 1, kind)
+		addr += uint64(stride)
+	}
+}

@@ -1,0 +1,205 @@
+package simmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceAllocAlignment(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(100, 64)
+	if a%64 != 0 {
+		t.Fatalf("alloc not 64-aligned: %#x", a)
+	}
+	if a == 0 {
+		t.Fatal("alloc returned address 0")
+	}
+	b := s.Alloc(10, 1)
+	if b < a+100 {
+		t.Fatalf("overlapping allocations: a=%#x..%#x b=%#x", a, a+100, b)
+	}
+	p := s.AllocPage(1)
+	if p%PageSize != 0 {
+		t.Fatalf("AllocPage not page-aligned: %#x", p)
+	}
+}
+
+func TestSpaceZeroValueUsable(t *testing.T) {
+	var s Space
+	a := s.Alloc(8, 8)
+	if a == 0 {
+		t.Fatal("zero-value Space handed out address 0")
+	}
+}
+
+func TestSpaceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s Space
+	s.Alloc(-1, 1)
+}
+
+func TestQuickAllocDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace(0)
+		type rng struct{ lo, hi uint64 }
+		var prev []rng
+		for _, sz := range sizes {
+			n := int(sz)%4096 + 1
+			a := s.Alloc(n, 16)
+			if a%16 != 0 {
+				return false
+			}
+			for _, p := range prev {
+				if a < p.hi && a+uint64(n) > p.lo {
+					return false // overlap
+				}
+			}
+			prev = append(prev, rng{a, a + uint64(n)})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessRunCoversExactBytes(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		n    int
+	}{
+		{0x1000, 0}, {0x1000, 1}, {0x1000, 7}, {0x1000, 8}, {0x1000, 16},
+		{0x1001, 16}, {0x1003, 29}, {0x1007, 1}, {0x1005, 3},
+	}
+	for _, c := range cases {
+		var ct Count
+		AccessRun(&ct, c.addr, c.n, Load)
+		if ct.LoadBytes != uint64(c.n) {
+			t.Errorf("addr=%#x n=%d: covered %d bytes", c.addr, c.n, ct.LoadBytes)
+		}
+	}
+}
+
+func TestQuickAccessRunExactCoverage(t *testing.T) {
+	f := func(addrOff uint8, n uint16) bool {
+		addr := 0x4000 + uint64(addrOff)
+		nn := int(n) % 512
+		var ct Count
+		AccessRun(&ct, addr, nn, Store)
+		return ct.StoreBytes == uint64(nn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessRunWordEfficiency(t *testing.T) {
+	// An aligned 64-byte run should be 8 word accesses, not 64 byte ones.
+	var ct Count
+	AccessRun(&ct, 0x2000, 64, Load)
+	if ct.Loads != 8 {
+		t.Fatalf("aligned 64B run used %d accesses, want 8", ct.Loads)
+	}
+}
+
+func TestAccessStrided(t *testing.T) {
+	var ct Count
+	AccessStrided(&ct, 0x8000, 16, 720, 16, Load)
+	if ct.LoadBytes != 16*16 {
+		t.Fatalf("strided covered %d bytes, want 256", ct.LoadBytes)
+	}
+}
+
+func TestCountTracerKinds(t *testing.T) {
+	var ct Count
+	ct.Access(0x100, 4, Load)
+	ct.Access(0x104, 4, Store)
+	ct.Access(0x108, 4, Prefetch)
+	ct.Ops(42)
+	if ct.Loads != 1 || ct.Stores != 1 || ct.Prefetches != 1 || ct.OpCount != 42 {
+		t.Fatalf("counts wrong: %+v", ct)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" ||
+		Prefetch.String() != "prefetch" || Kind(9).String() != "unknown" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestNopTracer(t *testing.T) {
+	var n Nop
+	n.Access(1, 2, Load) // must not panic
+	n.Ops(3)
+}
+
+func TestMultiTracerFanout(t *testing.T) {
+	var a, b Count
+	m := Multi{&a, &b}
+	m.Access(0x100, 4, Load)
+	m.Run(0x200, 64, 1, Store)
+	m.Ops(5)
+	if a.Loads != 1 || b.Loads != 1 {
+		t.Fatal("Access not fanned out")
+	}
+	if a.Stores != 64 || b.Stores != 64 {
+		t.Fatal("Run not fanned out")
+	}
+	if a.OpCount != 5 || b.OpCount != 5 {
+		t.Fatal("Ops not fanned out")
+	}
+}
+
+func TestRunCountsUnits(t *testing.T) {
+	var c Count
+	c.Run(0x1000, 64, 4, Load)
+	if c.Loads != 16 || c.LoadBytes != 64 {
+		t.Fatalf("unit-4 run counted %d refs %d bytes", c.Loads, c.LoadBytes)
+	}
+	c.Run(0x1000, 65, 4, Load) // rounds up
+	if c.Loads != 16+17 {
+		t.Fatalf("partial unit not rounded up: %d", c.Loads)
+	}
+	c.Run(0x1000, 0, 4, Load) // no-op
+	c.Run(0x1000, 8, 0, Prefetch)
+	if c.Prefetches != 8 {
+		t.Fatalf("zero unit should default to 1: %d", c.Prefetches)
+	}
+}
+
+func TestPageColoringStaggersAllocations(t *testing.T) {
+	s := NewSpace(0)
+	a := s.AllocPage(100)
+	b := s.AllocPage(100)
+	c := s.AllocPage(100)
+	// Consecutive page allocations must land on distinct page offsets
+	// (cache colours).
+	if a%PageSize == b%PageSize || b%PageSize == c%PageSize {
+		t.Fatalf("allocations share cache colour: %#x %#x %#x", a, b, c)
+	}
+	// With colouring disabled they are exactly page aligned.
+	s2 := NewSpace(0)
+	s2.DisableColoring()
+	d := s2.AllocPage(100)
+	e := s2.AllocPage(100)
+	if d%PageSize != 0 || e%PageSize != 0 {
+		t.Fatalf("uncoloured allocations not page aligned: %#x %#x", d, e)
+	}
+}
+
+func TestBrkGrowsMonotonically(t *testing.T) {
+	s := NewSpace(0)
+	prev := s.Brk()
+	for i := 0; i < 10; i++ {
+		s.AllocPage(1000)
+		if s.Brk() <= prev {
+			t.Fatal("Brk did not grow")
+		}
+		prev = s.Brk()
+	}
+}

@@ -1,0 +1,200 @@
+// Package video provides YUV 4:2:0 frame storage bound to the simulated
+// address space, binary alpha planes for arbitrary-shape visual objects,
+// and a deterministic synthetic scene generator that substitutes for the
+// paper's PAL test sequences.
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simmem"
+)
+
+// Plane is a rectangular 8-bit sample plane. Pix holds H rows of Stride
+// bytes; Addr is the plane's base in the simulated address space, so the
+// codec can report the addresses of its pixel accesses.
+type Plane struct {
+	W, H   int
+	Stride int
+	Pix    []byte
+	Addr   uint64
+}
+
+// NewPlane allocates a plane of w×h samples in space (page aligned, like
+// a large malloc on IRIX). Stride equals w.
+func NewPlane(space *simmem.Space, w, h int) *Plane {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("video: invalid plane size %dx%d", w, h))
+	}
+	return &Plane{
+		W: w, H: h, Stride: w,
+		Pix:  make([]byte, w*h),
+		Addr: space.AllocPage(w * h),
+	}
+}
+
+// At returns the sample at (x, y). Bounds are the caller's concern; the
+// codec only addresses padded planes in range.
+func (p *Plane) At(x, y int) byte { return p.Pix[y*p.Stride+x] }
+
+// Set stores a sample at (x, y).
+func (p *Plane) Set(x, y int, v byte) { p.Pix[y*p.Stride+x] = v }
+
+// PixAddr returns the simulated address of sample (x, y).
+func (p *Plane) PixAddr(x, y int) uint64 {
+	return p.Addr + uint64(y*p.Stride+x)
+}
+
+// Row returns the y'th row slice.
+func (p *Plane) Row(y int) []byte { return p.Pix[y*p.Stride : y*p.Stride+p.W] }
+
+// Fill sets every sample to v.
+func (p *Plane) Fill(v byte) {
+	for i := range p.Pix {
+		p.Pix[i] = v
+	}
+}
+
+// CopyFrom copies the sample data of src (same dimensions required).
+func (p *Plane) CopyFrom(src *Plane) {
+	if p.W != src.W || p.H != src.H {
+		panic(fmt.Sprintf("video: CopyFrom size mismatch %dx%d vs %dx%d", p.W, p.H, src.W, src.H))
+	}
+	copy(p.Pix, src.Pix)
+}
+
+// Frame is a YUV 4:2:0 picture. Chroma planes are half size in both
+// dimensions. Luma dimensions must be even.
+type Frame struct {
+	W, H       int
+	Y, Cb, Cr  *Plane
+	Alpha      *Plane // nil for rectangular (full-frame) VOPs
+	TimeIndex  int    // display-order index
+	ObjectName string // which VO this frame belongs to (diagnostics)
+}
+
+// NewFrame allocates a rectangular frame in space.
+func NewFrame(space *simmem.Space, w, h int) *Frame {
+	if w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("video: frame size %dx%d must be even", w, h))
+	}
+	return &Frame{
+		W: w, H: h,
+		Y:  NewPlane(space, w, h),
+		Cb: NewPlane(space, w/2, h/2),
+		Cr: NewPlane(space, w/2, h/2),
+	}
+}
+
+// NewAlphaFrame allocates a frame with a binary alpha plane (0 or 255)
+// for arbitrary-shape visual objects.
+func NewAlphaFrame(space *simmem.Space, w, h int) *Frame {
+	f := NewFrame(space, w, h)
+	f.Alpha = NewPlane(space, w, h)
+	return f
+}
+
+// Bytes returns the total sample storage of the frame.
+func (f *Frame) Bytes() int {
+	n := len(f.Y.Pix) + len(f.Cb.Pix) + len(f.Cr.Pix)
+	if f.Alpha != nil {
+		n += len(f.Alpha.Pix)
+	}
+	return n
+}
+
+// CopyFrom copies all sample data from src.
+func (f *Frame) CopyFrom(src *Frame) {
+	f.Y.CopyFrom(src.Y)
+	f.Cb.CopyFrom(src.Cb)
+	f.Cr.CopyFrom(src.Cr)
+	if f.Alpha != nil && src.Alpha != nil {
+		f.Alpha.CopyFrom(src.Alpha)
+	}
+	f.TimeIndex = src.TimeIndex
+}
+
+// PSNR returns the luma peak signal-to-noise ratio between two frames in
+// dB, +Inf for identical planes. It is the standard quality check for
+// codec roundtrips.
+func PSNR(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("video: PSNR size mismatch")
+	}
+	var sse float64
+	for y := 0; y < a.H; y++ {
+		ra, rb := a.Y.Row(y), b.Y.Row(y)
+		for x := range ra {
+			d := float64(int(ra[x]) - int(rb[x]))
+			sse += d * d
+		}
+	}
+	if sse == 0 {
+		return math.Inf(1)
+	}
+	mse := sse / float64(a.W*a.H)
+	return 10 * math.Log10(255*255/mse)
+}
+
+// MeanAbsDiff returns the mean absolute luma difference between frames.
+func MeanAbsDiff(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("video: MeanAbsDiff size mismatch")
+	}
+	var sum float64
+	for y := 0; y < a.H; y++ {
+		ra, rb := a.Y.Row(y), b.Y.Row(y)
+		for x := range ra {
+			d := int(ra[x]) - int(rb[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+		}
+	}
+	return sum / float64(a.W*a.H)
+}
+
+// BBox returns the bounding box (x0, y0, x1, y1; x1/y1 exclusive) of the
+// nonzero support of an alpha plane, expanded to macroblock (16 px)
+// alignment. A nil plane or full support returns the full rectangle; an
+// empty support returns a zero-area box at the origin.
+func BBox(alpha *Plane, w, h int) (int, int, int, int) {
+	if alpha == nil {
+		return 0, 0, w, h
+	}
+	x0, y0, x1, y1 := w, h, 0, 0
+	for y := 0; y < alpha.H; y++ {
+		row := alpha.Row(y)
+		for x, v := range row {
+			if v == 0 {
+				continue
+			}
+			if x < x0 {
+				x0 = x
+			}
+			if x >= x1 {
+				x1 = x + 1
+			}
+			if y < y0 {
+				y0 = y
+			}
+			y1 = y + 1
+		}
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return 0, 0, 0, 0
+	}
+	x0 = x0 &^ 15
+	y0 = y0 &^ 15
+	x1 = (x1 + 15) &^ 15
+	y1 = (y1 + 15) &^ 15
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	return x0, y0, x1, y1
+}

@@ -1,0 +1,245 @@
+package video
+
+import (
+	"math"
+
+	"repro/internal/simmem"
+)
+
+// Synth generates a deterministic synthetic video scene: a textured
+// background plus moving textured elliptical objects. It substitutes for
+// the paper's 30-frame PAL sequences (which are not available): motion
+// estimation needs textured content with coherent inter-frame motion,
+// shape coding needs binary alpha masks, and both are provided here from
+// a seeded generator so every experiment is reproducible bit for bit.
+type Synth struct {
+	W, H    int
+	Seed    int64
+	Objects []SynthObject
+
+	noise []byte // tileable texture noise, 256x256
+}
+
+// SynthObject is one moving ellipse in the scene.
+type SynthObject struct {
+	CX, CY float64 // centre at frame 0, as a fraction of frame size
+	RX, RY float64 // radii, as a fraction of frame size
+	VX, VY float64 // velocity in pixels/frame
+	Luma   byte    // base luma
+	Cb, Cr byte    // chroma
+	Tex    byte    // texture amplitude
+}
+
+// DefaultObjects returns the three-object scene used by the multi-VO
+// experiments (paper Section 3.2, Tables 4–7): two moving foreground
+// ellipses over a full-frame background object.
+func DefaultObjects() []SynthObject {
+	return []SynthObject{
+		{CX: 0.30, CY: 0.40, RX: 0.12, RY: 0.18, VX: 2.5, VY: 1.0, Luma: 190, Cb: 100, Cr: 160, Tex: 28},
+		{CX: 0.65, CY: 0.55, RX: 0.15, RY: 0.12, VX: -1.5, VY: 2.0, Luma: 90, Cb: 160, Cr: 90, Tex: 36},
+	}
+}
+
+// NewSynth creates a generator for w×h frames.
+func NewSynth(w, h int, seed int64) *Synth {
+	s := &Synth{W: w, H: h, Seed: seed, Objects: DefaultObjects()}
+	s.noise = make([]byte, 256*256)
+	// Small deterministic LCG for the texture tile.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := range s.noise {
+		x = x*6364136223846793005 + 1442695040888963407
+		s.noise[i] = byte(x >> 56)
+	}
+	return s
+}
+
+// noiseAt samples the texture tile.
+func (s *Synth) noiseAt(x, y int) byte {
+	return s.noise[(y&255)<<8|(x&255)]
+}
+
+// bgLuma computes the background texture: a slow gradient plus tiled
+// noise, with a gentle global pan so the background also has motion.
+func (s *Synth) bgLuma(x, y, t int) byte {
+	px, py := x+t, y+t/2 // background pan: 1 px/frame horizontally
+	v := 110 + ((px*3+py*2)>>4)&31 + int(s.noiseAt(px, py)>>3)
+	return clamp255(v)
+}
+
+// RenderScene composes the full scene (background plus all objects) for
+// display-order frame t into dst. dst must be W×H.
+func (s *Synth) RenderScene(dst *Frame, t int) {
+	s.renderInto(dst, t, -1, false)
+	dst.TimeIndex = t
+	dst.ObjectName = "scene"
+}
+
+// RenderObject renders visual object obj (0-based index into Objects)
+// for frame t into dst, filling dst.Alpha with the binary support mask.
+// dst must have an alpha plane.
+func (s *Synth) RenderObject(dst *Frame, obj, t int) {
+	if dst.Alpha == nil {
+		panic("video: RenderObject requires an alpha frame")
+	}
+	s.renderInto(dst, t, obj, true)
+	dst.TimeIndex = t
+	dst.ObjectName = objName(obj)
+}
+
+// RenderBackground renders the background object (full-frame support).
+func (s *Synth) RenderBackground(dst *Frame, t int) {
+	s.renderInto(dst, t, -1, true)
+	if dst.Alpha != nil {
+		dst.Alpha.Fill(255)
+	}
+	dst.TimeIndex = t
+	dst.ObjectName = "background"
+}
+
+func objName(i int) string {
+	names := []string{"object-A", "object-B", "object-C", "object-D"}
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return "object"
+}
+
+// renderInto does the work. obj == -1 with onlyObj=false composes the
+// whole scene; obj == -1 with onlyObj=true renders background only;
+// obj >= 0 with onlyObj=true renders that object against mid grey with
+// alpha.
+func (s *Synth) renderInto(dst *Frame, t, obj int, onlyObj bool) {
+	type objPos struct {
+		cx, cy, rx, ry float64
+		o              SynthObject
+	}
+	var objs []objPos
+	for i, o := range s.Objects {
+		if onlyObj && obj >= 0 && i != obj {
+			continue
+		}
+		cx := o.CX*float64(s.W) + o.VX*float64(t)
+		cy := o.CY*float64(s.H) + o.VY*float64(t)
+		// Bounce inside the frame so long sequences stay in view.
+		cx = bounce(cx, float64(s.W))
+		cy = bounce(cy, float64(s.H))
+		objs = append(objs, objPos{cx, cy, o.RX * float64(s.W), o.RY * float64(s.H), o})
+	}
+	bgOnly := onlyObj && obj == -1
+	soloObj := onlyObj && obj >= 0
+
+	for y := 0; y < dst.H; y++ {
+		row := dst.Y.Row(y)
+		var arow []byte
+		if dst.Alpha != nil {
+			arow = dst.Alpha.Row(y)
+		}
+		for x := 0; x < dst.W; x++ {
+			var v byte
+			inObj := false
+			if !bgOnly {
+				for _, op := range objs {
+					dx := (float64(x) - op.cx) / op.rx
+					dy := (float64(y) - op.cy) / op.ry
+					if dx*dx+dy*dy <= 1 {
+						// Object texture moves with the object.
+						tx := x - int(op.cx)
+						ty := y - int(op.cy)
+						v = clamp255(int(op.o.Luma) + int(s.noiseAt(tx*2, ty*2)>>2) - int(op.o.Tex)/2 + int(float64(op.o.Tex)*dx*dy*0.5))
+						inObj = true
+						break
+					}
+				}
+			}
+			if !inObj {
+				if soloObj {
+					v = 128 // object rendered against neutral grey
+				} else {
+					v = s.bgLuma(x, y, t)
+				}
+			}
+			row[x] = v
+			if arow != nil {
+				if soloObj {
+					if inObj {
+						arow[x] = 255
+					} else {
+						arow[x] = 0
+					}
+				} else {
+					arow[x] = 255
+				}
+			}
+		}
+	}
+	// Chroma: cheap but consistent with luma structure.
+	for y := 0; y < dst.H/2; y++ {
+		cbRow := dst.Cb.Row(y)
+		crRow := dst.Cr.Row(y)
+		for x := 0; x < dst.W/2; x++ {
+			cb, cr := byte(128), byte(128)
+			if !bgOnly {
+				for _, op := range objs {
+					dx := (float64(2*x) - op.cx) / op.rx
+					dy := (float64(2*y) - op.cy) / op.ry
+					if dx*dx+dy*dy <= 1 {
+						cb, cr = op.o.Cb, op.o.Cr
+						break
+					}
+				}
+			}
+			cbRow[x] = cb
+			crRow[x] = cr
+		}
+	}
+}
+
+func bounce(v, limit float64) float64 {
+	period := 2 * limit
+	v = math.Mod(v, period)
+	if v < 0 {
+		v += period
+	}
+	if v > limit {
+		v = period - v
+	}
+	return v
+}
+
+func clamp255(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// Sequence pre-renders n display-order frames of the composed scene into
+// newly allocated frames in space.
+func (s *Synth) Sequence(space *simmem.Space, n int) []*Frame {
+	frames := make([]*Frame, n)
+	for t := 0; t < n; t++ {
+		f := NewFrame(space, s.W, s.H)
+		s.RenderScene(f, t)
+		frames[t] = f
+	}
+	return frames
+}
+
+// ObjectSequence pre-renders n display-order frames of one visual object
+// (with alpha) into space. obj == -1 renders the background object.
+func (s *Synth) ObjectSequence(space *simmem.Space, obj, n int) []*Frame {
+	frames := make([]*Frame, n)
+	for t := 0; t < n; t++ {
+		f := NewAlphaFrame(space, s.W, s.H)
+		if obj < 0 {
+			s.RenderBackground(f, t)
+		} else {
+			s.RenderObject(f, obj, t)
+		}
+		frames[t] = f
+	}
+	return frames
+}

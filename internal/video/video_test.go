@@ -1,0 +1,281 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simmem"
+)
+
+func TestNewFrameGeometry(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	f := NewFrame(sp, 720, 576)
+	if f.Y.W != 720 || f.Y.H != 576 {
+		t.Fatalf("luma %dx%d", f.Y.W, f.Y.H)
+	}
+	if f.Cb.W != 360 || f.Cb.H != 288 || f.Cr.W != 360 || f.Cr.H != 288 {
+		t.Fatal("chroma not 4:2:0 subsampled")
+	}
+	if f.Bytes() != 720*576*3/2 {
+		t.Fatalf("frame bytes %d want %d", f.Bytes(), 720*576*3/2)
+	}
+	// Distinct simulated address ranges per plane.
+	if f.Y.Addr == f.Cb.Addr || f.Cb.Addr == f.Cr.Addr {
+		t.Fatal("planes share simulated addresses")
+	}
+}
+
+func TestOddFramePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd dimensions must panic")
+		}
+	}()
+	NewFrame(simmem.NewSpace(0), 721, 576)
+}
+
+func TestPlaneAddressing(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	p := NewPlane(sp, 16, 8)
+	p.Set(3, 2, 77)
+	if p.At(3, 2) != 77 {
+		t.Fatal("Set/At mismatch")
+	}
+	if p.PixAddr(3, 2) != p.Addr+2*16+3 {
+		t.Fatal("PixAddr wrong")
+	}
+	if p.Addr%simmem.PageSize != 0 {
+		t.Fatal("plane not page aligned")
+	}
+	row := p.Row(2)
+	if row[3] != 77 {
+		t.Fatal("Row slice wrong")
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	s := NewSynth(64, 64, 1)
+	a := NewFrame(sp, 64, 64)
+	b := NewFrame(sp, 64, 64)
+	s.RenderScene(a, 0)
+	b.CopyFrom(a)
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Fatal("identical frames must have infinite PSNR")
+	}
+	if MeanAbsDiff(a, b) != 0 {
+		t.Fatal("identical frames must have zero MAD")
+	}
+}
+
+func TestPSNRDegrades(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	s := NewSynth(64, 64, 1)
+	a := NewFrame(sp, 64, 64)
+	b := NewFrame(sp, 64, 64)
+	s.RenderScene(a, 0)
+	b.CopyFrom(a)
+	for i := 0; i < 64; i++ {
+		b.Y.Pix[i] ^= 0x10
+	}
+	p1 := PSNR(a, b)
+	for i := 64; i < 1024; i++ {
+		b.Y.Pix[i] ^= 0x20
+	}
+	p2 := PSNR(a, b)
+	if !(p2 < p1) {
+		t.Fatalf("PSNR did not degrade with more error: %v -> %v", p1, p2)
+	}
+}
+
+func TestSynthDeterminism(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := NewFrame(sp, 128, 96)
+	b := NewFrame(sp, 128, 96)
+	NewSynth(128, 96, 42).RenderScene(a, 7)
+	NewSynth(128, 96, 42).RenderScene(b, 7)
+	for i := range a.Y.Pix {
+		if a.Y.Pix[i] != b.Y.Pix[i] {
+			t.Fatal("same seed produced different frames")
+		}
+	}
+	NewSynth(128, 96, 43).RenderScene(b, 7)
+	diff := false
+	for i := range a.Y.Pix {
+		if a.Y.Pix[i] != b.Y.Pix[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestSynthMotionCoherence(t *testing.T) {
+	// Consecutive frames must be similar (small MAD) but not identical —
+	// the property motion estimation depends on.
+	sp := simmem.NewSpace(0)
+	s := NewSynth(128, 96, 1)
+	f0 := NewFrame(sp, 128, 96)
+	f1 := NewFrame(sp, 128, 96)
+	s.RenderScene(f0, 0)
+	s.RenderScene(f1, 1)
+	mad := MeanAbsDiff(f0, f1)
+	if mad == 0 {
+		t.Fatal("consecutive frames identical: no motion")
+	}
+	if mad > 40 {
+		t.Fatalf("consecutive frames too different (MAD %.1f): motion incoherent", mad)
+	}
+}
+
+func TestRenderObjectAlpha(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	s := NewSynth(128, 96, 1)
+	f := NewAlphaFrame(sp, 128, 96)
+	s.RenderObject(f, 0, 0)
+	in, out := 0, 0
+	for _, a := range f.Alpha.Pix {
+		switch a {
+		case 255:
+			in++
+		case 0:
+			out++
+		default:
+			t.Fatal("alpha must be binary")
+		}
+	}
+	if in == 0 || out == 0 {
+		t.Fatalf("degenerate alpha mask: in=%d out=%d", in, out)
+	}
+	// Object support should move between frames.
+	f2 := NewAlphaFrame(sp, 128, 96)
+	s.RenderObject(f2, 0, 5)
+	moved := false
+	for i := range f.Alpha.Pix {
+		if f.Alpha.Pix[i] != f2.Alpha.Pix[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("object did not move")
+	}
+}
+
+func TestRenderBackgroundFullSupport(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	s := NewSynth(64, 64, 1)
+	f := NewAlphaFrame(sp, 64, 64)
+	s.RenderBackground(f, 0)
+	for _, a := range f.Alpha.Pix {
+		if a != 255 {
+			t.Fatal("background alpha must be full")
+		}
+	}
+}
+
+func TestSequenceHelpers(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	s := NewSynth(64, 64, 9)
+	frames := s.Sequence(sp, 4)
+	if len(frames) != 4 {
+		t.Fatal("Sequence length")
+	}
+	for i, f := range frames {
+		if f.TimeIndex != i {
+			t.Fatalf("frame %d has TimeIndex %d", i, f.TimeIndex)
+		}
+	}
+	objs := s.ObjectSequence(sp, 1, 3)
+	if len(objs) != 3 || objs[0].Alpha == nil {
+		t.Fatal("ObjectSequence missing alpha")
+	}
+	bg := s.ObjectSequence(sp, -1, 2)
+	if bg[0].ObjectName != "background" {
+		t.Fatal("background name wrong")
+	}
+}
+
+func TestBounceStaysInRange(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got := bounce(v, 100)
+		return got >= 0 && got <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp255(t *testing.T) {
+	if clamp255(-5) != 0 || clamp255(300) != 255 || clamp255(99) != 99 {
+		t.Fatal("clamp255 wrong")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := NewPlane(sp, 8, 8)
+	b := NewPlane(sp, 16, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch must panic")
+		}
+	}()
+	a.CopyFrom(b)
+}
+
+func TestBBoxNilAlphaIsFullFrame(t *testing.T) {
+	x0, y0, x1, y1 := BBox(nil, 64, 48)
+	if x0 != 0 || y0 != 0 || x1 != 64 || y1 != 48 {
+		t.Fatalf("nil alpha bbox = %d,%d,%d,%d", x0, y0, x1, y1)
+	}
+}
+
+func TestBBoxEmptySupport(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := NewPlane(sp, 64, 48)
+	x0, y0, x1, y1 := BBox(a, 64, 48)
+	if x0 != 0 || y0 != 0 || x1 != 0 || y1 != 0 {
+		t.Fatalf("empty alpha bbox = %d,%d,%d,%d", x0, y0, x1, y1)
+	}
+}
+
+func TestBBoxMacroblockAligned(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := NewPlane(sp, 64, 48)
+	a.Set(20, 18, 255)
+	a.Set(37, 30, 255)
+	x0, y0, x1, y1 := BBox(a, 64, 48)
+	if x0 != 16 || y0 != 16 || x1 != 48 || y1 != 32 {
+		t.Fatalf("bbox = %d,%d,%d,%d want 16,16,48,32", x0, y0, x1, y1)
+	}
+	if x0%16 != 0 || y0%16 != 0 || x1%16 != 0 || y1%16 != 0 {
+		t.Fatal("bbox not macroblock aligned")
+	}
+}
+
+func TestBBoxFullSupport(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := NewPlane(sp, 64, 48)
+	a.Fill(255)
+	x0, y0, x1, y1 := BBox(a, 64, 48)
+	if x0 != 0 || y0 != 0 || x1 != 64 || y1 != 48 {
+		t.Fatalf("full alpha bbox = %d,%d,%d,%d", x0, y0, x1, y1)
+	}
+}
+
+func TestBBoxClampsToFrame(t *testing.T) {
+	sp := simmem.NewSpace(0)
+	a := NewPlane(sp, 40, 40) // not multiples of 16
+	a.Set(39, 39, 255)
+	_, _, x1, y1 := BBox(a, 40, 40)
+	if x1 > 40 || y1 > 40 {
+		t.Fatalf("bbox exceeds frame: %d,%d", x1, y1)
+	}
+}

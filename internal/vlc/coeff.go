@@ -1,0 +1,208 @@
+package vlc
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Coefficient-event table geometry: events with run in [0, maxRun] and
+// |level| in [1, maxLevel] (for both LAST values) are in the Huffman
+// table; anything else escapes.
+const (
+	maxRun   = 8
+	maxLevel = 4
+)
+
+// symbol packs (last, run, level) into a table index; the final index is
+// the escape symbol.
+func symbolOf(last bool, run, level int) int {
+	l := 0
+	if last {
+		l = 1
+	}
+	return (l*(maxRun+1)+run)*maxLevel + (level - 1)
+}
+
+const (
+	numEventSymbols = 2 * (maxRun + 1) * maxLevel
+	escapeSymbol    = numEventSymbols
+)
+
+var (
+	coeffCodes   []Code
+	coeffDecoder *Decoder
+)
+
+func init() {
+	// Static frequency model: geometric decay in run and level, LAST
+	// events rarer, ESCAPE moderately rare. This mirrors the shape of
+	// the ISO TCOEF statistics.
+	weights := make([]uint64, numEventSymbols+1)
+	for last := 0; last < 2; last++ {
+		for run := 0; run <= maxRun; run++ {
+			for level := 1; level <= maxLevel; level++ {
+				w := 1 << 24 >> (uint(run) + 2*uint(level-1) + 2*uint(last))
+				sym := symbolOf(last == 1, run, level)
+				weights[sym] = uint64(w) + 1
+			}
+		}
+	}
+	weights[escapeSymbol] = 1 << 18
+	coeffCodes = BuildHuffman(weights)
+	var err error
+	coeffDecoder, err = NewDecoder(coeffCodes)
+	if err != nil {
+		panic(err)
+	}
+}
+
+// EncodeBlock writes the zigzag-scanned coefficient vector as
+// (LAST, RUN, LEVEL) events. The all-zero block writes a single "coded
+// block" flag upstream; callers should not call EncodeBlock for
+// uncoded blocks. Returns the number of events written.
+func EncodeBlock(w *bits.Writer, scanned *[64]int32) int {
+	lastNZ := -1
+	for i := 63; i >= 0; i-- {
+		if scanned[i] != 0 {
+			lastNZ = i
+			break
+		}
+	}
+	if lastNZ < 0 {
+		// Degenerate: encode as a single LAST event of level 1 at run 0
+		// would corrupt; instead write an escape event encoding a zero
+		// level, which the decoder treats as an empty block.
+		emitEscape(w, true, 0, 0)
+		return 1
+	}
+	events := 0
+	run := 0
+	for i := 0; i <= lastNZ; i++ {
+		v := scanned[i]
+		if v == 0 {
+			run++
+			continue
+		}
+		last := i == lastNZ
+		emitEvent(w, last, run, v)
+		events++
+		run = 0
+	}
+	return events
+}
+
+func emitEvent(w *bits.Writer, last bool, run int, level int32) {
+	alevel := level
+	if alevel < 0 {
+		alevel = -alevel
+	}
+	if run <= maxRun && alevel <= maxLevel {
+		c := coeffCodes[symbolOf(last, run, int(alevel))]
+		w.PutBits(c.Bits, c.Len)
+		if level < 0 {
+			w.PutBit(1)
+		} else {
+			w.PutBit(0)
+		}
+		return
+	}
+	emitEscape(w, last, run, level)
+}
+
+func emitEscape(w *bits.Writer, last bool, run int, level int32) {
+	c := coeffCodes[escapeSymbol]
+	w.PutBits(c.Bits, c.Len)
+	if last {
+		w.PutBit(1)
+	} else {
+		w.PutBit(0)
+	}
+	w.PutUE(uint32(run))
+	w.PutSE(level)
+}
+
+// DecodeBlock reads events until LAST and fills the zigzag-scanned
+// vector. It returns an error for malformed streams (invalid codewords,
+// coefficient overflow past position 63).
+func DecodeBlock(r *bits.Reader, scanned *[64]int32) error {
+	for i := range scanned {
+		scanned[i] = 0
+	}
+	pos := 0
+	for {
+		sym, err := coeffDecoder.Decode(r)
+		if err != nil {
+			return err
+		}
+		var last bool
+		var run int
+		var level int32
+		if sym == escapeSymbol {
+			lb, err := r.Bit()
+			if err != nil {
+				return err
+			}
+			last = lb == 1
+			ru, err := r.UE()
+			if err != nil {
+				return err
+			}
+			lv, err := r.SE()
+			if err != nil {
+				return err
+			}
+			run, level = int(ru), lv
+			if level == 0 {
+				if !last || pos != 0 {
+					return fmt.Errorf("vlc: zero-level escape inside block")
+				}
+				return nil // empty-block escape
+			}
+		} else {
+			lastPart := sym / ((maxRun + 1) * maxLevel)
+			rem := sym % ((maxRun + 1) * maxLevel)
+			run = rem / maxLevel
+			level = int32(rem%maxLevel) + 1
+			last = lastPart == 1
+			sb, err := r.Bit()
+			if err != nil {
+				return err
+			}
+			if sb == 1 {
+				level = -level
+			}
+		}
+		pos += run
+		if pos > 63 {
+			return fmt.Errorf("vlc: run overflow at position %d", pos)
+		}
+		scanned[pos] = level
+		pos++
+		if last {
+			return nil
+		}
+		if pos > 63 {
+			return fmt.Errorf("vlc: missing LAST event")
+		}
+	}
+}
+
+// OpsPerEvent approximates the decode cost of one coefficient event for
+// the timing model (bit loop iterations plus reconstruction).
+const OpsPerEvent = 30
+
+// EncodeMVD writes a motion-vector difference component (half-pel units).
+func EncodeMVD(w *bits.Writer, d int) { w.PutSE(int32(d)) }
+
+// DecodeMVD reads a motion-vector difference component.
+func DecodeMVD(r *bits.Reader) (int, error) {
+	v, err := r.SE()
+	return int(v), err
+}
+
+// EncodeDCD writes an intra-DC difference.
+func EncodeDCD(w *bits.Writer, d int32) { w.PutSE(d) }
+
+// DecodeDCD reads an intra-DC difference.
+func DecodeDCD(r *bits.Reader) (int32, error) { return r.SE() }

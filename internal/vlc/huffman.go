@@ -1,0 +1,177 @@
+// Package vlc implements the variable-length entropy coding layer of the
+// codec: a canonical Huffman code over (LAST, RUN, LEVEL) transform
+// coefficient events with an escape mechanism for rare events, plus
+// motion-vector-difference and intra-DC coding.
+//
+// The ISO tables (TCOEF, MVD) are replaced by a Huffman code built at
+// init from a static frequency model with the same structure (short runs
+// and small levels get the shortest codes, ESCAPE carries arbitrary
+// events). The substitution preserves what the paper measures — a
+// bit-serial variable-length decode loop over the coefficient stream —
+// while keeping the tables auditable.
+package vlc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bits"
+)
+
+// Code is one assigned codeword.
+type Code struct {
+	Bits uint32
+	Len  uint
+}
+
+// huffNode is a node of the code-construction heap/tree.
+type huffNode struct {
+	weight      uint64
+	symbol      int // -1 for internal
+	left, right *huffNode
+	depth       int
+}
+
+// BuildHuffman assigns prefix-free codewords to symbols 0..len(weights)-1
+// with larger weights receiving shorter codes. Zero weights are treated
+// as weight 1 so every symbol stays encodable. The construction is
+// standard Huffman followed by canonicalisation, so code lengths are
+// optimal for the weights and the code is uniquely decodable.
+func BuildHuffman(weights []uint64) []Code {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []Code{{Bits: 0, Len: 1}}
+	}
+	nodes := make([]*huffNode, n)
+	for i, w := range weights {
+		if w == 0 {
+			w = 1
+		}
+		nodes[i] = &huffNode{weight: w, symbol: i}
+	}
+	// Simple O(n^2) merge is fine for our table sizes.
+	pool := append([]*huffNode(nil), nodes...)
+	for len(pool) > 1 {
+		sort.Slice(pool, func(i, j int) bool {
+			if pool[i].weight != pool[j].weight {
+				return pool[i].weight < pool[j].weight
+			}
+			return pool[i].depth < pool[j].depth
+		})
+		a, b := pool[0], pool[1]
+		m := &huffNode{weight: a.weight + b.weight, symbol: -1, left: a, right: b, depth: max(a.depth, b.depth) + 1}
+		pool = append(pool[2:], m)
+	}
+	lengths := make([]uint, n)
+	var walk func(nd *huffNode, d uint)
+	walk = func(nd *huffNode, d uint) {
+		if nd.symbol >= 0 {
+			if d == 0 {
+				d = 1
+			}
+			lengths[nd.symbol] = d
+			return
+		}
+		walk(nd.left, d+1)
+		walk(nd.right, d+1)
+	}
+	walk(pool[0], 0)
+	return canonicalize(lengths)
+}
+
+// canonicalize assigns canonical codewords from code lengths.
+func canonicalize(lengths []uint) []Code {
+	type sl struct {
+		sym int
+		l   uint
+	}
+	order := make([]sl, len(lengths))
+	for i, l := range lengths {
+		order[i] = sl{i, l}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	codes := make([]Code, len(lengths))
+	var code uint32
+	var prevLen uint
+	for _, e := range order {
+		code <<= (e.l - prevLen)
+		codes[e.sym] = Code{Bits: code, Len: e.l}
+		code++
+		prevLen = e.l
+	}
+	return codes
+}
+
+// Decoder is a bit-serial decoder for a canonical code: it walks the
+// codeword one bit at a time through a flattened binary tree, the same
+// inner loop a reference VLC decoder executes.
+type Decoder struct {
+	// tree nodes: child[i][b] is the next node index or -(symbol+1).
+	child [][2]int32
+}
+
+// NewDecoder builds the decode tree for codes.
+func NewDecoder(codes []Code) (*Decoder, error) {
+	d := &Decoder{child: make([][2]int32, 1)}
+	for sym, c := range codes {
+		if c.Len == 0 {
+			continue
+		}
+		node := int32(0)
+		for i := int(c.Len) - 1; i >= 0; i-- {
+			b := (c.Bits >> uint(i)) & 1
+			next := d.child[node][b]
+			if i == 0 {
+				if next != 0 {
+					return nil, fmt.Errorf("vlc: code for symbol %d collides", sym)
+				}
+				d.child[node][b] = -(int32(sym) + 1)
+				break
+			}
+			if next < 0 {
+				return nil, fmt.Errorf("vlc: code for symbol %d passes through a leaf", sym)
+			}
+			if next == 0 {
+				d.child = append(d.child, [2]int32{})
+				next = int32(len(d.child) - 1)
+				d.child[node][b] = next
+			}
+			node = next
+		}
+	}
+	return d, nil
+}
+
+// Decode reads one symbol from r.
+func (d *Decoder) Decode(r *bits.Reader) (int, error) {
+	node := int32(0)
+	for {
+		b, err := r.Bit()
+		if err != nil {
+			return 0, err
+		}
+		next := d.child[node][b]
+		if next < 0 {
+			return int(-next) - 1, nil
+		}
+		if next == 0 {
+			return 0, fmt.Errorf("vlc: invalid codeword")
+		}
+		node = next
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

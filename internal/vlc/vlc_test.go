@@ -1,0 +1,254 @@
+package vlc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+)
+
+func TestBuildHuffmanPrefixFree(t *testing.T) {
+	weights := []uint64{100, 50, 25, 12, 6, 3, 1, 1}
+	codes := BuildHuffman(weights)
+	for i, a := range codes {
+		if a.Len == 0 {
+			t.Fatalf("symbol %d has no code", i)
+		}
+		for j, b := range codes {
+			if i == j {
+				continue
+			}
+			// No code may be a prefix of another.
+			minLen := a.Len
+			if b.Len < minLen {
+				minLen = b.Len
+			}
+			if a.Bits>>(a.Len-minLen) == b.Bits>>(b.Len-minLen) {
+				t.Fatalf("codes %d and %d share a prefix", i, j)
+			}
+		}
+	}
+	// Higher weight must not get a longer code than a lower weight.
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1].Len > codes[i].Len {
+			t.Fatalf("weight order violated: len(%d)=%d > len(%d)=%d",
+				i-1, codes[i-1].Len, i, codes[i].Len)
+		}
+	}
+}
+
+func TestBuildHuffmanKraft(t *testing.T) {
+	f := func(ws []uint16) bool {
+		if len(ws) < 2 {
+			return true
+		}
+		if len(ws) > 64 {
+			ws = ws[:64]
+		}
+		weights := make([]uint64, len(ws))
+		for i, w := range ws {
+			weights[i] = uint64(w)
+		}
+		codes := BuildHuffman(weights)
+		// Kraft equality for a complete binary code.
+		var kraft float64
+		for _, c := range codes {
+			kraft += 1 / float64(uint64(1)<<c.Len)
+		}
+		return kraft > 0.999 && kraft < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanDecoderRoundTrip(t *testing.T) {
+	weights := []uint64{1000, 400, 200, 90, 30, 10, 4, 2, 1}
+	codes := BuildHuffman(weights)
+	dec, err := NewDecoder(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]int, 500)
+	w := bits.NewWriter(256)
+	for i := range syms {
+		syms[i] = rng.Intn(len(weights))
+		c := codes[syms[i]]
+		w.PutBits(c.Bits, c.Len)
+	}
+	r := bits.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := dec.Decode(r)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestSingleSymbolAlphabet(t *testing.T) {
+	codes := BuildHuffman([]uint64{5})
+	if len(codes) != 1 || codes[0].Len != 1 {
+		t.Fatalf("single-symbol code wrong: %+v", codes)
+	}
+}
+
+func TestBlockRoundTripSimple(t *testing.T) {
+	var blk [64]int32
+	blk[0] = 17
+	blk[1] = -3
+	blk[5] = 1
+	blk[63] = -2
+	w := bits.NewWriter(64)
+	EncodeBlock(w, &blk)
+	var got [64]int32
+	r := bits.NewReader(w.Bytes())
+	if err := DecodeBlock(r, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != blk {
+		t.Fatalf("roundtrip mismatch:\n%v\n%v", blk, got)
+	}
+}
+
+func TestBlockRoundTripEmpty(t *testing.T) {
+	var blk [64]int32
+	w := bits.NewWriter(8)
+	EncodeBlock(w, &blk)
+	var got [64]int32
+	got[3] = 99 // must be cleared
+	r := bits.NewReader(w.Bytes())
+	if err := DecodeBlock(r, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != blk {
+		t.Fatal("empty block roundtrip failed")
+	}
+}
+
+func TestQuickBlockRoundTrip(t *testing.T) {
+	f := func(seed int64, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var blk [64]int32
+		d := int(density)%64 + 1
+		for i := 0; i < d; i++ {
+			pos := rng.Intn(64)
+			lv := int32(rng.Intn(4001) - 2000) // exercise escapes
+			blk[pos] = lv
+		}
+		w := bits.NewWriter(256)
+		EncodeBlock(w, &blk)
+		var got [64]int32
+		r := bits.NewReader(w.Bytes())
+		if err := DecodeBlock(r, &got); err != nil {
+			return false
+		}
+		return got == blk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockSequenceRoundTrip(t *testing.T) {
+	// Several blocks back to back must stay in sync.
+	rng := rand.New(rand.NewSource(9))
+	var blocks [10][64]int32
+	w := bits.NewWriter(1024)
+	for b := range blocks {
+		for i := 0; i < 5; i++ {
+			blocks[b][rng.Intn(64)] = int32(rng.Intn(21) - 10)
+		}
+		EncodeBlock(w, &blocks[b])
+	}
+	r := bits.NewReader(w.Bytes())
+	for b := range blocks {
+		var got [64]int32
+		if err := DecodeBlock(r, &got); err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		if got != blocks[b] {
+			t.Fatalf("block %d out of sync", b)
+		}
+	}
+}
+
+func TestCompressionBeatsFixedLength(t *testing.T) {
+	// Sparse, small-level blocks (typical after quantization) should
+	// code far below the 64*12-bit fixed-length baseline.
+	rng := rand.New(rand.NewSource(4))
+	w := bits.NewWriter(4096)
+	n := 100
+	for b := 0; b < n; b++ {
+		var blk [64]int32
+		for i := 0; i < 4; i++ {
+			blk[rng.Intn(16)] = int32(rng.Intn(5) - 2)
+		}
+		EncodeBlock(w, &blk)
+	}
+	avg := float64(w.Len()) / float64(n)
+	if avg > 120 {
+		t.Fatalf("average block size %.0f bits; entropy coding ineffective", avg)
+	}
+}
+
+func TestMVDAndDCDRoundTrip(t *testing.T) {
+	w := bits.NewWriter(64)
+	mvds := []int{0, 1, -1, 15, -16, 63}
+	dcds := []int32{0, 5, -200, 1020}
+	for _, v := range mvds {
+		EncodeMVD(w, v)
+	}
+	for _, v := range dcds {
+		EncodeDCD(w, v)
+	}
+	r := bits.NewReader(w.Bytes())
+	for _, v := range mvds {
+		got, err := DecodeMVD(r)
+		if err != nil || got != v {
+			t.Fatalf("MVD got %d,%v want %d", got, err, v)
+		}
+	}
+	for _, v := range dcds {
+		got, err := DecodeDCD(r)
+		if err != nil || got != v {
+			t.Fatalf("DCD got %d,%v want %d", got, err, v)
+		}
+	}
+}
+
+func TestDecodeBlockRejectsGarbage(t *testing.T) {
+	// A long run of ones will eventually hit an invalid codeword or
+	// overflow; either way DecodeBlock must error, not hang or panic.
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = 0x5A
+	}
+	var got [64]int32
+	// Try a few offsets; at least one must produce an error (the stream
+	// is finite so even "valid" decodes terminate).
+	r := bits.NewReader(data)
+	for {
+		if err := DecodeBlock(r, &got); err != nil {
+			return // expected: malformed somewhere
+		}
+		if r.Remaining() == 0 {
+			t.Skip("garbage happened to decode as valid blocks")
+		}
+	}
+}
+
+func TestDecoderRejectsCollidingCodes(t *testing.T) {
+	codes := []Code{{Bits: 0b0, Len: 1}, {Bits: 0b0, Len: 1}}
+	if _, err := NewDecoder(codes); err == nil {
+		t.Fatal("colliding codes accepted")
+	}
+	codes = []Code{{Bits: 0b0, Len: 1}, {Bits: 0b00, Len: 2}}
+	if _, err := NewDecoder(codes); err == nil {
+		t.Fatal("prefix-passing code accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package vop models the MPEG-4 video object plane layer: I/P/B VOP
+// typing over a GOP structure, the display-to-coding-order schedule the
+// encoder must follow, and the decoder-side reorder buffer that restores
+// display order.
+//
+// Figure 1 of the paper illustrates the dependences: an I-VOP is coded
+// independently, a P-VOP predicts from the nearest previously coded
+// anchor, and a B-VOP interpolates between the anchors on either side.
+// With display order I B1 B2 P, both encoder and decoder process
+// I, P, B1, B2 — the out-of-(temporal)-order processing the paper notes
+// increases the storage requirements of real-time playback.
+package vop
+
+import "fmt"
+
+// Type is the coding type of a VOP.
+type Type uint8
+
+const (
+	// TypeI is an intra VOP: a complete, independently coded image.
+	TypeI Type = iota
+	// TypeP is a forward-predicted VOP built from the nearest
+	// previously coded anchor.
+	TypeP
+	// TypeB is a bidirectionally interpolated VOP.
+	TypeB
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeI:
+		return "I"
+	case TypeP:
+		return "P"
+	case TypeB:
+		return "B"
+	default:
+		return "?"
+	}
+}
+
+// GOP describes the group-of-VOPs structure: an I-VOP every N frames and
+// an anchor (I or P) every M frames, with M-1 B-VOPs between anchors.
+// The paper's workloads use the classic N=12, M=3 pattern.
+type GOP struct {
+	N int // intra period
+	M int // anchor spacing (1 disables B-VOPs)
+}
+
+// DefaultGOP is the I B B P B B P B B P B B pattern.
+func DefaultGOP() GOP { return GOP{N: 12, M: 3} }
+
+// Validate checks the structure.
+func (g GOP) Validate() error {
+	if g.M < 1 {
+		return fmt.Errorf("vop: GOP M=%d must be >= 1", g.M)
+	}
+	if g.N < 1 || g.N%g.M != 0 {
+		return fmt.Errorf("vop: GOP N=%d must be a positive multiple of M=%d", g.N, g.M)
+	}
+	return nil
+}
+
+// TypeOf returns the coding type of display-order frame t.
+func (g GOP) TypeOf(t int) Type {
+	if t%g.N == 0 {
+		return TypeI
+	}
+	if t%g.M == 0 {
+		return TypeP
+	}
+	return TypeB
+}
+
+// Item is one scheduled VOP in coding order. Fwd and Bwd are the display
+// indices of the forward (past) and backward (future) reference anchors,
+// -1 when unused.
+type Item struct {
+	Display int
+	Type    Type
+	Fwd     int
+	Bwd     int
+}
+
+// Schedule produces the coding order for n display-order frames: each
+// anchor is coded before the B-VOPs that reference it, so the coding
+// order of display I B1 B2 P is I, P, B1, B2. Trailing frames after the
+// last in-range anchor are coded as P-VOPs chained off the previous
+// coded frame (reference-encoder behaviour for sequence tails).
+func (g GOP) Schedule(n int) ([]Item, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	var out []Item
+	prevAnchor := -1
+	t := 0
+	for ; t < n; t += g.M {
+		typ := g.TypeOf(t)
+		if typ == TypeB { // cannot happen for anchor positions
+			return nil, fmt.Errorf("vop: internal schedule error at %d", t)
+		}
+		it := Item{Display: t, Type: typ, Fwd: -1, Bwd: -1}
+		if typ == TypeP {
+			it.Fwd = prevAnchor
+		}
+		out = append(out, it)
+		// The B-VOPs between the previous anchor and this one follow it.
+		if prevAnchor >= 0 {
+			for b := prevAnchor + 1; b < t; b++ {
+				out = append(out, Item{Display: b, Type: TypeB, Fwd: prevAnchor, Bwd: t})
+			}
+		}
+		prevAnchor = t
+	}
+	// Tail: frames after the last anchor, coded as chained P-VOPs.
+	for d := prevAnchor + 1; d < n; d++ {
+		out = append(out, Item{Display: d, Type: TypeP, Fwd: d - 1, Bwd: -1})
+	}
+	return out, nil
+}
+
+// ReorderBuffer restores display order at the decoder: B-VOPs are
+// emitted immediately, anchors are held back until the next anchor (or
+// end of stream) arrives. This is the extra storage the paper attributes
+// to out-of-order decoding.
+type ReorderBuffer struct {
+	pending   *int // display index of the held anchor
+	pendingIt Item
+	out       []Item
+}
+
+// Push accepts the next VOP in coding order and returns any VOPs that
+// become displayable, in display order.
+func (rb *ReorderBuffer) Push(it Item) []Item {
+	rb.out = rb.out[:0]
+	switch it.Type {
+	case TypeB:
+		rb.out = append(rb.out, it)
+	default: // anchor
+		if rb.pending != nil {
+			rb.out = append(rb.out, rb.pendingIt)
+		}
+		d := it.Display
+		rb.pending = &d
+		rb.pendingIt = it
+	}
+	return rb.out
+}
+
+// Flush releases the final held anchor at end of stream.
+func (rb *ReorderBuffer) Flush() []Item {
+	if rb.pending == nil {
+		return nil
+	}
+	it := rb.pendingIt
+	rb.pending = nil
+	return []Item{it}
+}

@@ -1,0 +1,203 @@
+package vop
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	if TypeI.String() != "I" || TypeP.String() != "P" || TypeB.String() != "B" || Type(7).String() != "?" {
+		t.Fatal("Type strings wrong")
+	}
+}
+
+func TestGOPValidate(t *testing.T) {
+	if DefaultGOP().Validate() != nil {
+		t.Fatal("default GOP invalid")
+	}
+	for _, g := range []GOP{{N: 0, M: 1}, {N: 12, M: 0}, {N: 10, M: 3}} {
+		if g.Validate() == nil {
+			t.Errorf("GOP %+v accepted", g)
+		}
+	}
+}
+
+func TestTypeOfPattern(t *testing.T) {
+	g := DefaultGOP()
+	want := "IBBPBBPBBPBBIBB"
+	for i, w := range want {
+		if g.TypeOf(i).String() != string(w) {
+			t.Fatalf("frame %d: type %s want %c", i, g.TypeOf(i), w)
+		}
+	}
+}
+
+// TestReorderMatchesFigure1 pins the paper's Figure 1 semantics: display
+// order I B1 B2 P codes (and decodes) as I, P, B1, B2.
+func TestReorderMatchesFigure1(t *testing.T) {
+	g := GOP{N: 12, M: 3}
+	items, err := g.Schedule(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOrder := []int{}
+	gotTypes := []string{}
+	for _, it := range items {
+		gotOrder = append(gotOrder, it.Display)
+		gotTypes = append(gotTypes, it.Type.String())
+	}
+	wantOrder := []int{0, 3, 1, 2}
+	wantTypes := []string{"I", "P", "B", "B"}
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] || gotTypes[i] != wantTypes[i] {
+			t.Fatalf("coding order %v %v; want %v %v", gotOrder, gotTypes, wantOrder, wantTypes)
+		}
+	}
+	// B references: both anchors.
+	for _, it := range items {
+		if it.Type == TypeB && (it.Fwd != 0 || it.Bwd != 3) {
+			t.Fatalf("B-VOP refs wrong: %+v", it)
+		}
+	}
+}
+
+func TestScheduleCoversAllFramesOnce(t *testing.T) {
+	f := func(nRaw uint8, mRaw uint8) bool {
+		m := int(mRaw)%4 + 1
+		g := GOP{N: m * 4, M: m}
+		n := int(nRaw)%50 + 1
+		items, err := g.Schedule(n)
+		if err != nil {
+			return false
+		}
+		if len(items) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, it := range items {
+			if it.Display < 0 || it.Display >= n || seen[it.Display] {
+				return false
+			}
+			seen[it.Display] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleReferencesAreCoded(t *testing.T) {
+	// Every reference must appear earlier in coding order (the decoder
+	// dependence invariant of Figure 1).
+	f := func(nRaw uint8) bool {
+		g := DefaultGOP()
+		n := int(nRaw)%60 + 1
+		items, err := g.Schedule(n)
+		if err != nil {
+			return false
+		}
+		codedAt := map[int]int{}
+		for pos, it := range items {
+			codedAt[it.Display] = pos
+		}
+		for pos, it := range items {
+			if it.Fwd >= 0 {
+				p, ok := codedAt[it.Fwd]
+				if !ok || p >= pos {
+					return false
+				}
+			}
+			if it.Bwd >= 0 {
+				p, ok := codedAt[it.Bwd]
+				if !ok || p >= pos {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleM1HasNoB(t *testing.T) {
+	g := GOP{N: 4, M: 1}
+	items, err := g.Schedule(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Type == TypeB {
+			t.Fatal("M=1 schedule contains B-VOPs")
+		}
+	}
+	// Display order == coding order for M=1.
+	for i, it := range items {
+		if it.Display != i {
+			t.Fatal("M=1 schedule reorders")
+		}
+	}
+}
+
+func TestScheduleTailIsP(t *testing.T) {
+	g := DefaultGOP()
+	items, err := g.Schedule(8) // anchors at 0,3,6; tail 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := items[len(items)-1]
+	if last.Display != 7 || last.Type != TypeP || last.Fwd != 6 {
+		t.Fatalf("tail scheduling wrong: %+v", last)
+	}
+}
+
+func TestReorderBufferRestoresDisplayOrder(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		g := DefaultGOP()
+		n := int(nRaw)%40 + 1
+		items, err := g.Schedule(n)
+		if err != nil {
+			return false
+		}
+		var rb ReorderBuffer
+		var displayed []int
+		for _, it := range items {
+			for _, d := range rb.Push(it) {
+				displayed = append(displayed, d.Display)
+			}
+		}
+		for _, d := range rb.Flush() {
+			displayed = append(displayed, d.Display)
+		}
+		if len(displayed) != n {
+			return false
+		}
+		return sort.IntsAreSorted(displayed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderBufferFlushEmpty(t *testing.T) {
+	var rb ReorderBuffer
+	if out := rb.Flush(); out != nil {
+		t.Fatal("flush of empty buffer returned items")
+	}
+}
+
+func TestScheduleZeroFrames(t *testing.T) {
+	items, err := DefaultGOP().Schedule(0)
+	if err != nil || items != nil {
+		t.Fatal("zero-frame schedule should be empty")
+	}
+}
+
+func TestScheduleInvalidGOP(t *testing.T) {
+	if _, err := (GOP{N: 5, M: 3}).Schedule(10); err == nil {
+		t.Fatal("invalid GOP accepted")
+	}
+}
