@@ -12,12 +12,19 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/perf"
 )
+
+// benchPool is the shared experiment-farm pool the benchmarks run on:
+// GOMAXPROCS workers, the default for CPU-bound trace simulation.
+var benchPool = farm.Default()
 
 // benchFrames keeps benchmark runtime manageable; all reported metrics
 // are rates, insensitive to sequence length (see DESIGN.md and
@@ -30,7 +37,7 @@ func benchTable(b *testing.B, num int) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		tab, results, err := harness.RunTable(spec, benchFrames)
+		tab, results, err := harness.RunTablePool(context.Background(), benchPool, spec, benchFrames)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +85,7 @@ func BenchmarkTable7Decode3VO2L(b *testing.B) { benchTable(b, 7) }
 // against the whole program on the R12K/8MB machine.
 func BenchmarkTable8Burstiness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := harness.Table8(benchFrames)
+		tab, err := harness.Table8Pool(context.Background(), benchPool, benchFrames)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +100,7 @@ func BenchmarkTable8Burstiness(b *testing.B) {
 // curves.
 func BenchmarkFigure2SizeSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		series, err := harness.Figure2(benchFrames)
+		series, err := harness.Figure2Pool(context.Background(), benchPool, benchFrames)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +119,7 @@ func BenchmarkFigure2SizeSweep(b *testing.B) {
 // and layers (R10K/2MB).
 func BenchmarkFigure3L1Sweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := harness.RunObjectSweep(benchFrames)
+		points, err := harness.RunObjectSweepPool(context.Background(), benchPool, benchFrames)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +134,7 @@ func BenchmarkFigure3L1Sweep(b *testing.B) {
 // BenchmarkFigure4L2Sweep — L2 miss rates for the same sweep.
 func BenchmarkFigure4L2Sweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := harness.RunObjectSweep(benchFrames)
+		points, err := harness.RunObjectSweepPool(context.Background(), benchPool, benchFrames)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +170,7 @@ func seriesString(s perf.Series) string {
 func BenchmarkFutureWorkRatioSweep(b *testing.B) {
 	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
 	for i := 0; i < b.N; i++ {
-		points, err := harness.RunRatioSweep(wl, nil)
+		points, err := harness.RunRatioSweepPool(context.Background(), benchPool, wl, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +190,7 @@ func BenchmarkFutureWorkRatioSweep(b *testing.B) {
 func BenchmarkAblationSearchAlgorithm(b *testing.B) {
 	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
 	for i := 0; i < b.N; i++ {
-		results, err := harness.RunSearchAblation(wl)
+		results, err := harness.RunSearchAblationPool(context.Background(), benchPool, wl)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +205,7 @@ func BenchmarkAblationSearchAlgorithm(b *testing.B) {
 func BenchmarkAblationPrefetch(b *testing.B) {
 	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
 	for i := 0; i < b.N; i++ {
-		results, err := harness.RunPrefetchAblation(wl, nil)
+		results, err := harness.RunPrefetchAblationPool(context.Background(), benchPool, wl, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,7 +220,7 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 func BenchmarkAblationStaging(b *testing.B) {
 	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
 	for i := 0; i < b.N; i++ {
-		results, err := harness.RunStagingAblation(wl)
+		results, err := harness.RunStagingAblationPool(context.Background(), benchPool, wl)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -228,12 +235,34 @@ func BenchmarkAblationStaging(b *testing.B) {
 func BenchmarkAblationPageColoring(b *testing.B) {
 	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames, Objects: 2}
 	for i := 0; i < b.N; i++ {
-		results, err := harness.RunColoringAblation(wl)
+		results, err := harness.RunColoringAblationPool(context.Background(), benchPool, wl)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			b.Log("\n" + harness.FormatAblation("page coloring ablation (encode, R12K 1MB)", results))
 		}
+	}
+}
+
+// BenchmarkFarmStudyScaling regenerates Tables 2–7 — twelve independent
+// trace-driven simulations — through the experiment farm at increasing
+// worker counts. The speedup from workers=1 to workers=N is the
+// headline payoff of the farm; results are byte-identical at every
+// point (asserted by the farm's determinism tests).
+func BenchmarkFarmStudyScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := farm.New(farm.Config{Workers: workers})
+			for i := 0; i < b.N; i++ {
+				tabs, err := harness.RunTables(context.Background(), p, harness.TableSpecs(), benchFrames)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tabs) != 6 {
+					b.Fatalf("got %d tables", len(tabs))
+				}
+			}
+		})
 	}
 }

@@ -5,19 +5,30 @@
 //
 //	mp4enc -size 352x288 -in input.yuv -out stream.m4v [-qp 8] [-frames N]
 //	mp4enc -size 352x288 -synth 30 -out stream.m4v     # synthetic input
+//	mp4enc -size 352x288 -synth 30 -qpsweep 4,8,16,31  # rate-distortion sweep
 //
 // The input file holds concatenated frames of W*H luma bytes followed by
 // two (W/2)*(H/2) chroma planes. Statistics (bits per VOP type, PSNR if
 // -verify) print to stderr.
+//
+// With -qpsweep, the listed quantizer values encode concurrently on the
+// internal/farm worker pool (-parallel sets the worker count) and a
+// rate-distortion table prints to stdout; -out, if given, writes one
+// stream per QP as <out>.qpN.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/codec"
+	"repro/internal/farm"
 	"repro/internal/simmem"
 	"repro/internal/video"
 )
@@ -32,17 +43,28 @@ func main() {
 	searchRange := flag.Int("range", 8, "motion search range (full-pel)")
 	bitrate := flag.Int("bitrate", 0, "target bit/s (0 = constant QP)")
 	verify := flag.Bool("verify", false, "decode the result and report PSNR")
+	qpsweep := flag.String("qpsweep", "", "comma-separated QP list: encode each concurrently, print rate-distortion table")
+	parallel := flag.Int("parallel", 0, "farm worker count for -qpsweep (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	w, h, err := parseSize(*size)
 	if err != nil {
 		fatal(err)
 	}
-	if *out == "" {
-		fatal(fmt.Errorf("-out is required"))
-	}
 	if (*in == "") == (*synth == 0) {
 		fatal(fmt.Errorf("exactly one of -in or -synth is required"))
+	}
+	if *qpsweep != "" {
+		if *bitrate != 0 {
+			fatal(fmt.Errorf("-qpsweep runs constant-QP encodes; it cannot be combined with -bitrate"))
+		}
+		if err := runQPSweep(*qpsweep, *parallel, w, h, *in, *synth, *frames, *searchRange, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
 	}
 
 	space := simmem.NewSpace(0)
@@ -98,6 +120,103 @@ func main() {
 	}
 }
 
+// qpResult is one row of the rate-distortion table.
+type qpResult struct {
+	qp     int
+	bytes  int
+	bpp    float64
+	psnr   float64
+	stream []byte
+}
+
+// runQPSweep encodes the same input once per QP, concurrently on the
+// farm. Each job loads the input into its own isolated Space, so jobs
+// share nothing; results print in QP-list order.
+func runQPSweep(list string, workers, w, h int, in string, synth, frames, searchRange int, out string) error {
+	var qps []int
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 || v > 31 {
+			return fmt.Errorf("invalid -qpsweep entry %q (want QPs in 1..31)", f)
+		}
+		qps = append(qps, v)
+	}
+	// Read the input file once; each job parses the shared read-only
+	// bytes into frames inside its own isolated Space.
+	var raw []byte
+	if in != "" {
+		var err error
+		if raw, err = os.ReadFile(in); err != nil {
+			return err
+		}
+	}
+	pool := farm.New(farm.Config{Workers: workers})
+	results, err := farm.MapLabeled(context.Background(), pool, qps,
+		func(i int, qp int) string { return fmt.Sprintf("qp=%d", qp) },
+		func(ctx context.Context, env farm.Env, qp int) (qpResult, error) {
+			space := env.Space
+			var seq []*video.Frame
+			var err error
+			if synth > 0 {
+				seq = video.NewSynth(w, h, 1).Sequence(space, synth)
+			} else if seq, err = framesFromYUV(space, raw, in, w, h, frames); err != nil {
+				return qpResult{}, err
+			}
+			if len(seq) == 0 {
+				return qpResult{}, fmt.Errorf("no input frames")
+			}
+			cfg := codec.DefaultConfig(w, h)
+			cfg.QP = qp
+			cfg.SearchRange = searchRange
+			enc, err := codec.NewEncoder(cfg, space, nil, nil)
+			if err != nil {
+				return qpResult{}, err
+			}
+			stream, err := enc.EncodeSequence(seq)
+			if err != nil {
+				return qpResult{}, err
+			}
+			dec := codec.NewDecoder(simmem.NewSpace(0), nil, nil)
+			got, err := dec.DecodeSequence(stream)
+			if err != nil {
+				return qpResult{}, err
+			}
+			var sum float64
+			for i := range seq {
+				sum += video.PSNR(seq[i], got[i])
+			}
+			totalBits := 0
+			for _, b := range enc.VOPBits {
+				totalBits += b
+			}
+			return qpResult{
+				qp:     qp,
+				bytes:  len(stream),
+				bpp:    float64(totalBits) / float64(len(seq)*w*h),
+				psnr:   sum / float64(len(seq)),
+				stream: stream,
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rate-distortion sweep %dx%d (%d workers)\n", w, h, pool.Workers())
+	fmt.Printf("  %4s %10s %10s %10s\n", "qp", "bytes", "bits/px", "PSNR dB")
+	for _, r := range results {
+		fmt.Printf("  %4d %10d %10.3f %10.2f\n", r.qp, r.bytes, r.bpp, r.psnr)
+	}
+	if out != "" {
+		for _, r := range results {
+			path := fmt.Sprintf("%s.qp%d", out, r.qp)
+			if err := os.WriteFile(path, r.stream, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, r.bytes)
+		}
+	}
+	return nil
+}
+
 func parseSize(s string) (int, int, error) {
 	var w, h int
 	if _, err := fmt.Sscanf(s, "%dx%d", &w, &h); err != nil {
@@ -115,10 +234,22 @@ func readYUV(space *simmem.Space, path string, w, h, maxFrames int) ([]*video.Fr
 		return nil, err
 	}
 	defer f.Close()
+	return framesFrom(space, f, path, w, h, maxFrames)
+}
+
+// framesFromYUV parses concatenated I420 frames out of raw. The buffer
+// is only read, so concurrent sweep jobs may share it while building
+// frames in their own spaces; the single-encode path streams from the
+// file instead (readYUV) and never loads more than it needs.
+func framesFromYUV(space *simmem.Space, raw []byte, path string, w, h, maxFrames int) ([]*video.Frame, error) {
+	return framesFrom(space, bytes.NewReader(raw), path, w, h, maxFrames)
+}
+
+func framesFrom(space *simmem.Space, r io.Reader, path string, w, h, maxFrames int) ([]*video.Frame, error) {
 	var out []*video.Frame
 	for maxFrames == 0 || len(out) < maxFrames {
 		fr := video.NewFrame(space, w, h)
-		if _, err := io.ReadFull(f, fr.Y.Pix); err != nil {
+		if _, err := io.ReadFull(r, fr.Y.Pix); err != nil {
 			if err == io.EOF {
 				break
 			}
@@ -127,10 +258,10 @@ func readYUV(space *simmem.Space, path string, w, h, maxFrames int) ([]*video.Fr
 			}
 			return nil, err
 		}
-		if _, err := io.ReadFull(f, fr.Cb.Pix); err != nil {
+		if _, err := io.ReadFull(r, fr.Cb.Pix); err != nil {
 			return nil, fmt.Errorf("truncated chroma in frame %d: %w", len(out), err)
 		}
-		if _, err := io.ReadFull(f, fr.Cr.Pix); err != nil {
+		if _, err := io.ReadFull(r, fr.Cr.Pix); err != nil {
 			return nil, fmt.Errorf("truncated chroma in frame %d: %w", len(out), err)
 		}
 		fr.TimeIndex = len(out)

@@ -6,19 +6,44 @@
 // Usage:
 //
 //	mp4study -all                 # every table and figure
+//	mp4study -all -parallel 8     # same, on 8 farm workers
 //	mp4study -table 3             # one table (1–8)
 //	mp4study -figure 2            # one figure (2–4)
 //	mp4study -frames 12           # longer sequences (slower, same rates)
+//	mp4study -manifest jobs.json  # batch-manifest mode (see below)
+//	mp4study -progress ...        # job completions to stderr
 //
-// Output is plain text in the paper's layout.
+// Experiments run on the internal/farm worker pool; -parallel sets the
+// worker count (default GOMAXPROCS). Output is deterministic: the same
+// bytes at every worker count, in the paper's layout.
+//
+// Batch-manifest mode runs an arbitrary experiment list concurrently
+// and prints the outputs in manifest order. The manifest is JSON:
+//
+//	{
+//	  "frames": 6,
+//	  "parallel": 8,
+//	  "experiments": [
+//	    {"table": 2}, {"table": 8},
+//	    {"figure": 3},
+//	    {"sweep": "ratio"}, {"sweep": "coloring"}
+//	  ]
+//	}
+//
+// Flags override manifest settings when given explicitly.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/farm"
 	"repro/internal/harness"
 )
 
@@ -28,154 +53,311 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	frames := flag.Int("frames", 0, "sequence length in frames (0 = default)")
 	sweep := flag.String("sweep", "", "extra experiment: ratio | search | prefetch | staging | coloring")
+	manifest := flag.String("manifest", "", "batch-manifest file (JSON); runs its experiment list")
+	parallel := flag.Int("parallel", 0, "farm worker count (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report job completions to stderr")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && *sweep == "" {
+	modes := 0
+	for _, set := range []bool{*all, *table != 0, *figure != 0, *sweep != "", *manifest != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *sweep != "" {
-		if err := runSweep(*sweep, *frames); err != nil {
-			fatal(err)
-		}
-		return
+	if modes > 1 {
+		fatal(fmt.Errorf("choose exactly one of -all, -table, -figure, -sweep, -manifest"))
 	}
 
 	start := time.Now()
-	if *all {
-		for n := 1; n <= 8; n++ {
-			if err := runTable(n, *frames); err != nil {
-				fatal(err)
-			}
-		}
-		for n := 2; n <= 4; n++ {
-			if err := runFigure(n, *frames); err != nil {
-				fatal(err)
-			}
-		}
-	} else if *table != 0 {
-		if err := runTable(*table, *frames); err != nil {
+	ctx := context.Background()
+	pool := newPool(*parallel, *progress)
+
+	switch {
+	case *manifest != "":
+		var err error
+		if pool, err = runManifest(ctx, *manifest, *frames, *parallel, *progress); err != nil {
 			fatal(err)
 		}
-	} else if *figure != 0 {
-		if err := runFigure(*figure, *frames); err != nil {
+	case *all:
+		if err := runAll(ctx, pool, *frames); err != nil {
+			fatal(err)
+		}
+	case *table != 0:
+		if err := printExperiment(ctx, pool, experiment{Table: *table}, *frames); err != nil {
+			fatal(err)
+		}
+	case *figure != 0:
+		if err := printExperiment(ctx, pool, experiment{Figure: *figure}, *frames); err != nil {
+			fatal(err)
+		}
+	case *sweep != "":
+		if err := printExperiment(ctx, pool, experiment{Sweep: *sweep}, *frames); err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "total time: %v (%d workers)\n",
+		time.Since(start).Round(time.Millisecond), pool.Workers())
 }
 
-func runTable(n, frames int) error {
-	switch n {
-	case 1:
-		fmt.Println(harness.Table1())
-		return nil
-	case 8:
-		tab, err := harness.Table8(frames)
-		if err != nil {
+// runAll regenerates every table and figure in paper order. Tables 2–7
+// fan out through harness.RunTables at (table, resolution) cell
+// granularity — twelve concurrent simulations — and Table 8 and the
+// figures fan out through their own pool paths, so -all saturates the
+// pool instead of being bound by the slowest whole table.
+func runAll(ctx context.Context, pool *farm.Pool, frames int) error {
+	fmt.Print(harness.Table1() + "\n")
+	tabs, err := harness.RunTables(ctx, pool, harness.TableSpecs(), frames)
+	if err != nil {
+		return err
+	}
+	for _, tab := range tabs {
+		fmt.Print(tab.String() + "\n")
+	}
+	for _, e := range []experiment{{Table: 8}, {Figure: 2}, {Figure: 3}, {Figure: 4}} {
+		if err := printExperiment(ctx, pool, e, frames); err != nil {
 			return err
 		}
-		fmt.Println(tab.String())
-		return nil
+	}
+	return nil
+}
+
+func newPool(workers int, progress bool) *farm.Pool {
+	cfg := farm.Config{Workers: workers}
+	if progress {
+		cfg.Progress = func(ev farm.Event) {
+			status := "done"
+			if ev.Err != nil {
+				status = "FAIL: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", ev.Done, ev.Total, ev.Label, status)
+		}
+	}
+	return farm.New(cfg)
+}
+
+// experiment is one schedulable unit of the study: a table, a figure,
+// or an extension sweep. Exactly one field is set.
+type experiment struct {
+	Table  int    `json:"table,omitempty"`
+	Figure int    `json:"figure,omitempty"`
+	Sweep  string `json:"sweep,omitempty"`
+}
+
+func (e experiment) label() string {
+	switch {
+	case e.Table != 0:
+		return fmt.Sprintf("table %d", e.Table)
+	case e.Figure != 0:
+		return fmt.Sprintf("figure %d", e.Figure)
+	default:
+		return "sweep " + e.Sweep
+	}
+}
+
+// manifestFile is the batch-manifest schema.
+type manifestFile struct {
+	Frames      int          `json:"frames"`
+	Parallel    int          `json:"parallel"`
+	Experiments []experiment `json:"experiments"`
+}
+
+// runManifest executes a manifest and returns the pool it actually ran
+// on (the manifest's "parallel" applies when the -parallel flag is 0).
+func runManifest(ctx context.Context, path string, frames, parallel int, progress bool) (*farm.Pool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mf manifestFile
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	if len(mf.Experiments) == 0 {
+		return nil, fmt.Errorf("manifest %s: no experiments", path)
+	}
+	for i, e := range mf.Experiments {
+		set := 0
+		if e.Table != 0 {
+			set++
+		}
+		if e.Figure != 0 {
+			set++
+		}
+		if e.Sweep != "" {
+			set++
+		}
+		if set != 1 {
+			return nil, fmt.Errorf("manifest %s: experiment %d must set exactly one of table/figure/sweep", path, i)
+		}
+	}
+	if frames == 0 {
+		frames = mf.Frames
+	}
+	if parallel == 0 {
+		parallel = mf.Parallel
+	}
+	pool := newPool(parallel, progress)
+	return pool, runBatch(ctx, pool, mf.Experiments, frames)
+}
+
+// runBatch executes the experiment list on the pool — one farm job per
+// experiment, each internally serial — and prints the rendered outputs
+// in manifest order once all complete.
+func runBatch(ctx context.Context, pool *farm.Pool, exps []experiment, frames int) error {
+	jobs := make([]farm.Job[string], len(exps))
+	for i, e := range exps {
+		e := e
+		jobs[i] = farm.Job[string]{
+			Label: e.label(),
+			Run: func(ctx context.Context, env farm.Env) (string, error) {
+				return renderExperiment(ctx, farm.Serial(), e, frames)
+			},
+		}
+	}
+	outputs, err := farm.Run(ctx, pool, jobs)
+	if err != nil {
+		return err
+	}
+	for _, out := range outputs {
+		fmt.Print(out)
+	}
+	return nil
+}
+
+// printExperiment runs one experiment with its internal fan-out on the
+// pool and prints it.
+func printExperiment(ctx context.Context, pool *farm.Pool, e experiment, frames int) error {
+	out, err := renderExperiment(ctx, pool, e, frames)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+// renderExperiment produces the text of one experiment, running its
+// internal fan-out (resolutions, sizes, configurations) on the pool.
+func renderExperiment(ctx context.Context, pool *farm.Pool, e experiment, frames int) (string, error) {
+	switch {
+	case e.Table != 0:
+		return renderTable(ctx, pool, e.Table, frames)
+	case e.Figure != 0:
+		return renderFigure(ctx, pool, e.Figure, frames)
+	case e.Sweep != "":
+		return renderSweep(ctx, pool, e.Sweep, frames)
+	}
+	return "", fmt.Errorf("empty experiment")
+}
+
+func renderTable(ctx context.Context, pool *farm.Pool, n, frames int) (string, error) {
+	switch n {
+	case 1:
+		return harness.Table1() + "\n", nil
+	case 8:
+		tab, err := harness.Table8Pool(ctx, pool, frames)
+		if err != nil {
+			return "", err
+		}
+		return tab.String() + "\n", nil
 	default:
 		spec, err := harness.TableSpecByNum(n)
 		if err != nil {
-			return err
+			return "", err
 		}
-		tab, _, err := harness.RunTable(spec, frames)
+		tab, _, err := harness.RunTablePool(ctx, pool, spec, frames)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(tab.String())
-		return nil
+		return tab.String() + "\n", nil
 	}
 }
 
-func runFigure(n, frames int) error {
+func renderFigure(ctx context.Context, pool *farm.Pool, n, frames int) (string, error) {
+	var sb strings.Builder
 	switch n {
 	case 2:
-		series, err := harness.Figure2(frames)
+		series, err := harness.Figure2Pool(ctx, pool, frames)
 		if err != nil {
-			return err
+			return "", err
 		}
 		for _, s := range series {
-			s.Write(os.Stdout)
-			fmt.Println()
+			s.Write(&sb)
+			sb.WriteString("\n")
 		}
-		return nil
+		return sb.String(), nil
 	case 3, 4:
-		points, err := harness.RunObjectSweep(frames)
+		points, err := harness.RunObjectSweepPool(ctx, pool, frames)
 		if err != nil {
-			return err
+			return "", err
 		}
-		if n == 3 {
-			for _, s := range harness.Figure3Series(points) {
-				s.Write(os.Stdout)
-				fmt.Println()
-			}
-		} else {
-			for _, s := range harness.Figure4Series(points) {
-				s.Write(os.Stdout)
-				fmt.Println()
-			}
+		series := harness.Figure3Series(points)
+		if n == 4 {
+			series = harness.Figure4Series(points)
 		}
-		return nil
+		for _, s := range series {
+			s.Write(&sb)
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
 	default:
-		return fmt.Errorf("no figure %d (the paper's data figures are 2-4)", n)
+		return "", fmt.Errorf("no figure %d (the paper's data figures are 2-4)", n)
 	}
 }
 
-// runSweep runs the extension experiments: the paper's future-work
+// renderSweep runs the extension experiments: the paper's future-work
 // processor/memory ratio study and the design-choice ablations.
-func runSweep(name string, frames int) error {
+func renderSweep(ctx context.Context, pool *farm.Pool, name string, frames int) (string, error) {
 	wl := harness.Workload{W: 352, H: 288, Frames: frames}
 	switch name {
 	case "ratio":
-		points, err := harness.RunRatioSweep(wl, nil)
+		points, err := harness.RunRatioSweepPool(ctx, pool, wl, nil)
 		if err != nil {
-			return err
+			return "", err
 		}
+		var sb strings.Builder
 		for _, s := range harness.RatioSweepSeries(points) {
-			s.Write(os.Stdout)
-			fmt.Println()
+			s.Write(&sb)
+			sb.WriteString("\n")
 		}
 		if c := harness.MemoryBoundCrossover(points); c > 0 {
-			fmt.Printf("decode becomes memory bound (>=50%% DRAM stall) at %gx the baseline DRAM latency\n", c)
+			fmt.Fprintf(&sb, "decode becomes memory bound (>=50%% DRAM stall) at %gx the baseline DRAM latency\n", c)
 		} else {
-			fmt.Println("decode never becomes memory bound within the sweep")
+			sb.WriteString("decode never becomes memory bound within the sweep\n")
 		}
-		return nil
+		return sb.String(), nil
 	case "search":
-		res, err := harness.RunSearchAblation(wl)
+		res, err := harness.RunSearchAblationPool(ctx, pool, wl)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(harness.FormatAblation("motion search ablation (encode, R12K 1MB)", res))
-		return nil
+		return harness.FormatAblation("motion search ablation (encode, R12K 1MB)", res), nil
 	case "prefetch":
-		res, err := harness.RunPrefetchAblation(wl, nil)
+		res, err := harness.RunPrefetchAblationPool(ctx, pool, wl, nil)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(harness.FormatAblation("prefetch cadence ablation (encode, R12K 1MB)", res))
-		return nil
+		return harness.FormatAblation("prefetch cadence ablation (encode, R12K 1MB)", res), nil
 	case "staging":
-		res, err := harness.RunStagingAblation(wl)
+		res, err := harness.RunStagingAblationPool(ctx, pool, wl)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(harness.FormatAblation("per-VOP staging ablation (encode, R12K 1MB)", res))
-		return nil
+		return harness.FormatAblation("per-VOP staging ablation (encode, R12K 1MB)", res), nil
 	case "coloring":
 		wl.Objects = 2
-		res, err := harness.RunColoringAblation(wl)
+		res, err := harness.RunColoringAblationPool(ctx, pool, wl)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Print(harness.FormatAblation("page coloring ablation (encode, R12K 1MB)", res))
-		return nil
+		return harness.FormatAblation("page coloring ablation (encode, R12K 1MB)", res), nil
 	default:
-		return fmt.Errorf("unknown sweep %q", name)
+		return "", fmt.Errorf("unknown sweep %q", name)
 	}
 }
 

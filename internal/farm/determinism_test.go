@@ -1,0 +1,167 @@
+// End-to-end determinism: the farm's core guarantee is that parallel
+// execution of the paper's experiments is byte-identical to serial
+// execution. These tests run the real harness sweeps — ratio sweep,
+// every ablation, a full table, a figure series — at 1 and 8 workers
+// and require identical structured results AND identical formatted
+// text.
+package farm_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/farm"
+	"repro/internal/harness"
+	"repro/internal/perf"
+)
+
+// pools under comparison: the serial reference and a deliberately
+// oversubscribed parallel pool with a tiny queue to force scheduling
+// interleavings.
+func testPools() (*farm.Pool, *farm.Pool) {
+	return farm.Serial(), farm.New(farm.Config{Workers: 8, Queue: 1})
+}
+
+func seriesText(t *testing.T, series []perf.Series) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, s := range series {
+		s.Write(&sb)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestRatioSweepDeterminism(t *testing.T) {
+	serial, parallel := testPools()
+	wl := harness.Workload{W: 176, H: 144, Frames: 2}
+	factors := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+	sPoints, err := harness.RunRatioSweepPool(context.Background(), serial, wl, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPoints, err := harness.RunRatioSweepPool(context.Background(), parallel, wl, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sPoints, pPoints) {
+		t.Fatalf("ratio points differ:\nserial   %+v\nparallel %+v", sPoints, pPoints)
+	}
+	if s, p := harness.MemoryBoundCrossover(sPoints), harness.MemoryBoundCrossover(pPoints); s != p {
+		t.Fatalf("crossover differs: serial %g parallel %g", s, p)
+	}
+	sText := seriesText(t, harness.RatioSweepSeries(sPoints))
+	pText := seriesText(t, harness.RatioSweepSeries(pPoints))
+	if sText != pText {
+		t.Fatalf("ratio series text differs:\n--- serial ---\n%s--- parallel ---\n%s", sText, pText)
+	}
+}
+
+func TestAblationDeterminism(t *testing.T) {
+	serial, parallel := testPools()
+	wl := harness.Workload{W: 176, H: 144, Frames: 2}
+	colorWL := harness.Workload{W: 176, H: 144, Frames: 2, Objects: 2}
+
+	cases := []struct {
+		name string
+		run  func(ctx context.Context, p *farm.Pool) ([]harness.AblationResult, error)
+	}{
+		{"search", func(ctx context.Context, p *farm.Pool) ([]harness.AblationResult, error) {
+			return harness.RunSearchAblationPool(ctx, p, wl)
+		}},
+		{"prefetch", func(ctx context.Context, p *farm.Pool) ([]harness.AblationResult, error) {
+			return harness.RunPrefetchAblationPool(ctx, p, wl, []int{0, 16, 48, 128})
+		}},
+		{"staging", func(ctx context.Context, p *farm.Pool) ([]harness.AblationResult, error) {
+			return harness.RunStagingAblationPool(ctx, p, wl)
+		}},
+		{"coloring", func(ctx context.Context, p *farm.Pool) ([]harness.AblationResult, error) {
+			return harness.RunColoringAblationPool(ctx, p, colorWL)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sRes, err := tc.run(context.Background(), serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pRes, err := tc.run(context.Background(), parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sRes, pRes) {
+				t.Fatalf("%s ablation results differ", tc.name)
+			}
+			sText := harness.FormatAblation(tc.name, sRes)
+			pText := harness.FormatAblation(tc.name, pRes)
+			if sText != pText {
+				t.Fatalf("%s ablation text differs:\n--- serial ---\n%s--- parallel ---\n%s", tc.name, sText, pText)
+			}
+		})
+	}
+}
+
+func TestTableDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-resolution table in -short mode")
+	}
+	serial, parallel := testPools()
+	spec, err := harness.TableSpecByNum(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTab, sRes, err := harness.RunTablePool(context.Background(), serial, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTab, pRes, err := harness.RunTablePool(context.Background(), parallel, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTab.String() != pTab.String() {
+		t.Fatalf("table text differs:\n--- serial ---\n%s--- parallel ---\n%s", sTab.String(), pTab.String())
+	}
+	if !reflect.DeepEqual(sRes, pRes) {
+		t.Fatal("table raw results differ")
+	}
+	// The batch path must assemble the identical table from its flat
+	// (table, resolution) job list.
+	tabs, err := harness.RunTables(context.Background(), parallel, []harness.TableSpec{spec}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || tabs[0].String() != sTab.String() {
+		t.Fatal("RunTables output differs from RunTablePool")
+	}
+}
+
+func TestFigureSweepDeterminism(t *testing.T) {
+	serial, parallel := testPools()
+	sizes := [][2]int{{160, 128}, {176, 144}, {320, 256}}
+	sSeries, err := harness.Figure2Sweep(context.Background(), serial, 2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSeries, err := harness.Figure2Sweep(context.Background(), parallel, 2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sSeries, pSeries) {
+		t.Fatalf("figure series differ:\nserial   %+v\nparallel %+v", sSeries, pSeries)
+	}
+	if sText, pText := seriesText(t, sSeries), seriesText(t, pSeries); sText != pText {
+		t.Fatalf("figure series text differs:\n--- serial ---\n%s--- parallel ---\n%s", sText, pText)
+	}
+	// Each series must hold one point per size, in size order.
+	for _, s := range sSeries {
+		if len(s.X) != len(sizes) {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.X), len(sizes))
+		}
+	}
+	if sSeries[0].X[0] != "160x128" || sSeries[0].X[2] != "320x256" {
+		t.Fatalf("points out of order: %v", sSeries[0].X)
+	}
+}

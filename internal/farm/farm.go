@@ -1,0 +1,357 @@
+// Package farm is the experiment-execution engine: it turns every
+// simulation the repository can run into a schedulable Job executed by
+// a context-aware worker pool.
+//
+// The paper's methodology is embarrassingly parallel — each table
+// column, figure point and ablation configuration is an independent
+// trace-driven simulation — so the farm provides exactly the structure
+// that shape needs:
+//
+//   - a bounded job queue feeding a fixed set of workers (default
+//     GOMAXPROCS), so arbitrarily long sweeps run with constant memory;
+//   - per-job isolation: every job receives a fresh simmem.Space and a
+//     deterministic seed derived from (BaseSeed, job index), never from
+//     scheduling order;
+//   - cancellation on first error (fail-fast, the default) or
+//     collect-all mode that runs everything and reports every failure;
+//   - progress callbacks serialized on the caller's goroutine;
+//   - order-preserving aggregation: results come back indexed by job,
+//     so parallel output is byte-identical to serial output.
+//
+// Determinism contract: a job must compute its result from its inputs
+// and its Env only. Under that contract Run(p, jobs) returns identical
+// results for every worker count, which the harness's determinism tests
+// assert end-to-end (ratio sweep, ablations, tables, figures).
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	"repro/internal/simmem"
+)
+
+// Env is the deterministic per-job environment. Seeds and spaces are
+// functions of the job index alone, so results cannot depend on which
+// worker ran the job or when.
+type Env struct {
+	Index int           // position of the job in the submitted slice
+	Seed  int64         // DeriveSeed(pool BaseSeed, Index)
+	Space *simmem.Space // fresh simulated address space, owned by the job
+}
+
+// Job is one schedulable simulation returning a value of type T.
+type Job[T any] struct {
+	Label string // for progress reporting and error messages
+	Run   func(ctx context.Context, env Env) (T, error)
+}
+
+// ProgressFunc observes job completions. It is called from the
+// goroutine that called Run — never concurrently — with Done increasing
+// monotonically from 1 to Total.
+type ProgressFunc func(Event)
+
+// Event reports one completed (or skipped) job.
+type Event struct {
+	Index int    // job index
+	Label string // job label
+	Done  int    // jobs finished so far, including this one
+	Total int    // total jobs in this Run
+	Err   error  // non-nil if the job failed or was skipped
+}
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Workers is the number of concurrent workers. <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Queue bounds the dispatch queue depth. <= 0 means 2×Workers.
+	Queue int
+	// BaseSeed roots per-job seed derivation. 0 means 1.
+	BaseSeed int64
+	// CollectAll disables fail-fast: every job runs even after a
+	// failure, and Run reports all failures together in index order.
+	CollectAll bool
+	// Progress, if non-nil, observes every job completion.
+	Progress ProgressFunc
+}
+
+// Pool is a reusable execution configuration. Pools are stateless
+// between Run calls (workers are spawned per call), so one Pool may be
+// shared, reused, and used from nested Run calls freely.
+type Pool struct {
+	workers    int
+	queue      int
+	baseSeed   int64
+	collectAll bool
+	progress   ProgressFunc
+}
+
+// New builds a Pool from cfg, applying defaults.
+func New(cfg Config) *Pool {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	q := cfg.Queue
+	if q <= 0 {
+		q = 2 * w
+	}
+	seed := cfg.BaseSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Pool{
+		workers:    w,
+		queue:      q,
+		baseSeed:   seed,
+		collectAll: cfg.CollectAll,
+		progress:   cfg.Progress,
+	}
+}
+
+// Default returns a pool sized to GOMAXPROCS — the right choice for
+// CPU-bound trace simulation.
+func Default() *Pool { return New(Config{}) }
+
+// Serial returns a single-worker pool: the reference execution order
+// that parallel runs must reproduce byte-for-byte.
+func Serial() *Pool { return New(Config{Workers: 1}) }
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// DeriveSeed maps (base, index) to a well-mixed nonzero seed using the
+// splitmix64 finalizer. Deterministic: independent of scheduling.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return int64(z)
+}
+
+// JobError attributes a failure to one job.
+type JobError struct {
+	Index int
+	Label string
+	Err   error
+}
+
+func (e *JobError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("farm: job %d (%s): %v", e.Index, e.Label, e.Err)
+	}
+	return fmt.Sprintf("farm: job %d: %v", e.Index, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// RunError aggregates every failure of a collect-all Run, in job-index
+// order.
+type RunError struct {
+	Failures []*JobError
+}
+
+func (e *RunError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "farm: %d job(s) failed:", len(e.Failures))
+	for _, f := range e.Failures {
+		sb.WriteString("\n\t")
+		sb.WriteString(f.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is / errors.As.
+func (e *RunError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// errSkipped marks jobs that never ran because an earlier failure
+// cancelled the run (fail-fast mode).
+var errSkipped = errors.New("farm: job skipped after earlier failure")
+
+// outcome is one completion notice from a worker.
+type outcome struct {
+	index int
+	err   error
+}
+
+// Run executes jobs on p's workers and returns the results in job
+// order. A nil pool means Default().
+//
+// In fail-fast mode (the default) the first failure cancels the run
+// context; jobs not yet started are skipped, and Run returns the
+// lowest-indexed failure among the jobs that actually ran, wrapped in
+// a *JobError. Which jobs ran depends on scheduling, so when several
+// jobs can fail the reported one may vary with worker count — with a
+// single worker it is always the first failure in job order. Use
+// collect-all mode for fully deterministic error reporting: every job
+// runs and all failures return together, in index order, as a
+// *RunError. If ctx itself is cancelled, Run drains its workers and
+// returns ctx's error.
+func Run[T any](ctx context.Context, p *Pool, jobs []Job[T]) ([]T, error) {
+	if p == nil {
+		p = Default()
+	}
+	n := len(jobs)
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	queue := make(chan int, p.queue)
+	done := make(chan outcome, workers)
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			// Workers drain the queue even after cancellation
+			// (reporting a skip) so the feeder can never block
+			// forever on the bounded queue and Run always sees
+			// exactly n outcomes.
+			for idx := range queue {
+				var err error
+				if runCtx.Err() != nil {
+					err = errSkipped
+				} else {
+					env := Env{
+						Index: idx,
+						Seed:  DeriveSeed(p.baseSeed, idx),
+						Space: simmem.NewSpace(0),
+					}
+					results[idx], err = runJob(runCtx, jobs[idx], env)
+				}
+				done <- outcome{index: idx, err: err}
+			}
+		}()
+	}
+
+	go func() {
+		for i := range jobs {
+			queue <- i
+		}
+		close(queue)
+	}()
+
+	errs := make([]error, n)
+	failed := false
+	for completed := 1; completed <= n; completed++ {
+		oc := <-done
+		errs[oc.index] = oc.err
+		if oc.err != nil && !failed && !p.collectAll {
+			failed = true
+			cancel()
+		}
+		if p.progress != nil {
+			p.progress(Event{
+				Index: oc.index,
+				Label: jobs[oc.index].Label,
+				Done:  completed,
+				Total: n,
+				Err:   oc.err,
+			})
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, selectError(p, jobs, errs)
+}
+
+// selectError reduces per-job errors to Run's return error,
+// deterministically: index order, never completion order.
+func selectError[T any](p *Pool, jobs []Job[T], errs []error) error {
+	if p.collectAll {
+		var re RunError
+		for i, err := range errs {
+			if err != nil {
+				re.Failures = append(re.Failures, &JobError{Index: i, Label: jobs[i].Label, Err: err})
+			}
+		}
+		if len(re.Failures) == 0 {
+			return nil
+		}
+		return &re
+	}
+	// Fail-fast: prefer the lowest-indexed failure that is neither our
+	// own skip marker nor cancellation fallout; fall back to the lowest
+	// cancellation-shaped failure if nothing else exists.
+	var fallback error
+	var fallbackIdx int
+	for i, err := range errs {
+		if err == nil || errors.Is(err, errSkipped) {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if fallback == nil {
+				fallback, fallbackIdx = err, i
+			}
+			continue
+		}
+		return &JobError{Index: i, Label: jobs[i].Label, Err: err}
+	}
+	if fallback != nil {
+		return &JobError{Index: fallbackIdx, Label: jobs[fallbackIdx].Label, Err: fallback}
+	}
+	return nil
+}
+
+// runJob executes one job, converting a panic into an error so one bad
+// configuration cannot take down a whole sweep.
+func runJob[T any](ctx context.Context, j Job[T], env Env) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("farm: job %d (%s) panicked: %v\n%s", env.Index, j.Label, r, debug.Stack())
+		}
+	}()
+	return j.Run(ctx, env)
+}
+
+// Map runs f over items with the pool and returns the outputs in item
+// order. It is the common fan-out shape: the harness's sweeps are all
+// Maps over configuration slices.
+func Map[I, O any](ctx context.Context, p *Pool, items []I, f func(ctx context.Context, env Env, item I) (O, error)) ([]O, error) {
+	return MapLabeled(ctx, p, items, nil, f)
+}
+
+// MapLabeled is Map with a per-item label for progress reporting and
+// error attribution. A nil label falls back to "job N".
+func MapLabeled[I, O any](ctx context.Context, p *Pool, items []I, label func(i int, item I) string, f func(ctx context.Context, env Env, item I) (O, error)) ([]O, error) {
+	jobs := make([]Job[O], len(items))
+	for i := range items {
+		item := items[i]
+		name := fmt.Sprintf("job %d", i)
+		if label != nil {
+			name = label(i, item)
+		}
+		jobs[i] = Job[O]{
+			Label: name,
+			Run: func(ctx context.Context, env Env) (O, error) {
+				return f(ctx, env, item)
+			},
+		}
+	}
+	return Run(ctx, p, jobs)
+}

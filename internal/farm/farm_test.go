@@ -1,0 +1,379 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunPreservesOrder: results land at their job index no matter how
+// workers interleave.
+func TestRunPreservesOrder(t *testing.T) {
+	const n = 64
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context, env Env) (int, error) {
+				// Reverse-staggered sleeps force out-of-order completion.
+				time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	got, err := Run(context.Background(), New(Config{Workers: 8, Queue: 2}), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestEnvDeterminism: seeds and spaces depend on the index only.
+func TestEnvDeterminism(t *testing.T) {
+	collect := func(workers int) []int64 {
+		seeds := make([]int64, 16)
+		jobs := make([]Job[struct{}], 16)
+		for i := range jobs {
+			jobs[i] = Job[struct{}]{Run: func(ctx context.Context, env Env) (struct{}, error) {
+				if env.Space == nil {
+					t.Error("nil Space in Env")
+				}
+				if env.Seed == 0 {
+					t.Error("zero seed in Env")
+				}
+				seeds[env.Index] = env.Seed
+				return struct{}{}, nil
+			}}
+		}
+		if _, err := Run(context.Background(), New(Config{Workers: workers, BaseSeed: 42}), jobs); err != nil {
+			t.Fatal(err)
+		}
+		return seeds
+	}
+	serial := collect(1)
+	parallel := collect(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("seed %d differs: serial %d parallel %d", i, serial[i], parallel[i])
+		}
+		if serial[i] != DeriveSeed(42, i) {
+			t.Fatalf("seed %d is not DeriveSeed(42, %d)", i, i)
+		}
+	}
+}
+
+// TestFailFastErrorAttribution: Run reports a failure that really
+// happened, correctly attributed to its job. With a single worker the
+// choice is deterministic: the first failure in job order. With many
+// workers either failing job may be the one that ran (the other can be
+// skipped by the cancellation), but the attribution must always match.
+func TestFailFastErrorAttribution(t *testing.T) {
+	boom3 := errors.New("boom 3")
+	boom7 := errors.New("boom 7")
+	for _, workers := range []int{1, 4, 8} {
+		jobs := make([]Job[int], 10)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{
+				Label: fmt.Sprintf("j%d", i),
+				Run: func(ctx context.Context, env Env) (int, error) {
+					switch i {
+					case 3:
+						return 0, boom3
+					case 7:
+						return 0, boom7
+					}
+					return i, nil
+				},
+			}
+		}
+		_, err := Run(context.Background(), New(Config{Workers: workers}), jobs)
+		var je *JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("workers=%d: want *JobError, got %v", workers, err)
+		}
+		switch {
+		case errors.Is(err, boom3) && je.Index == 3 && je.Label == "j3":
+		case workers > 1 && errors.Is(err, boom7) && je.Index == 7 && je.Label == "j7":
+		default:
+			t.Fatalf("workers=%d: bad failure/attribution: %v", workers, err)
+		}
+		if workers == 1 && !errors.Is(err, boom3) {
+			t.Fatalf("serial run must report the first failure in job order, got %v", err)
+		}
+	}
+}
+
+// TestCollectAllErrorDeterminism: collect-all mode reports the exact
+// same failure set, in index order, at every worker count.
+func TestCollectAllErrorDeterminism(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("boom %d", i) }
+	render := func(workers int) string {
+		jobs := make([]Job[int], 10)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{
+				Label: fmt.Sprintf("j%d", i),
+				Run: func(ctx context.Context, env Env) (int, error) {
+					if i == 3 || i == 7 {
+						return 0, boom(i)
+					}
+					return i, nil
+				},
+			}
+		}
+		_, err := Run(context.Background(), New(Config{Workers: workers, CollectAll: true}), jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		return err.Error()
+	}
+	serial := render(1)
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); got != serial {
+			t.Fatalf("collect-all error differs at workers=%d:\nserial   %s\nparallel %s", workers, serial, got)
+		}
+	}
+}
+
+// TestFailFastCancelsRemainingJobs: after the first failure, a running
+// job observes cancellation and queued jobs are skipped.
+func TestFailFastCancelsRemainingJobs(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	blocked := Job[int]{Label: "blocked", Run: func(ctx context.Context, env Env) (int, error) {
+		ran.Add(1)
+		<-ctx.Done() // must be released by the pool's cancel
+		return 0, ctx.Err()
+	}}
+	failing := Job[int]{Label: "failing", Run: func(ctx context.Context, env Env) (int, error) {
+		ran.Add(1)
+		return 0, boom
+	}}
+	tail := Job[int]{Label: "tail", Run: func(ctx context.Context, env Env) (int, error) {
+		ran.Add(1)
+		return 1, nil
+	}}
+	// Two workers: the blocked job and the failing job start together;
+	// the tail jobs sit in the queue and must be skipped once the
+	// failure cancels the run.
+	jobs := []Job[int]{blocked, failing}
+	for i := 0; i < 32; i++ {
+		jobs = append(jobs, tail)
+	}
+	start := time.Now()
+	_, err := Run(context.Background(), New(Config{Workers: 2, Queue: 1}), jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run took %v: cancellation did not release the blocked job", elapsed)
+	}
+	if got := ran.Load(); got >= int32(len(jobs)) {
+		t.Fatalf("all %d jobs ran despite fail-fast (ran=%d)", len(jobs), got)
+	}
+}
+
+// TestCollectAllRunsEverythingAndReportsAllFailures.
+func TestCollectAllRunsEverythingAndReportsAllFailures(t *testing.T) {
+	var ran atomic.Int32
+	jobs := make([]Job[int], 12)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context, env Env) (int, error) {
+				ran.Add(1)
+				if i%4 == 1 {
+					return 0, fmt.Errorf("fail %d", i)
+				}
+				return i, nil
+			},
+		}
+	}
+	got, err := Run(context.Background(), New(Config{Workers: 4, CollectAll: true}), jobs)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ran.Load() != int32(len(jobs)) {
+		t.Fatalf("collect-all ran %d of %d jobs", ran.Load(), len(jobs))
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %T: %v", err, err)
+	}
+	if len(re.Failures) != 3 {
+		t.Fatalf("want 3 failures, got %d: %v", len(re.Failures), err)
+	}
+	for i, f := range re.Failures {
+		if want := 4*i + 1; f.Index != want {
+			t.Fatalf("failure %d has index %d, want %d (index order)", i, f.Index, want)
+		}
+	}
+	// Successful jobs still delivered their results.
+	if got[0] != 0 || got[2] != 2 || got[11] != 11 {
+		t.Fatalf("successful results corrupted: %v", got)
+	}
+}
+
+// TestParentCancellationPropagates: cancelling the caller's context
+// aborts the run and Run returns ctx.Err().
+func TestParentCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func(ctx context.Context, env Env) (int, error) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Run(ctx, New(Config{Workers: 2}), jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestPanicBecomesError: a panicking job fails its run instead of
+// crashing the process.
+func TestPanicBecomesError(t *testing.T) {
+	jobs := []Job[int]{
+		{Label: "ok", Run: func(ctx context.Context, env Env) (int, error) { return 1, nil }},
+		{Label: "bad", Run: func(ctx context.Context, env Env) (int, error) { panic("kaboom") }},
+	}
+	_, err := Run(context.Background(), Serial(), jobs)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("want panic converted to error, got %v", err)
+	}
+}
+
+// TestProgressEventsAreSerializedAndComplete.
+func TestProgressEventsAreSerializedAndComplete(t *testing.T) {
+	const n = 20
+	var events []Event
+	p := New(Config{Workers: 5, Progress: func(ev Event) { events = append(events, ev) }})
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Label: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, env Env) (int, error) {
+			time.Sleep(time.Duration(i%3) * time.Millisecond)
+			return i, nil
+		}}
+	}
+	if _, err := Run(context.Background(), p, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatalf("got %d events, want %d", len(events), n)
+	}
+	seen := map[int]bool{}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != n {
+			t.Fatalf("event %d has Done=%d Total=%d", i, ev.Done, ev.Total)
+		}
+		if seen[ev.Index] {
+			t.Fatalf("job %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Label != fmt.Sprintf("j%d", ev.Index) {
+			t.Fatalf("event %d label %q does not match index %d", i, ev.Label, ev.Index)
+		}
+	}
+}
+
+// TestMapPreservesItemOrder.
+func TestMapPreservesItemOrder(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd"}
+	got, err := Map(context.Background(), New(Config{Workers: 3}), items,
+		func(ctx context.Context, env Env, s string) (int, error) { return len(s), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("Map result %v", got)
+		}
+	}
+}
+
+// TestEmptyAndNilPool: degenerate inputs behave.
+func TestEmptyAndNilPool(t *testing.T) {
+	got, err := Run(context.Background(), nil, []Job[int]{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: %v %v", got, err)
+	}
+	got, err = Run(context.Background(), nil, []Job[int]{
+		{Run: func(ctx context.Context, env Env) (int, error) { return 7, nil }},
+	})
+	if err != nil || got[0] != 7 {
+		t.Fatalf("nil pool run: %v %v", got, err)
+	}
+	if Default().Workers() <= 0 {
+		t.Fatal("Default pool has no workers")
+	}
+	if Serial().Workers() != 1 {
+		t.Fatal("Serial pool is not single-worker")
+	}
+}
+
+// TestStress hammers the pool under the race detector: many jobs, a
+// tiny queue, shared atomic counters.
+func TestStress(t *testing.T) {
+	const n = 500
+	var sum atomic.Int64
+	got, err := Map(context.Background(), New(Config{Workers: 16, Queue: 1}),
+		make([]struct{}, n),
+		func(ctx context.Context, env Env, _ struct{}) (int, error) {
+			sum.Add(int64(env.Index))
+			return env.Index, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != n*(n-1)/2 {
+		t.Fatalf("sum %d", sum.Load())
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("index %d got %d", i, v)
+		}
+	}
+}
+
+// TestDeriveSeedProperties: nonzero, stable, and spread.
+func TestDeriveSeedProperties(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(1, i)
+		if s == 0 {
+			t.Fatalf("zero seed at %d", i)
+		}
+		if s != DeriveSeed(1, i) {
+			t.Fatalf("unstable seed at %d", i)
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+}

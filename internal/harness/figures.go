@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/farm"
 	"repro/internal/perf"
 )
 
@@ -10,34 +12,52 @@ import (
 // 720×576 through 2048×1024; we add smaller points to show the trend).
 var Figure2Sizes = [][2]int{{512, 384}, {720, 576}, {1024, 768}, {1440, 960}, {2048, 1024}}
 
-// Figure2 regenerates "Memory Statistics for Growing Image Size
+// Figure2 regenerates the growing-image-size figure on the default
+// pool; see Figure2Pool.
+func Figure2(frames int) ([]perf.Series, error) {
+	return Figure2Pool(context.Background(), nil, frames)
+}
+
+// Figure2Pool regenerates "Memory Statistics for Growing Image Size
 // (Decoding, 1MB L2C)": L2 miss rate, L2–DRAM bandwidth and DRAM stall
 // time as functions of frame size, all of which the paper shows flat or
-// falling.
-func Figure2(frames int) ([]perf.Series, error) {
+// falling. Every size is one pool job producing a single-point series
+// chunk; perf.MergeSeries reassembles the chunks in size order, so the
+// result is byte-identical to a serial sweep.
+func Figure2Pool(ctx context.Context, p *farm.Pool, frames int) ([]perf.Series, error) {
+	return Figure2Sweep(ctx, p, frames, Figure2Sizes)
+}
+
+// Figure2Sweep is Figure2Pool over a caller-chosen size list (the
+// determinism tests sweep small sizes; the paper figure uses
+// Figure2Sizes).
+func Figure2Sweep(ctx context.Context, p *farm.Pool, frames int, sizes [][2]int) ([]perf.Series, error) {
 	m := perf.O2R12K1MB()
-	missRate := perf.Series{Label: "Figure 2a: L2C miss rate (decode, 1MB L2C)", YUnit: "%"}
-	bw := perf.Series{Label: "Figure 2b: L2-DRAM bandwidth (decode, 1MB L2C)", YUnit: "MB/s"}
-	stall := perf.Series{Label: "Figure 2c: DRAM stall time (decode, 1MB L2C)", YUnit: "%"}
-	for _, sz := range Figure2Sizes {
-		wl := Workload{W: sz[0], H: sz[1], Frames: frames}
-		_, ss, err := RunEncode([]perf.Machine{m}, wl)
-		if err != nil {
-			return nil, err
-		}
-		res, err := RunDecode([]perf.Machine{m}, wl, ss)
-		if err != nil {
-			return nil, err
-		}
-		x := wl.Label()
-		missRate.X = append(missRate.X, x)
-		missRate.Y = append(missRate.Y, res[0].Whole.L2MissRate*100)
-		bw.X = append(bw.X, x)
-		bw.Y = append(bw.Y, res[0].Whole.L2DRAMMBps)
-		stall.X = append(stall.X, x)
-		stall.Y = append(stall.Y, res[0].Whole.DRAMTimeFrac*100)
+	chunks, err := farm.MapLabeled(ctx, p, sizes,
+		func(i int, sz [2]int) string { return fmt.Sprintf("figure2/%dx%d", sz[0], sz[1]) },
+		func(ctx context.Context, env farm.Env, sz [2]int) ([]perf.Series, error) {
+			wl := Workload{W: sz[0], H: sz[1], Frames: frames}
+			_, ss, err := RunEncodeIn(env.Space, []perf.Machine{m}, wl)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunDecode([]perf.Machine{m}, wl, ss)
+			if err != nil {
+				return nil, err
+			}
+			missRate := perf.Series{Label: "Figure 2a: L2C miss rate (decode, 1MB L2C)", YUnit: "%"}
+			bw := perf.Series{Label: "Figure 2b: L2-DRAM bandwidth (decode, 1MB L2C)", YUnit: "MB/s"}
+			stall := perf.Series{Label: "Figure 2c: DRAM stall time (decode, 1MB L2C)", YUnit: "%"}
+			x := wl.Label()
+			missRate.Append(x, res[0].Whole.L2MissRate*100)
+			bw.Append(x, res[0].Whole.L2DRAMMBps)
+			stall.Append(x, res[0].Whole.DRAMTimeFrac*100)
+			return []perf.Series{missRate, bw, stall}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return []perf.Series{missRate, bw, stall}, nil
+	return perf.MergeSeries(chunks...)
 }
 
 // ObjectSweepPoint is one bar of Figures 3/4: a (VO count, layer count)
@@ -63,32 +83,53 @@ var ObjectSweepConfigs = []struct {
 	{3, 2, "3 VOs, 2 layers each"},
 }
 
-// RunObjectSweep measures the Figures 3/4 sweep on the R10K/2MB machine
-// (the machine the paper plots).
+// RunObjectSweep measures the Figures 3/4 sweep on the default pool;
+// see RunObjectSweepPool.
 func RunObjectSweep(frames int) ([]ObjectSweepPoint, error) {
+	return RunObjectSweepPool(context.Background(), nil, frames)
+}
+
+// RunObjectSweepPool measures the Figures 3/4 sweep on the R10K/2MB
+// machine (the machine the paper plots). Every (resolution, object
+// configuration) pair is one pool job; the points return in the paper's
+// order (resolution outer, configuration inner).
+func RunObjectSweepPool(ctx context.Context, p *farm.Pool, frames int) ([]ObjectSweepPoint, error) {
 	m := perf.OnyxR10K2MB()
-	var out []ObjectSweepPoint
-	for _, res := range TableResolutions {
-		for _, cfgPt := range ObjectSweepConfigs {
-			wl := Workload{W: res[0], H: res[1], Frames: frames,
-				Objects: cfgPt.Objects, Layers: cfgPt.Layers}
-			encRes, decRes, err := EncodeDecode([]perf.Machine{m}, wl)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ObjectSweepPoint{
-				Label:      cfgPt.Label,
-				Objects:    cfgPt.Objects,
-				Layers:     cfgPt.Layers,
-				Resolution: wl.Label(),
-				EncodeL1:   encRes[0].Whole.L1MissRate * 100,
-				DecodeL1:   decRes[0].Whole.L1MissRate * 100,
-				EncodeL2:   encRes[0].Whole.L2MissRate * 100,
-				DecodeL2:   decRes[0].Whole.L2MissRate * 100,
-			})
+	type sweepCase struct {
+		res [2]int
+		cfg struct {
+			Objects, Layers int
+			Label           string
 		}
 	}
-	return out, nil
+	var cases []sweepCase
+	for _, res := range TableResolutions {
+		for _, cfgPt := range ObjectSweepConfigs {
+			cases = append(cases, sweepCase{res: res, cfg: cfgPt})
+		}
+	}
+	return farm.Map(ctx, p, cases, func(ctx context.Context, env farm.Env, c sweepCase) (ObjectSweepPoint, error) {
+		wl := Workload{W: c.res[0], H: c.res[1], Frames: frames,
+			Objects: c.cfg.Objects, Layers: c.cfg.Layers}
+		encRes, ss, err := RunEncodeIn(env.Space, []perf.Machine{m}, wl)
+		if err != nil {
+			return ObjectSweepPoint{}, err
+		}
+		decRes, err := RunDecode([]perf.Machine{m}, wl, ss)
+		if err != nil {
+			return ObjectSweepPoint{}, err
+		}
+		return ObjectSweepPoint{
+			Label:      c.cfg.Label,
+			Objects:    c.cfg.Objects,
+			Layers:     c.cfg.Layers,
+			Resolution: wl.Label(),
+			EncodeL1:   encRes[0].Whole.L1MissRate * 100,
+			DecodeL1:   decRes[0].Whole.L1MissRate * 100,
+			EncodeL2:   encRes[0].Whole.L2MissRate * 100,
+			DecodeL2:   decRes[0].Whole.L2MissRate * 100,
+		}, nil
+	})
 }
 
 // Figure3Series converts sweep points into the Figure 3 bar series
@@ -121,10 +162,8 @@ func sweepSeries(points []ObjectSweepPoint, title string, pick func(ObjectSweepP
 		s := perf.Series{Label: fmt.Sprintf("%s, %s (R10K 2MB)", title, res), YUnit: "%"}
 		for _, p := range byRes[res] {
 			e, d := pick(p)
-			s.X = append(s.X, "encode "+p.Label)
-			s.Y = append(s.Y, e)
-			s.X = append(s.X, "decode "+p.Label)
-			s.Y = append(s.Y, d)
+			s.Append("encode "+p.Label, e)
+			s.Append("decode "+p.Label, d)
 		}
 		out = append(out, s)
 	}

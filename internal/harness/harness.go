@@ -135,8 +135,14 @@ func (m multiPhases) PhaseEnd(n string) {
 // machines, and returns one Result per machine plus the session stream
 // for subsequent decode experiments.
 func RunEncode(machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
+	return RunEncodeIn(simmem.NewSpace(0), machines, wl)
+}
+
+// RunEncodeIn is RunEncode in a caller-provided simulated address
+// space. The experiment farm passes each job's isolated Space here, so
+// concurrent runs can never share allocator state.
+func RunEncodeIn(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
 	wl = wl.normalize()
-	space := simmem.NewSpace(0)
 	frames := wl.frames(space)
 
 	hiers := make([]*cache.Hierarchy, len(machines))
@@ -166,8 +172,13 @@ func RunEncode(machines []perf.Machine, wl Workload) ([]Result, *codec.SessionSt
 // the stable resident set of a real-time player, which the paper's
 // machines measure.
 func RunDecode(machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
+	return RunDecodeIn(simmem.NewSpace(0), machines, wl, ss)
+}
+
+// RunDecodeIn is RunDecode in a caller-provided simulated address
+// space (see RunEncodeIn).
+func RunDecodeIn(space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
 	wl = wl.normalize()
-	space := simmem.NewSpace(0)
 
 	hiers := make([]*cache.Hierarchy, len(machines))
 	trackers := make(multiPhases, len(machines))

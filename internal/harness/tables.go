@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/farm"
 	"repro/internal/perf"
 )
 
@@ -41,33 +43,98 @@ func TableSpecByNum(n int) (TableSpec, error) {
 	return TableSpec{}, fmt.Errorf("harness: no table %d", n)
 }
 
-// RunTable regenerates one of Tables 2–7 with the given sequence length
-// (0 = default). It also returns the per-column raw results keyed the
-// same way as the columns.
-func RunTable(spec TableSpec, frames int) (*perf.Table, []Result, error) {
+// runTableCell runs the simulation behind one resolution of one table:
+// an encode on all machines, followed by a decode for decode tables.
+// It is the farm job body for all table generation.
+func runTableCell(env farm.Env, spec TableSpec, res [2]int, frames int) ([]Result, error) {
+	machines := perf.PaperMachines()
+	wl := Workload{W: res[0], H: res[1], Frames: frames,
+		Objects: spec.Objects, Layers: spec.Layers}
+	encRes, ss, err := RunEncodeIn(env.Space, machines, wl)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Encode {
+		return encRes, nil
+	}
+	return RunDecode(machines, wl, ss)
+}
+
+// assembleTable lays per-resolution results into the paper's column
+// order (resolution outer, machine inner) — identical to what a serial
+// loop produces, whatever order the cells were computed in.
+func assembleTable(spec TableSpec, cells [][]Result) (*perf.Table, []Result) {
 	machines := perf.PaperMachines()
 	tab := perf.NewTable(fmt.Sprintf("Table %d. %s", spec.Num, spec.Title))
 	var all []Result
-	for _, res := range TableResolutions {
-		wl := Workload{W: res[0], H: res[1], Frames: frames,
-			Objects: spec.Objects, Layers: spec.Layers}
-		encRes, ss, err := RunEncode(machines, wl)
-		if err != nil {
-			return nil, nil, err
-		}
-		results := encRes
-		if !spec.Encode {
-			results, err = RunDecode(machines, wl, ss)
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		for i, r := range results {
+	for ri, res := range TableResolutions {
+		wl := Workload{W: res[0], H: res[1]}
+		for i, r := range cells[ri] {
 			tab.AddColumn(fmt.Sprintf("%s %s", wl.Label(), machines[i].Label()), r.Whole)
 			all = append(all, r)
 		}
 	}
+	return tab, all
+}
+
+// RunTable regenerates one of Tables 2–7 on the default pool; see
+// RunTablePool.
+func RunTable(spec TableSpec, frames int) (*perf.Table, []Result, error) {
+	return RunTablePool(context.Background(), nil, spec, frames)
+}
+
+// RunTablePool regenerates one of Tables 2–7 with the given sequence
+// length (0 = default), fanning the per-resolution simulations out on
+// the pool. It also returns the per-column raw results keyed the same
+// way as the columns.
+func RunTablePool(ctx context.Context, p *farm.Pool, spec TableSpec, frames int) (*perf.Table, []Result, error) {
+	jobs := make([]farm.Job[[]Result], len(TableResolutions))
+	for i, res := range TableResolutions {
+		res := res
+		jobs[i] = farm.Job[[]Result]{
+			Label: fmt.Sprintf("table%d/%dx%d", spec.Num, res[0], res[1]),
+			Run: func(ctx context.Context, env farm.Env) ([]Result, error) {
+				return runTableCell(env, spec, res, frames)
+			},
+		}
+	}
+	cells, err := farm.Run(ctx, p, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, all := assembleTable(spec, cells)
 	return tab, all, nil
+}
+
+// RunTables regenerates several of Tables 2–7 in one batch, fanning
+// every (table, resolution) simulation out on the pool — the
+// multi-workload generation path behind `mp4study -all`. Tables return
+// in spec order.
+func RunTables(ctx context.Context, p *farm.Pool, specs []TableSpec, frames int) ([]*perf.Table, error) {
+	nRes := len(TableResolutions)
+	jobs := make([]farm.Job[[]Result], 0, len(specs)*nRes)
+	for _, spec := range specs {
+		spec := spec
+		for _, res := range TableResolutions {
+			res := res
+			jobs = append(jobs, farm.Job[[]Result]{
+				Label: fmt.Sprintf("table%d/%dx%d", spec.Num, res[0], res[1]),
+				Run: func(ctx context.Context, env farm.Env) ([]Result, error) {
+					return runTableCell(env, spec, res, frames)
+				},
+			})
+		}
+	}
+	cells, err := farm.Run(ctx, p, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*perf.Table, len(specs))
+	for si, spec := range specs {
+		tab, _ := assembleTable(spec, cells[si*nRes:(si+1)*nRes])
+		out[si] = tab
+	}
+	return out, nil
 }
 
 // Table1 renders the platform-highlights table (paper Table 1).
@@ -87,11 +154,40 @@ func Table1() string {
 	return out
 }
 
-// Table8 regenerates the burstiness table: per-phase (VopEncode /
-// VopDecode) metrics against whole-program metrics, on the R12K/8MB
-// machine, at both table resolutions. Cells are "phase (whole)".
+// Table8 regenerates the burstiness table on the default pool; see
+// Table8Pool.
 func Table8(frames int) (*perf.Table, error) {
+	return Table8Pool(context.Background(), nil, frames)
+}
+
+// table8Cell is the encode+decode measurement of one resolution.
+type table8Cell struct {
+	enc, dec Result
+}
+
+// Table8Pool regenerates the burstiness table: per-phase (VopEncode /
+// VopDecode) metrics against whole-program metrics, on the R12K/8MB
+// machine, at both table resolutions. Cells are "phase (whole)". The
+// per-resolution runs fan out on the pool.
+func Table8Pool(ctx context.Context, p *farm.Pool, frames int) (*perf.Table, error) {
 	m := perf.Onyx2R12K8MB()
+	cells, err := farm.MapLabeled(ctx, p, TableResolutions,
+		func(i int, res [2]int) string { return fmt.Sprintf("table8/%dx%d", res[0], res[1]) },
+		func(ctx context.Context, env farm.Env, res [2]int) (table8Cell, error) {
+			wl := Workload{W: res[0], H: res[1], Frames: frames}
+			encRes, ss, err := RunEncodeIn(env.Space, []perf.Machine{m}, wl)
+			if err != nil {
+				return table8Cell{}, err
+			}
+			decRes, err := RunDecode([]perf.Machine{m}, wl, ss)
+			if err != nil {
+				return table8Cell{}, err
+			}
+			return table8Cell{enc: encRes[0], dec: decRes[0]}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	tab := &perf.Table{
 		Title: "Table 8. Burstiness of VopEncode/VopDecode vs whole program (R12K, 8MB L2C)",
 		Cells: map[string][]string{},
@@ -102,18 +198,10 @@ func Table8(frames int) (*perf.Table, error) {
 			"L2-DRAM b/w (MB/s)",
 		},
 	}
-	for _, res := range TableResolutions {
-		wl := Workload{W: res[0], H: res[1], Frames: frames}
-		encRes, ss, err := RunEncode([]perf.Machine{m}, wl)
-		if err != nil {
-			return nil, err
-		}
-		decRes, err := RunDecode([]perf.Machine{m}, wl, ss)
-		if err != nil {
-			return nil, err
-		}
-		addPhaseColumn(tab, fmt.Sprintf("VopEncode %s", wl.Label()), encRes[0], "VopEncode")
-		addPhaseColumn(tab, fmt.Sprintf("VopDecode %s", wl.Label()), decRes[0], "VopDecode")
+	for ri, res := range TableResolutions {
+		wl := Workload{W: res[0], H: res[1]}
+		addPhaseColumn(tab, fmt.Sprintf("VopEncode %s", wl.Label()), cells[ri].enc, "VopEncode")
+		addPhaseColumn(tab, fmt.Sprintf("VopDecode %s", wl.Label()), cells[ri].dec, "VopDecode")
 	}
 	return tab, nil
 }

@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// This file holds the aggregation helpers the experiment farm uses to
+// reassemble sharded parallel runs into the exact artifacts a serial
+// run produces: series built point-by-point by independent jobs, and
+// metrics recomputed over summed raw counters.
+
+// Append adds one (x, y) point to the series.
+func (s *Series) Append(x string, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// MergeSeries reassembles series groups produced by parallel shards.
+// Each chunk is the series group one shard produced (same series, in
+// the same order, holding that shard's points); the result concatenates
+// the points in chunk order, so merging shards of a sweep yields the
+// identical series a serial sweep builds. Labels and units must agree
+// across chunks — a mismatch means the shards were not slices of the
+// same experiment, and is an error.
+func MergeSeries(chunks ...[]Series) ([]Series, error) {
+	var out []Series
+	for ci, chunk := range chunks {
+		if out == nil {
+			out = make([]Series, len(chunk))
+			for i, s := range chunk {
+				out[i] = Series{Label: s.Label, XLabel: s.XLabel, YUnit: s.YUnit}
+			}
+		}
+		if len(chunk) != len(out) {
+			return nil, fmt.Errorf("perf: merge chunk %d has %d series, want %d", ci, len(chunk), len(out))
+		}
+		for i, s := range chunk {
+			if s.Label != out[i].Label || s.YUnit != out[i].YUnit || s.XLabel != out[i].XLabel {
+				return nil, fmt.Errorf("perf: merge chunk %d series %d is %q (%s, x %q), want %q (%s, x %q)",
+					ci, i, s.Label, s.YUnit, s.XLabel, out[i].Label, out[i].YUnit, out[i].XLabel)
+			}
+			if len(s.X) != len(s.Y) {
+				return nil, fmt.Errorf("perf: merge chunk %d series %q has %d x vs %d y", ci, s.Label, len(s.X), len(s.Y))
+			}
+			out[i].X = append(out[i].X, s.X...)
+			out[i].Y = append(out[i].Y, s.Y...)
+		}
+	}
+	return out, nil
+}
+
+// SumStats adds up the raw counter sets of parts. Counters are additive
+// across independent runs (each run traces disjoint simulated work), so
+// the sum is the counter set of the combined workload.
+func SumStats(parts ...Metrics) cache.Stats {
+	var s cache.Stats
+	for _, p := range parts {
+		s = s.Add(p.Raw)
+	}
+	return s
+}
+
+// MergeMetrics recomputes machine-m metrics over the combined raw
+// counters of parts — the aggregate view of a sharded sweep (rates and
+// bandwidths of the union workload, not averages of per-shard rates).
+func MergeMetrics(m Machine, parts ...Metrics) Metrics {
+	return Compute(m, SumStats(parts...))
+}

@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestMergeSeriesConcatenatesInChunkOrder(t *testing.T) {
+	mk := func(label string, xs []string, ys []float64) Series {
+		return Series{Label: label, YUnit: "%", X: xs, Y: ys}
+	}
+	chunk0 := []Series{mk("a", []string{"x0"}, []float64{1}), mk("b", []string{"x0"}, []float64{10})}
+	chunk1 := []Series{mk("a", []string{"x1", "x2"}, []float64{2, 3}), mk("b", []string{"x1", "x2"}, []float64{20, 30})}
+	got, err := MergeSeries(chunk0, chunk1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Series{
+		mk("a", []string{"x0", "x1", "x2"}, []float64{1, 2, 3}),
+		mk("b", []string{"x0", "x1", "x2"}, []float64{10, 20, 30}),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestMergeSeriesRejectsMismatchedShards(t *testing.T) {
+	a := []Series{{Label: "a", YUnit: "%", X: []string{"x"}, Y: []float64{1}}}
+	b := []Series{{Label: "other", YUnit: "%", X: []string{"x"}, Y: []float64{1}}}
+	if _, err := MergeSeries(a, b); err == nil {
+		t.Fatal("label mismatch not rejected")
+	}
+	c := []Series{a[0], a[0]}
+	if _, err := MergeSeries(a, c); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	ragged := []Series{{Label: "a", YUnit: "%", X: []string{"x", "y"}, Y: []float64{1}}}
+	if _, err := MergeSeries(ragged); err == nil {
+		t.Fatal("ragged x/y not rejected")
+	}
+}
+
+func TestMergeSeriesEmpty(t *testing.T) {
+	got, err := MergeSeries()
+	if err != nil || got != nil {
+		t.Fatalf("empty merge: %v %v", got, err)
+	}
+}
+
+func TestSeriesAppend(t *testing.T) {
+	var s Series
+	s.Append("a", 1)
+	s.Append("b", 2)
+	if !reflect.DeepEqual(s.X, []string{"a", "b"}) || !reflect.DeepEqual(s.Y, []float64{1, 2}) {
+		t.Fatalf("append: %+v", s)
+	}
+}
+
+func TestMergeMetricsEqualsComputeOnSummedCounters(t *testing.T) {
+	m := O2R12K1MB()
+	s1 := cache.Stats{Loads: 1000, Stores: 200, L1Misses: 50, L2Misses: 5, L1Writebacks: 10, L2Writebacks: 2}
+	s2 := cache.Stats{Loads: 3000, Stores: 700, L1Misses: 80, L2Misses: 9, L1Writebacks: 30, L2Writebacks: 4}
+	merged := MergeMetrics(m, Compute(m, s1), Compute(m, s2))
+	direct := Compute(m, s1.Add(s2))
+	if !reflect.DeepEqual(merged, direct) {
+		t.Fatalf("merged %+v\ndirect %+v", merged, direct)
+	}
+	if sum := SumStats(Compute(m, s1), Compute(m, s2)); sum != s1.Add(s2) {
+		t.Fatalf("SumStats %+v", sum)
+	}
+}
