@@ -20,6 +20,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/perf"
+	"repro/internal/simmem"
 )
 
 // benchPool is the shared experiment-farm pool the benchmarks run on:
@@ -154,6 +155,85 @@ func BenchmarkEncodeThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := harness.RunEncode([]perf.Machine{}, wl); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplaySweep is the record/replay payoff benchmark: an
+// 18-configuration cache-geometry sweep (3 L1s × 6 L2 sizes) of one
+// encode workload, run two ways. The "reencode" baseline re-runs the
+// instrumented codec with an attached hierarchy for every configuration
+// — the O(configs × encode) shape of classic harness sweeps. The
+// "replay" variant encodes ONCE into a trace and simulates every
+// configuration by replay (full-trace replay per L1, L1-filtered L2
+// replay per L2 size). Both produce identical metrics (asserted by
+// TestGeometrySweepMatchesLive); the speedup column of BENCH_pr2.json
+// is their ns/op ratio.
+func BenchmarkReplaySweep(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	nConfigs := len(harness.GeometryL1Configs()) * len(harness.GeometryL2Sizes())
+	b.Run("reencode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			points, err := harness.RunGeometrySweepLive(context.Background(), benchPool, wl, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(points) != nConfigs {
+				b.Fatalf("got %d points", len(points))
+			}
+		}
+		b.ReportMetric(float64(nConfigs), "configs")
+	})
+	b.Run("replay", func(b *testing.B) {
+		var points []harness.GeometryPoint
+		for i := 0; i < b.N; i++ {
+			var err error
+			points, err = harness.RunGeometrySweepPool(context.Background(), benchPool, wl, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(points) != nConfigs {
+				b.Fatalf("got %d points", len(points))
+			}
+		}
+		b.ReportMetric(float64(nConfigs), "configs")
+		b.Log("\n" + harness.FormatGeometrySweep("cache geometry sweep", points))
+	})
+}
+
+// BenchmarkRecordEncode isolates the capture cost: encoding with a
+// trace recorder attached versus the untraced encoder is the overhead a
+// workload pays once to become replayable everywhere.
+func BenchmarkRecordEncode(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := harness.RecordEncodeIn(simmem.NewSpace(0), wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(c.Enc.Records()), "records")
+			b.ReportMetric(float64(c.Enc.SizeBytes())/(1<<20), "traceMB")
+		}
+	}
+}
+
+// BenchmarkReplayOnly measures a single machine simulation served from
+// an existing capture — the marginal cost of "one more machine" in a
+// sweep.
+func BenchmarkReplayOnly(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	c, err := harness.RecordEncodeIn(simmem.NewSpace(0), wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := perf.O2R12K1MB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := harness.ReplayOn(m, c.Enc, c.SS.TotalBytes())
+		if res.Whole.Raw.References() == 0 {
+			b.Fatal("empty replay")
 		}
 	}
 }

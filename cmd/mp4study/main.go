@@ -12,10 +12,21 @@
 //	mp4study -frames 12           # longer sequences (slower, same rates)
 //	mp4study -manifest jobs.json  # batch-manifest mode (see below)
 //	mp4study -progress ...        # job completions to stderr
+//	mp4study -replay=false ...    # legacy live simulation (no captures)
+//	mp4study -sweep geometry      # encode once, replay every cache geometry
+//	mp4study -cpuprofile p.out    # write pprof profiles
 //
 // Experiments run on the internal/farm worker pool; -parallel sets the
 // worker count (default GOMAXPROCS). Output is deterministic: the same
 // bytes at every worker count, in the paper's layout.
+//
+// Multi-machine simulations use trace capture and replay by default:
+// each workload's reference stream is captured once (for the paper's
+// same-L1 machines, filtered down to the L2-bound stream) and every
+// machine or cache geometry is simulated by replaying the capture —
+// counter-identical to live simulation, without re-running the codec.
+// A summary of capture sizes and replay counts is printed to stderr;
+// -replay=false restores the live path (lower memory, more codec runs).
 //
 // Batch-manifest mode runs an arbitrary experiment list concurrently
 // and prints the outputs in manifest order. The manifest is JSON:
@@ -40,11 +51,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/farm"
 	"repro/internal/harness"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -52,11 +66,45 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate one figure (2-4)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	frames := flag.Int("frames", 0, "sequence length in frames (0 = default)")
-	sweep := flag.String("sweep", "", "extra experiment: ratio | search | prefetch | staging | coloring")
+	sweep := flag.String("sweep", "", "extra experiment: ratio | geometry | search | prefetch | staging | coloring")
 	manifest := flag.String("manifest", "", "batch-manifest file (JSON); runs its experiment list")
 	parallel := flag.Int("parallel", 0, "farm worker count (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report job completions to stderr")
+	replay := flag.Bool("replay", true, "simulate machines by trace capture and replay (false = legacy live simulation)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	harness.SetReplayEnabled(*replay)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		addProfileFlush(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		addProfileFlush(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mp4study: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mp4study: memprofile:", err)
+			}
+		})
+	}
+	defer flushProfiles()
 
 	modes := 0
 	for _, set := range []bool{*all, *table != 0, *figure != 0, *sweep != "", *manifest != ""} {
@@ -99,15 +147,32 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *replay {
+		reportTraceUsage()
+	}
 	fmt.Fprintf(os.Stderr, "total time: %v (%d workers)\n",
 		time.Since(start).Round(time.Millisecond), pool.Workers())
 }
 
+// reportTraceUsage summarises the capture/replay traffic of the run:
+// how many reference streams were recorded, their memory cost, and how
+// many machine/geometry simulations were served from them.
+func reportTraceUsage() {
+	u := harness.TraceUsageSnapshot()
+	if u.Traces == 0 && u.L2Traces == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"traces: %d full (%d records, %.1f MB), %d L1-filtered (%d events, %.1f MB); %d replays\n",
+		u.Traces, u.TraceRecords, float64(u.TraceBytes)/(1<<20),
+		u.L2Traces, u.L2Events, float64(u.L2Bytes)/(1<<20), u.Replays)
+}
+
 // runAll regenerates every table and figure in paper order. Tables 2–7
-// fan out through harness.RunTables at (table, resolution) cell
-// granularity — twelve concurrent simulations — and Table 8 and the
-// figures fan out through their own pool paths, so -all saturates the
-// pool instead of being bound by the slowest whole table.
+// fan out through harness.RunTables at workload granularity (encode and
+// decode tables of the same configuration share one capture), Table 8
+// and Figure 2 fan out through their own pool paths, and Figures 3 and
+// 4 — two views of one object/layer sweep — share a single sweep run.
 func runAll(ctx context.Context, pool *farm.Pool, frames int) error {
 	fmt.Print(harness.Table1() + "\n")
 	tabs, err := harness.RunTables(ctx, pool, harness.TableSpecs(), frames)
@@ -117,11 +182,23 @@ func runAll(ctx context.Context, pool *farm.Pool, frames int) error {
 	for _, tab := range tabs {
 		fmt.Print(tab.String() + "\n")
 	}
-	for _, e := range []experiment{{Table: 8}, {Figure: 2}, {Figure: 3}, {Figure: 4}} {
+	for _, e := range []experiment{{Table: 8}, {Figure: 2}} {
 		if err := printExperiment(ctx, pool, e, frames); err != nil {
 			return err
 		}
 	}
+	points, err := harness.RunObjectSweepPool(ctx, pool, frames)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, series := range [][]perf.Series{harness.Figure3Series(points), harness.Figure4Series(points)} {
+		for _, s := range series {
+			s.Write(&sb)
+			sb.WriteString("\n")
+		}
+	}
+	fmt.Print(sb.String())
 	return nil
 }
 
@@ -315,6 +392,27 @@ func renderFigure(ctx context.Context, pool *farm.Pool, n, frames int) (string, 
 func renderSweep(ctx context.Context, pool *farm.Pool, name string, frames int) (string, error) {
 	wl := harness.Workload{W: 352, H: 288, Frames: frames}
 	switch name {
+	case "geometry":
+		var points []harness.GeometryPoint
+		var err error
+		title := "cache geometry sweep (encode, one trace replayed per config)"
+		if harness.ReplayEnabled() {
+			points, err = harness.RunGeometrySweepPool(ctx, pool, wl, nil, nil)
+		} else {
+			title = "cache geometry sweep (encode, re-encoded live per config)"
+			points, err = harness.RunGeometrySweepLive(ctx, pool, wl, nil, nil)
+		}
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		sb.WriteString(harness.FormatGeometrySweep(title, points))
+		sb.WriteString("\n")
+		for _, s := range harness.GeometrySweepSeries(points) {
+			s.Write(&sb)
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
 	case "ratio":
 		points, err := harness.RunRatioSweepPool(ctx, pool, wl, nil)
 		if err != nil {
@@ -361,7 +459,22 @@ func renderSweep(ctx context.Context, pool *farm.Pool, name string, frames int) 
 	}
 }
 
+// profileFlushes holds the -cpuprofile/-memprofile finalizers. They
+// run on normal exit (deferred in main) AND from fatal, so profiles of
+// failing runs — the case profiling exists for — are still written.
+var profileFlushes []func()
+
+func addProfileFlush(f func()) { profileFlushes = append(profileFlushes, f) }
+
+func flushProfiles() {
+	for _, f := range profileFlushes {
+		f()
+	}
+	profileFlushes = nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mp4study:", err)
+	flushProfiles()
 	os.Exit(1)
 }

@@ -135,6 +135,39 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		}
 		return Result{Hit: true}
 	}
+	// 2-way sets (the paper's L1 and L2 geometry) need no slice
+	// shuffling: an LRU-way hit is a swap of the two slots, a miss
+	// demotes the MRU slot and installs in its place.
+	if c.ways == 2 {
+		lru := base + 1
+		if c.valid[lru] && c.tags[lru] == ln {
+			c.tags[lru] = c.tags[base]
+			c.tags[base] = ln
+			d := c.dirty[lru]
+			c.dirty[lru] = c.dirty[base]
+			c.dirty[base] = d || write
+			c.valid[lru] = c.valid[base]
+			c.valid[base] = true
+			return Result{Hit: true}
+		}
+		c.Misses++
+		res := Result{}
+		if c.valid[lru] {
+			res.Evicted = true
+			res.EvictedLine = c.tags[lru]
+			if c.dirty[lru] {
+				res.EvictedDirty = true
+				c.Writebacks++
+			}
+		}
+		c.tags[lru] = c.tags[base]
+		c.dirty[lru] = c.dirty[base]
+		c.valid[lru] = c.valid[base]
+		c.tags[base] = ln
+		c.valid[base] = true
+		c.dirty[base] = write
+		return res
+	}
 	for w := 1; w < c.ways; w++ {
 		i := base + w
 		if c.valid[i] && c.tags[i] == ln {

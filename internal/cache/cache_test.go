@@ -186,3 +186,68 @@ func TestDirectMapped(t *testing.T) {
 		t.Fatalf("direct-mapped conflict not detected: %+v", r)
 	}
 }
+
+// refLRUSet is a trivially-correct LRU set model (slice reordering) the
+// fast paths are differenced against.
+type refLRUSet struct {
+	lines []struct {
+		tag   uint64
+		dirty bool
+	}
+	ways int
+}
+
+func (s *refLRUSet) access(tag uint64, write bool) Result {
+	for i, l := range s.lines {
+		if l.tag == tag {
+			s.lines = append(s.lines[:i], s.lines[i+1:]...)
+			l.dirty = l.dirty || write
+			s.lines = append([]struct {
+				tag   uint64
+				dirty bool
+			}{l}, s.lines...)
+			return Result{Hit: true}
+		}
+	}
+	res := Result{}
+	if len(s.lines) == s.ways {
+		v := s.lines[len(s.lines)-1]
+		s.lines = s.lines[:len(s.lines)-1]
+		res.Evicted = true
+		res.EvictedLine = v.tag
+		res.EvictedDirty = v.dirty
+	}
+	s.lines = append([]struct {
+		tag   uint64
+		dirty bool
+	}{{tag: tag, dirty: write}}, s.lines...)
+	return res
+}
+
+// TestAccessMatchesReferenceLRU differences Cache.Access — including
+// the specialised 2-way swap path — against the reference model, for
+// 2-way and 4-way geometries under random access/write sequences.
+func TestAccessMatchesReferenceLRU(t *testing.T) {
+	for _, ways := range []int{1, 2, 4} {
+		cfg := Config{Name: "t", SizeBytes: 32 * 4 * ways, LineBytes: 32, Ways: ways} // 4 sets
+		c := New(cfg)
+		refs := make([]*refLRUSet, 4)
+		for i := range refs {
+			refs[i] = &refLRUSet{ways: ways}
+		}
+		rng := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 20000; i++ {
+			addr := uint64(rng.Intn(64)) * 32 // 64 distinct lines over 4 sets
+			write := rng.Intn(3) == 0
+			got := c.Access(addr, write)
+			ln := addr >> 5
+			want := refs[ln&3].access(ln, write)
+			if got != want {
+				t.Fatalf("ways=%d step %d addr %#x write=%v: got %+v want %+v", ways, i, addr, write, got, want)
+			}
+		}
+		if err := c.CheckLRUInvariant(); err != nil {
+			t.Fatalf("ways=%d: %v", ways, err)
+		}
+	}
+}

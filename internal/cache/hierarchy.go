@@ -85,7 +85,10 @@ func NewHierarchy(l1, l2 Config) *Hierarchy {
 	return &Hierarchy{L1: New(l1), L2: New(l2)}
 }
 
-var _ simmem.Tracer = (*Hierarchy)(nil)
+var (
+	_ simmem.Tracer        = (*Hierarchy)(nil)
+	_ simmem.StridedTracer = (*Hierarchy)(nil)
+)
 
 // Access implements simmem.Tracer. Accesses that straddle an L1 line
 // boundary are split per line, as the hardware would split them into
@@ -113,7 +116,7 @@ func (h *Hierarchy) Access(addr uint64, size uint32, kind simmem.Kind) {
 	if size == 0 {
 		return
 	}
-	lineBytes := uint64(h.L1.LineBytes())
+	lineBytes := uint64(1) << h.L1.lineShift
 	first := addr &^ (lineBytes - 1)
 	last := (addr + uint64(size) - 1) &^ (lineBytes - 1)
 	write := kind == simmem.Store
@@ -136,10 +139,7 @@ func (h *Hierarchy) Run(addr uint64, n int, unit uint32, kind simmem.Kind) {
 	if n <= 0 {
 		return
 	}
-	if unit == 0 {
-		unit = 1
-	}
-	refs := uint64((n + int(unit) - 1) / int(unit))
+	refs := simmem.RunRefs(n, unit)
 	switch kind {
 	case simmem.Load:
 		h.Loads += refs
@@ -149,18 +149,54 @@ func (h *Hierarchy) Run(addr uint64, n int, unit uint32, kind simmem.Kind) {
 		h.StoreBytes += uint64(n)
 	case simmem.Prefetch:
 		// Prefetch runs degenerate to per-line prefetch probes.
-		lineBytes := uint64(h.L1.LineBytes())
+		lineBytes := uint64(1) << h.L1.lineShift
 		for a := addr &^ (lineBytes - 1); a < addr+uint64(n); a += lineBytes {
 			h.Access(a, 0, simmem.Prefetch)
 		}
 		return
 	}
 	write := kind == simmem.Store
-	lineBytes := uint64(h.L1.LineBytes())
+	lineBytes := uint64(1) << h.L1.lineShift
 	first := addr &^ (lineBytes - 1)
 	last := (addr + uint64(n) - 1) &^ (lineBytes - 1)
 	for a := first; a <= last; a += lineBytes {
 		h.lineRef(a, write)
+	}
+}
+
+// RunStrided implements simmem.StridedTracer: exactly equivalent to
+// rows consecutive Run calls, with the counter updates batched outside
+// the per-row line loop. The SAD and compensation kernels deliver their
+// blocks through this path, so it carries most of the simulated stream.
+func (h *Hierarchy) RunStrided(addr uint64, rowBytes, stride, rows int, unit uint32, kind simmem.Kind) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	if kind == simmem.Prefetch {
+		for r := 0; r < rows; r++ {
+			h.Run(addr, rowBytes, unit, simmem.Prefetch)
+			addr += uint64(stride)
+		}
+		return
+	}
+	refs := uint64(rows) * simmem.RunRefs(rowBytes, unit)
+	bytes := uint64(rows) * uint64(rowBytes)
+	write := kind == simmem.Store
+	if write {
+		h.Stores += refs
+		h.StoreBytes += bytes
+	} else {
+		h.Loads += refs
+		h.LoadBytes += bytes
+	}
+	lineBytes := uint64(1) << h.L1.lineShift
+	for r := 0; r < rows; r++ {
+		first := addr &^ (lineBytes - 1)
+		last := (addr + uint64(rowBytes) - 1) &^ (lineBytes - 1)
+		for a := first; a <= last; a += lineBytes {
+			h.lineRef(a, write)
+		}
+		addr += uint64(stride)
 	}
 }
 
@@ -184,7 +220,7 @@ func (h *Hierarchy) lineRef(addr uint64, write bool) {
 		// DRAM traffic. Hierarchy.L2Misses (demand misses) is therefore
 		// not incremented here; the Cache's internal Misses counter is
 		// raw and includes installs.
-		wbAddr := r1.EvictedLine << uint64(trailingShift(h.L1.LineBytes()))
+		wbAddr := r1.EvictedLine << h.L1.lineShift
 		h.L2Accesses++
 		r2 := h.L2.Access(wbAddr, true)
 		if !r2.Hit && r2.EvictedDirty {
@@ -200,14 +236,6 @@ func (h *Hierarchy) lineRef(addr uint64, write bool) {
 			h.L2Writebacks++
 		}
 	}
-}
-
-func trailingShift(v int) uint {
-	s := uint(0)
-	for 1<<s != v {
-		s++
-	}
-	return s
 }
 
 // Ops implements simmem.Tracer.

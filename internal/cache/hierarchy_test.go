@@ -189,3 +189,49 @@ func TestAccessRunThroughHierarchy(t *testing.T) {
 		t.Fatalf("L2Misses=%d want 2", h.L2Misses)
 	}
 }
+
+// TestRunStridedEquivalentToPerRowRuns: the strided fast path must be
+// event-for-event equivalent to per-row Run calls, for every kind,
+// under random block shapes.
+func TestRunStridedEquivalentToPerRowRuns(t *testing.T) {
+	a, b := testHier(), testHier()
+	rng := rand.New(rand.NewSource(3))
+	kinds := []simmem.Kind{simmem.Load, simmem.Store, simmem.Prefetch}
+	units := []uint32{1, 1, 4, 8}
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1 << 14))
+		rowBytes := 1 + rng.Intn(40)
+		stride := 32 + rng.Intn(300)
+		rows := 1 + rng.Intn(20)
+		kind := kinds[rng.Intn(len(kinds))]
+		unit := units[rng.Intn(len(units))]
+		a.RunStrided(addr, rowBytes, stride, rows, unit, kind)
+		rowAddr := addr
+		for r := 0; r < rows; r++ {
+			b.Run(rowAddr, rowBytes, unit, kind)
+			rowAddr += uint64(stride)
+		}
+		if a.Snapshot() != b.Snapshot() {
+			t.Fatalf("step %d: strided %+v != per-row %+v", i, a.Snapshot(), b.Snapshot())
+		}
+	}
+	if err := a.L1.CheckLRUInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchRunCountsPerLine: prefetch runs count one prefetch per
+// covered line, the convention shared with simmem.Count.
+func TestPrefetchRunCountsPerLine(t *testing.T) {
+	h := testHier()
+	h.Run(0x1000, 96, 1, simmem.Prefetch) // 3 lines of 32 B
+	if h.Prefetches != 3 {
+		t.Fatalf("prefetch run over 3 lines counted %d", h.Prefetches)
+	}
+	var c simmem.Count
+	c.LineBytes = h.L1.LineBytes()
+	c.Run(0x1000, 96, 1, simmem.Prefetch)
+	if c.Prefetches != h.Prefetches {
+		t.Fatalf("Count (%d) and Hierarchy (%d) disagree on prefetch run", c.Prefetches, h.Prefetches)
+	}
+}

@@ -624,8 +624,8 @@ func (d *Decoder) storeBlock(p *video.Plane, x, y int, blk *dct.Block) {
 		for i := 0; i < 8; i++ {
 			row[i] = clampPix(blk[r*8+i])
 		}
-		simmem.AccessRunUnit(d.t, p.Addr+uint64(off), 8, 1, simmem.Store)
 	}
+	simmem.AccessStrided(d.t, p.Addr+uint64(y*p.Stride+x), 8, p.Stride, 8, simmem.Store)
 	simmem.AccessRunUnit(d.t, d.blkAddr, 256, 4, simmem.Load)
 	d.tabs.traceClip(d.t)
 	d.t.Ops(8 * 10)
@@ -640,9 +640,9 @@ func (d *Decoder) addBlock(pred, out *video.Plane, x, y, px, py int, blk *dct.Bl
 		for i := 0; i < 8; i++ {
 			or[i] = clampPix(int32(pr[i]) + blk[r*8+i])
 		}
-		simmem.AccessRunUnit(d.t, pred.Addr+uint64(po), 8, 1, simmem.Load)
-		simmem.AccessRunUnit(d.t, out.Addr+uint64(oo), 8, 1, simmem.Store)
 	}
+	simmem.AccessStrided(d.t, pred.Addr+uint64(py*pred.Stride+px), 8, pred.Stride, 8, simmem.Load)
+	simmem.AccessStrided(d.t, out.Addr+uint64(y*out.Stride+x), 8, out.Stride, 8, simmem.Store)
 	simmem.AccessRunUnit(d.t, d.blkAddr, 256, 4, simmem.Load)
 	d.tabs.traceClip(d.t)
 	d.t.Ops(8 * 12)
@@ -657,8 +657,8 @@ func fillGreyMB(t simmem.Tracer, f *video.Frame, x, y int) {
 		for i := range row {
 			row[i] = 128
 		}
-		simmem.AccessRun(t, f.Y.Addr+uint64(off), 16, simmem.Store)
 	}
+	simmem.AccessStridedUnit(t, f.Y.Addr+uint64(y*f.Y.Stride+x), 16, f.Y.Stride, 16, 8, simmem.Store)
 	for r := 0; r < 8; r++ {
 		for _, p := range []*video.Plane{f.Cb, f.Cr} {
 			off := (y/2+r)*p.Stride + x/2
@@ -666,8 +666,10 @@ func fillGreyMB(t simmem.Tracer, f *video.Frame, x, y int) {
 			for i := range row {
 				row[i] = 128
 			}
-			simmem.AccessRun(t, p.Addr+uint64(off), 8, simmem.Store)
 		}
+	}
+	for _, p := range []*video.Plane{f.Cb, f.Cr} {
+		simmem.AccessStridedUnit(t, p.Addr+uint64((y/2)*p.Stride+x/2), 8, p.Stride, 8, 8, simmem.Store)
 	}
 	t.Ops(16 * 16 / 4)
 }

@@ -332,8 +332,8 @@ func (e *Encoder) gatherBlock(p *video.Plane, x, y int, blk *dct.Block) {
 		for i := 0; i < 8; i++ {
 			blk[r*8+i] = int32(row[i])
 		}
-		simmem.AccessRunUnit(e.t, p.Addr+uint64(off), 8, 1, simmem.Load)
 	}
+	simmem.AccessStrided(e.t, p.Addr+uint64(y*p.Stride+x), 8, p.Stride, 8, simmem.Load)
 	simmem.AccessRunUnit(e.t, e.blkAddr, 256, 4, simmem.Store)
 	e.t.Ops(8 * 10)
 }
@@ -349,9 +349,9 @@ func (e *Encoder) gatherDiffBlock(cur, pred *video.Plane, x, y, px, py int, blk 
 		for i := 0; i < 8; i++ {
 			blk[r*8+i] = int32(cr[i]) - int32(pr[i])
 		}
-		simmem.AccessRunUnit(e.t, cur.Addr+uint64(co), 8, 1, simmem.Load)
-		simmem.AccessRunUnit(e.t, pred.Addr+uint64(po), 8, 1, simmem.Load)
 	}
+	simmem.AccessStrided(e.t, cur.Addr+uint64(y*cur.Stride+x), 8, cur.Stride, 8, simmem.Load)
+	simmem.AccessStrided(e.t, pred.Addr+uint64(py*pred.Stride+px), 8, pred.Stride, 8, simmem.Load)
 	simmem.AccessRunUnit(e.t, e.blkAddr, 256, 4, simmem.Store)
 	e.t.Ops(8 * 14)
 }
@@ -364,8 +364,8 @@ func (e *Encoder) storeBlock(recon *video.Plane, x, y int, blk *dct.Block) {
 		for i := 0; i < 8; i++ {
 			row[i] = clampPix(blk[r*8+i])
 		}
-		simmem.AccessRunUnit(e.t, recon.Addr+uint64(off), 8, 1, simmem.Store)
 	}
+	simmem.AccessStrided(e.t, recon.Addr+uint64(y*recon.Stride+x), 8, recon.Stride, 8, simmem.Store)
 	simmem.AccessRunUnit(e.t, e.blkAddr, 256, 4, simmem.Load)
 	e.tabs.traceClip(e.t)
 	e.t.Ops(8 * 10)
@@ -382,9 +382,9 @@ func (e *Encoder) addBlock(pred, recon *video.Plane, x, y, px, py int, blk *dct.
 		for i := 0; i < 8; i++ {
 			rr[i] = clampPix(int32(pr[i]) + blk[r*8+i])
 		}
-		simmem.AccessRunUnit(e.t, pred.Addr+uint64(po), 8, 1, simmem.Load)
-		simmem.AccessRunUnit(e.t, recon.Addr+uint64(ro), 8, 1, simmem.Store)
 	}
+	simmem.AccessStrided(e.t, pred.Addr+uint64(py*pred.Stride+px), 8, pred.Stride, 8, simmem.Load)
+	simmem.AccessStrided(e.t, recon.Addr+uint64(y*recon.Stride+x), 8, recon.Stride, 8, simmem.Store)
 	simmem.AccessRunUnit(e.t, e.blkAddr, 256, 4, simmem.Load)
 	e.tabs.traceClip(e.t)
 	e.t.Ops(8 * 12)

@@ -387,9 +387,9 @@ func gatherDiffAt(t simmem.Tracer, blkAddr uint64, a, b *video.Plane, x, y, px, 
 		for i := 0; i < 8; i++ {
 			blk[r*8+i] = int32(ar[i]) - int32(br[i])
 		}
-		simmem.AccessRunUnit(t, a.Addr+uint64(ao), 8, 1, simmem.Load)
-		simmem.AccessRunUnit(t, b.Addr+uint64(bo), 8, 1, simmem.Load)
 	}
+	simmem.AccessStrided(t, a.Addr+uint64(y*a.Stride+x), 8, a.Stride, 8, simmem.Load)
+	simmem.AccessStrided(t, b.Addr+uint64(py*b.Stride+px), 8, b.Stride, 8, simmem.Load)
 	simmem.AccessRunUnit(t, blkAddr, 256, 4, simmem.Store)
 	t.Ops(8 * 14)
 }
@@ -410,9 +410,9 @@ func addBlockAt(t simmem.Tracer, blkAddr uint64, pred, out *video.Plane, x, y, p
 		for i := 0; i < 8; i++ {
 			or[i] = clampPix(int32(pr[i]) + blk[r*8+i])
 		}
-		simmem.AccessRunUnit(t, pred.Addr+uint64(po), 8, 1, simmem.Load)
-		simmem.AccessRunUnit(t, out.Addr+uint64(oo), 8, 1, simmem.Store)
 	}
+	simmem.AccessStrided(t, pred.Addr+uint64(py*pred.Stride+px), 8, pred.Stride, 8, simmem.Load)
+	simmem.AccessStrided(t, out.Addr+uint64(y*out.Stride+x), 8, out.Stride, 8, simmem.Store)
 	simmem.AccessRunUnit(t, blkAddr, 256, 4, simmem.Load)
 	t.Ops(8 * 12)
 }

@@ -74,12 +74,9 @@ func (s *vopStager) stageRegion(f *video.Frame, x0, y0, x1, y1 int) {
 // loadRegion reads every sample of the region once (a display-conversion
 // or analysis read pass without a buffer write).
 func (s *vopStager) loadRegion(f *video.Frame, x0, y0, x1, y1 int) {
-	for y := y0; y < y1; y++ {
-		simmem.AccessRunUnit(s.t, f.Y.Addr+uint64(y*f.Y.Stride+x0), x1-x0, 1, simmem.Load)
-	}
-	for y := y0 / 2; y < y1/2; y++ {
-		simmem.AccessRunUnit(s.t, f.Cb.Addr+uint64(y*f.Cb.Stride+x0/2), (x1-x0)/2, 1, simmem.Load)
-		simmem.AccessRunUnit(s.t, f.Cr.Addr+uint64(y*f.Cr.Stride+x0/2), (x1-x0)/2, 1, simmem.Load)
-	}
+	simmem.AccessStrided(s.t, f.Y.Addr+uint64(y0*f.Y.Stride+x0), x1-x0, f.Y.Stride, y1-y0, simmem.Load)
+	crows := y1/2 - y0/2
+	simmem.AccessStrided(s.t, f.Cb.Addr+uint64((y0/2)*f.Cb.Stride+x0/2), (x1-x0)/2, f.Cb.Stride, crows, simmem.Load)
+	simmem.AccessStrided(s.t, f.Cr.Addr+uint64((y0/2)*f.Cr.Stride+x0/2), (x1-x0)/2, f.Cr.Stride, crows, simmem.Load)
 	s.t.Ops(uint64((x1-x0)*(y1-y0)) * 2)
 }

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/farm"
+	"repro/internal/perf"
+	"repro/internal/simmem"
+	"repro/internal/trace"
+)
+
+// The cache-geometry sweep is the purest form of the record/replay
+// methodology: one encode produces one trace, and every (L1, L2)
+// geometry is simulated from it — the classic trace-driven study the
+// paper's own figures perform by machine shopping, generalised to
+// machines SGI never built. Per L1 the full trace replays once through
+// an L1 filter; the surviving L2-bound stream (orders of magnitude
+// shorter) then replays once per L2 size.
+
+// GeometryPoint is one simulated configuration of the sweep.
+type GeometryPoint struct {
+	Label  string
+	L1     cache.Config
+	L2     cache.Config
+	Encode perf.Metrics
+}
+
+// GeometryL1Configs returns the default L1 axis: the paper's 32 KB
+// 2-way data cache plus a half-size and a double-associativity
+// variant.
+func GeometryL1Configs() []cache.Config {
+	base := perf.O2R12K1MB().L1
+	half := base
+	half.SizeBytes = base.SizeBytes / 2
+	assoc := base
+	assoc.Ways = base.Ways * 2
+	return []cache.Config{base, half, assoc}
+}
+
+// GeometryL2Sizes returns the default L2 axis, bracketing the paper's
+// 1/2/8 MB machines.
+func GeometryL2Sizes() []int {
+	return []int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}
+}
+
+// geometryMachine builds the timing model for one configuration: the
+// O2's clocks and penalties with the caches swapped.
+func geometryMachine(l1 cache.Config, l2Size int) perf.Machine {
+	m := perf.O2R12K1MB()
+	m.Name = fmt.Sprintf("geom L1:%dK/%dw L2:%dM", l1.SizeBytes>>10, l1.Ways, l2Size>>20)
+	m.L1 = l1
+	m.L2.SizeBytes = l2Size
+	return m
+}
+
+func geometryLabel(l1 cache.Config, l2Size int) string {
+	return fmt.Sprintf("L1 %dKB/%d-way, L2 %s", l1.SizeBytes>>10, l1.Ways, humanBytes(l2Size))
+}
+
+func humanBytes(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dKB", b>>10)
+}
+
+// RunGeometrySweep runs the sweep on the default pool; see
+// RunGeometrySweepPool.
+func RunGeometrySweep(wl Workload, l1s []cache.Config, l2Sizes []int) ([]GeometryPoint, error) {
+	return RunGeometrySweepPool(context.Background(), nil, wl, l1s, l2Sizes)
+}
+
+// RunGeometrySweepPool encodes the workload exactly once, then
+// simulates every (L1, L2 size) combination by replay: the full trace
+// replays through an L1 filter per L1 configuration (one farm job
+// each), and each filtered trace replays per L2 size. Points return in
+// (L1 outer, L2 inner) order. Nil/empty axes use the defaults.
+func RunGeometrySweepPool(ctx context.Context, p *farm.Pool, wl Workload, l1s []cache.Config, l2Sizes []int) ([]GeometryPoint, error) {
+	if len(l1s) == 0 {
+		l1s = GeometryL1Configs()
+	}
+	if len(l2Sizes) == 0 {
+		l2Sizes = GeometryL2Sizes()
+	}
+	capture, err := RecordEncodeIn(simmem.NewSpace(0), wl)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := farm.MapLabeled(ctx, p, l1s,
+		func(i int, l1 cache.Config) string {
+			return fmt.Sprintf("geometry/l1=%dK-%dw", l1.SizeBytes>>10, l1.Ways)
+		},
+		func(ctx context.Context, env farm.Env, l1 cache.Config) ([]GeometryPoint, error) {
+			f := trace.NewL2Filter(l1)
+			capture.Enc.Replay(f, nil)
+			lt := f.Trace()
+			noteL2Trace(lt)
+			points := make([]GeometryPoint, len(l2Sizes))
+			for i, size := range l2Sizes {
+				m := geometryMachine(l1, size)
+				whole, _ := lt.Replay(m.L2)
+				usage.replays.Add(1)
+				points[i] = GeometryPoint{
+					Label:  geometryLabel(l1, size),
+					L1:     l1,
+					L2:     m.L2,
+					Encode: perf.Compute(m, whole),
+				}
+			}
+			return points, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []GeometryPoint
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// RunGeometrySweepLive is the re-encode baseline: every configuration
+// re-runs the instrumented codec with its hierarchy attached — the
+// O(configs × encode) shape the replay sweep collapses. Kept for the
+// replay speedup benchmark and for -replay=false runs.
+func RunGeometrySweepLive(ctx context.Context, p *farm.Pool, wl Workload, l1s []cache.Config, l2Sizes []int) ([]GeometryPoint, error) {
+	if len(l1s) == 0 {
+		l1s = GeometryL1Configs()
+	}
+	if len(l2Sizes) == 0 {
+		l2Sizes = GeometryL2Sizes()
+	}
+	type cfg struct {
+		l1   cache.Config
+		size int
+	}
+	var cases []cfg
+	for _, l1 := range l1s {
+		for _, size := range l2Sizes {
+			cases = append(cases, cfg{l1, size})
+		}
+	}
+	return farm.MapLabeled(ctx, p, cases,
+		func(i int, c cfg) string {
+			return fmt.Sprintf("geometry-live/l1=%dK-%dw/l2=%s", c.l1.SizeBytes>>10, c.l1.Ways, humanBytes(c.size))
+		},
+		func(ctx context.Context, env farm.Env, c cfg) (GeometryPoint, error) {
+			m := geometryMachine(c.l1, c.size)
+			res, _, err := RunEncodeLiveIn(env.Space, []perf.Machine{m}, wl)
+			if err != nil {
+				return GeometryPoint{}, err
+			}
+			return GeometryPoint{
+				Label:  geometryLabel(c.l1, c.size),
+				L1:     c.l1,
+				L2:     m.L2,
+				Encode: res[0].Whole,
+			}, nil
+		})
+}
+
+// GeometrySweepSeries renders the sweep as one series per L1
+// configuration (L2 size on the x axis, L2 miss rate on y).
+func GeometrySweepSeries(points []GeometryPoint) []perf.Series {
+	var out []perf.Series
+	var curL1 cache.Config
+	for _, p := range points {
+		if len(out) == 0 || p.L1 != curL1 {
+			out = append(out, perf.Series{
+				Label: fmt.Sprintf("L2C miss rate vs L2 size (encode, L1 %dKB/%d-way)", p.L1.SizeBytes>>10, p.L1.Ways),
+				YUnit: "%",
+			})
+			curL1 = p.L1
+		}
+		out[len(out)-1].Append(humanBytes(p.L2.SizeBytes), p.Encode.L2MissRate*100)
+	}
+	return out
+}
+
+// FormatGeometrySweep renders the sweep as an aligned text block.
+func FormatGeometrySweep(title string, points []GeometryPoint) string {
+	out := title + "\n"
+	out += fmt.Sprintf("  %-28s %9s %9s %10s %12s\n", "config", "L1miss%", "L2miss%", "DRAM%", "L2DRAM MB/s")
+	for _, p := range points {
+		out += fmt.Sprintf("  %-28s %8.3f%% %8.2f%% %9.2f%% %12.1f\n",
+			p.Label, p.Encode.L1MissRate*100, p.Encode.L2MissRate*100,
+			p.Encode.DRAMTimeFrac*100, p.Encode.L2DRAMMBps)
+	}
+	return out
+}

@@ -131,9 +131,9 @@ func (m multiPhases) PhaseEnd(n string) {
 	}
 }
 
-// RunEncode encodes the workload once, measured simultaneously on all
-// machines, and returns one Result per machine plus the session stream
-// for subsequent decode experiments.
+// RunEncode encodes the workload once, measured on all machines, and
+// returns one Result per machine plus the session stream for subsequent
+// decode experiments.
 func RunEncode(machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
 	return RunEncodeIn(simmem.NewSpace(0), machines, wl)
 }
@@ -141,20 +141,42 @@ func RunEncode(machines []perf.Machine, wl Workload) ([]Result, *codec.SessionSt
 // RunEncodeIn is RunEncode in a caller-provided simulated address
 // space. The experiment farm passes each job's isolated Space here, so
 // concurrent runs can never share allocator state.
+//
+// Multi-machine sets run in capture-and-replay mode (unless disabled
+// via SetReplayEnabled): machines sharing one L1 geometry — the paper's
+// three platforms — cost one codec run plus one L1 simulation, with
+// each machine served by a replay of the L2-bound stream; machine sets
+// with differing L1s replay a full recorded trace per machine. Either
+// way the Stats are counter-identical to the live path (see
+// replay_test.go).
 func RunEncodeIn(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
+	if len(machines) > 1 && ReplayEnabled() {
+		if sameL1(machines) {
+			return runEncodeFiltered(space, machines, wl)
+		}
+		return runEncodeRecorded(space, machines, wl)
+	}
+	return RunEncodeLiveIn(space, machines, wl)
+}
+
+// RunEncodeLiveIn is the legacy simulation strategy: every machine's
+// hierarchy is attached to the codec run and simulates inline. It is
+// the baseline the replay benchmarks compare against, and the fallback
+// when replay is disabled.
+func RunEncodeLiveIn(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
 	wl = wl.normalize()
 	frames := wl.frames(space)
 
 	hiers := make([]*cache.Hierarchy, len(machines))
 	trackers := make(multiPhases, len(machines))
-	tracers := make(simmem.Multi, len(machines))
+	tracers := make([]simmem.Tracer, len(machines))
 	for i, m := range machines {
 		hiers[i] = m.NewHierarchy()
 		trackers[i] = newPhaseTracker(hiers[i])
 		tracers[i] = hiers[i]
 	}
 
-	ss, err := codec.EncodeSession(wl.sessionConfig(), space, tracers, trackers, frames)
+	ss, err := codec.EncodeSession(wl.sessionConfig(), space, simmem.Combine(tracers...), trackers, frames)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -176,20 +198,30 @@ func RunDecode(machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([
 }
 
 // RunDecodeIn is RunDecode in a caller-provided simulated address
-// space (see RunEncodeIn).
+// space (see RunEncodeIn for the simulation strategies).
 func RunDecodeIn(space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
-	wl = wl.normalize()
+	if len(machines) > 1 && ReplayEnabled() {
+		if sameL1(machines) {
+			return runDecodeFiltered(space, machines, ss)
+		}
+		return runDecodeRecorded(space, machines, wl.normalize(), ss)
+	}
+	return RunDecodeLiveIn(space, machines, wl, ss)
+}
 
+// RunDecodeLiveIn is the legacy inline-simulation decode path (see
+// RunEncodeLiveIn).
+func RunDecodeLiveIn(space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
 	hiers := make([]*cache.Hierarchy, len(machines))
 	trackers := make(multiPhases, len(machines))
-	tracers := make(simmem.Multi, len(machines))
+	tracers := make([]simmem.Tracer, len(machines))
 	for i, m := range machines {
 		hiers[i] = m.NewHierarchy()
 		trackers[i] = newPhaseTracker(hiers[i])
 		tracers[i] = hiers[i]
 	}
 
-	if err := streamDecode(ss, space, tracers, trackers); err != nil {
+	if err := streamDecode(ss, space, simmem.Combine(tracers...), trackers); err != nil {
 		return nil, err
 	}
 	results := make([]Result, len(machines))
@@ -312,14 +344,5 @@ func EncodeDecode(machines []perf.Machine, wl Workload) ([]Result, []Result, err
 }
 
 func makeResult(m perf.Machine, h *cache.Hierarchy, tr *phaseTracker, bytes int) Result {
-	res := Result{
-		Machine: m,
-		Whole:   perf.Compute(m, h.Snapshot()),
-		Phases:  map[string]perf.Metrics{},
-		Bytes:   bytes,
-	}
-	for name, st := range tr.acc {
-		res.Phases[name] = perf.Compute(m, st)
-	}
-	return res
+	return resultFromStats(m, h.Snapshot(), tr.acc, bytes)
 }

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/codec"
+	"repro/internal/perf"
+	"repro/internal/simmem"
+	"repro/internal/trace"
+)
+
+// This file is the record/replay layer of the harness: workloads are
+// executed once to capture their memory-reference stream, and machines
+// and cache geometries are simulated by replaying the capture. Two
+// capture forms exist (see internal/trace):
+//
+//   - a full Trace replays against any cache geometry;
+//   - an L1-filtered L2Trace replays only the L2-bound stream, valid
+//     for any L2 behind the same L1 — the shape of the paper's three
+//     machines — at a tiny fraction of the cost and memory.
+//
+// Both reproduce counter-identical Stats to live tracing (asserted by
+// the equivalence tests in replay_test.go), so every path below is
+// interchangeable with the live Multi-tracer path it replaced.
+
+// replayEnabled selects the multi-machine strategy of RunEncodeIn /
+// RunDecodeIn: capture-and-replay (default) or the legacy live path
+// that attaches every hierarchy to the codec run. The live path remains
+// for baselines and for memory-constrained runs (mp4study -replay=false).
+var replayDisabled atomic.Bool
+
+// SetReplayEnabled switches the multi-machine simulation strategy.
+func SetReplayEnabled(on bool) { replayDisabled.Store(!on) }
+
+// ReplayEnabled reports whether capture-and-replay is in use.
+func ReplayEnabled() bool { return !replayDisabled.Load() }
+
+// TraceUsage aggregates capture/replay activity across all experiments
+// since the last reset — the -replay trace report of cmd/mp4study.
+type TraceUsage struct {
+	Traces       uint64 // full traces recorded
+	TraceRecords uint64
+	TraceBytes   uint64
+	L2Traces     uint64 // L1-filtered traces recorded
+	L2Events     uint64
+	L2Bytes      uint64
+	Replays      uint64 // machine/geometry simulations served from captures
+}
+
+var usage struct {
+	traces, traceRecords, traceBytes atomic.Uint64
+	l2Traces, l2Events, l2Bytes      atomic.Uint64
+	replays                          atomic.Uint64
+}
+
+// TraceUsageSnapshot returns the counters accumulated so far.
+func TraceUsageSnapshot() TraceUsage {
+	return TraceUsage{
+		Traces:       usage.traces.Load(),
+		TraceRecords: usage.traceRecords.Load(),
+		TraceBytes:   usage.traceBytes.Load(),
+		L2Traces:     usage.l2Traces.Load(),
+		L2Events:     usage.l2Events.Load(),
+		L2Bytes:      usage.l2Bytes.Load(),
+		Replays:      usage.replays.Load(),
+	}
+}
+
+// ResetTraceUsage zeroes the counters.
+func ResetTraceUsage() {
+	usage.traces.Store(0)
+	usage.traceRecords.Store(0)
+	usage.traceBytes.Store(0)
+	usage.l2Traces.Store(0)
+	usage.l2Events.Store(0)
+	usage.l2Bytes.Store(0)
+	usage.replays.Store(0)
+}
+
+func noteTrace(t *trace.Trace) {
+	usage.traces.Add(1)
+	usage.traceRecords.Add(uint64(t.Records()))
+	usage.traceBytes.Add(uint64(t.SizeBytes()))
+}
+
+func noteL2Trace(t *trace.L2Trace) {
+	usage.l2Traces.Add(1)
+	usage.l2Events.Add(uint64(t.Events()))
+	usage.l2Bytes.Add(uint64(t.SizeBytes()))
+}
+
+// Capture bundles the recorded reference streams of one workload: the
+// encode trace, optionally the decode trace, and the coded stream the
+// decode consumes. One Capture simulates the workload on any number of
+// machines without re-running the codec.
+type Capture struct {
+	Workload Workload
+	Enc      *trace.Trace
+	Dec      *trace.Trace
+	SS       *codec.SessionStream
+}
+
+// RecordEncodeIn encodes the workload once with only a trace recorder
+// attached — no cache simulation — and returns the capture.
+func RecordEncodeIn(space *simmem.Space, wl Workload) (*Capture, error) {
+	wl = wl.normalize()
+	frames := wl.frames(space)
+	rec := trace.NewRecorder()
+	ss, err := codec.EncodeSession(wl.sessionConfig(), space, rec, rec, frames)
+	if err != nil {
+		return nil, err
+	}
+	tr := rec.Finish()
+	noteTrace(tr)
+	return &Capture{Workload: wl, Enc: tr, SS: ss}, nil
+}
+
+// RecordDecodeIn records the decode (playback) trace of the capture's
+// coded stream into c.Dec.
+func (c *Capture) RecordDecodeIn(space *simmem.Space) error {
+	rec := trace.NewRecorder()
+	if err := streamDecode(c.SS, space, rec, rec); err != nil {
+		return err
+	}
+	c.Dec = rec.Finish()
+	noteTrace(c.Dec)
+	return nil
+}
+
+// ReplayOn simulates a captured trace on machine m, reproducing the
+// Stats (and per-phase deltas) a live run on m would have counted.
+func ReplayOn(m perf.Machine, tr *trace.Trace, bytes int) Result {
+	h := m.NewHierarchy()
+	pt := newPhaseTracker(h)
+	tr.Replay(h, pt)
+	usage.replays.Add(1)
+	return makeResult(m, h, pt, bytes)
+}
+
+// sameL1 reports whether all machines share one L1 geometry, making the
+// L1-filtered replay path valid for the set.
+func sameL1(machines []perf.Machine) bool {
+	for _, m := range machines[1:] {
+		if m.L1.SizeBytes != machines[0].L1.SizeBytes ||
+			m.L1.LineBytes != machines[0].L1.LineBytes ||
+			m.L1.Ways != machines[0].L1.Ways {
+			return false
+		}
+	}
+	return true
+}
+
+// resultFromStats derives a Result from raw whole-run counters and
+// per-phase deltas.
+func resultFromStats(m perf.Machine, whole cache.Stats, phases map[string]cache.Stats, bytes int) Result {
+	res := Result{
+		Machine: m,
+		Whole:   perf.Compute(m, whole),
+		Phases:  map[string]perf.Metrics{},
+		Bytes:   bytes,
+	}
+	for name, st := range phases {
+		res.Phases[name] = perf.Compute(m, st)
+	}
+	return res
+}
+
+// replayL2All simulates an L1-filtered capture on every machine of the
+// (same-L1) set.
+func replayL2All(machines []perf.Machine, lt *trace.L2Trace, bytes int) []Result {
+	results := make([]Result, len(machines))
+	for i, m := range machines {
+		whole, phases := lt.Replay(m.L2)
+		usage.replays.Add(1)
+		results[i] = resultFromStats(m, whole, phases, bytes)
+	}
+	return results
+}
+
+// runEncodeFiltered encodes once behind the shared L1 filter and
+// replays the L2-bound stream per machine: O(encode + L1 sim) codec
+// work for any number of machines.
+func runEncodeFiltered(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
+	wl = wl.normalize()
+	frames := wl.frames(space)
+	f := trace.NewL2Filter(machines[0].L1)
+	ss, err := codec.EncodeSession(wl.sessionConfig(), space, f, f, frames)
+	if err != nil {
+		return nil, nil, err
+	}
+	lt := f.Trace()
+	noteL2Trace(lt)
+	return replayL2All(machines, lt, ss.TotalBytes()), ss, nil
+}
+
+// runEncodeRecorded captures the full trace once and replays it per
+// machine — the general path for machine sets with differing L1s.
+func runEncodeRecorded(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
+	c, err := RecordEncodeIn(space, wl)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]Result, len(machines))
+	for i, m := range machines {
+		results[i] = ReplayOn(m, c.Enc, c.SS.TotalBytes())
+	}
+	return results, c.SS, nil
+}
+
+// runDecodeFiltered / runDecodeRecorded mirror the encode variants for
+// the playback pipeline.
+func runDecodeFiltered(space *simmem.Space, machines []perf.Machine, ss *codec.SessionStream) ([]Result, error) {
+	f := trace.NewL2Filter(machines[0].L1)
+	if err := streamDecode(ss, space, f, f); err != nil {
+		return nil, err
+	}
+	lt := f.Trace()
+	noteL2Trace(lt)
+	return replayL2All(machines, lt, ss.TotalBytes()), nil
+}
+
+func runDecodeRecorded(space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
+	c := &Capture{Workload: wl, SS: ss}
+	if err := c.RecordDecodeIn(space); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(machines))
+	for i, m := range machines {
+		results[i] = ReplayOn(m, c.Dec, ss.TotalBytes())
+	}
+	return results, nil
+}

@@ -43,19 +43,21 @@ func TableSpecByNum(n int) (TableSpec, error) {
 	return TableSpec{}, fmt.Errorf("harness: no table %d", n)
 }
 
-// runTableCell runs the simulation behind one resolution of one table:
-// an encode on all machines, followed by a decode for decode tables.
-// It is the farm job body for all table generation.
+// runTableCell runs the simulation behind one resolution of one table.
+// Encode tables measure the encode on all machines; decode tables
+// encode untraced (only the coded stream matters) and measure the
+// decode. It is the farm job body for single-table generation.
 func runTableCell(env farm.Env, spec TableSpec, res [2]int, frames int) ([]Result, error) {
 	machines := perf.PaperMachines()
 	wl := Workload{W: res[0], H: res[1], Frames: frames,
 		Objects: spec.Objects, Layers: spec.Layers}
-	encRes, ss, err := RunEncodeIn(env.Space, machines, wl)
+	if spec.Encode {
+		encRes, _, err := RunEncodeIn(env.Space, machines, wl)
+		return encRes, err
+	}
+	_, ss, err := RunEncodeIn(env.Space, nil, wl)
 	if err != nil {
 		return nil, err
-	}
-	if spec.Encode {
-		return encRes, nil
 	}
 	return RunDecode(machines, wl, ss)
 }
@@ -106,32 +108,92 @@ func RunTablePool(ctx context.Context, p *farm.Pool, spec TableSpec, frames int)
 	return tab, all, nil
 }
 
-// RunTables regenerates several of Tables 2–7 in one batch, fanning
-// every (table, resolution) simulation out on the pool — the
-// multi-workload generation path behind `mp4study -all`. Tables return
-// in spec order.
+// RunTables regenerates several of Tables 2–7 in one batch — the
+// multi-workload generation path behind `mp4study -all`. Table pairs
+// sharing a workload (2/3, 4/5, 6/7 are the encode/decode views of the
+// same configuration) share one farm job per resolution: the workload
+// is encoded once, its encode measured if an encode table wants it and
+// its stream decoded-and-measured if a decode table does. That turns
+// O(tables × resolutions) codec runs into O(workloads), with every
+// machine served by capture replay inside RunEncodeIn/RunDecodeIn.
+// Tables return in spec order, byte-identical to RunTablePool per spec.
 func RunTables(ctx context.Context, p *farm.Pool, specs []TableSpec, frames int) ([]*perf.Table, error) {
-	nRes := len(TableResolutions)
-	jobs := make([]farm.Job[[]Result], 0, len(specs)*nRes)
+	type group struct{ objects, layers int }
+	type need struct{ enc, dec bool }
+	needs := map[group]*need{}
+	var order []group
 	for _, spec := range specs {
-		spec := spec
-		for _, res := range TableResolutions {
-			res := res
-			jobs = append(jobs, farm.Job[[]Result]{
-				Label: fmt.Sprintf("table%d/%dx%d", spec.Num, res[0], res[1]),
-				Run: func(ctx context.Context, env farm.Env) ([]Result, error) {
-					return runTableCell(env, spec, res, frames)
-				},
-			})
+		g := group{spec.Objects, spec.Layers}
+		n, ok := needs[g]
+		if !ok {
+			n = &need{}
+			needs[g] = n
+			order = append(order, g)
+		}
+		if spec.Encode {
+			n.enc = true
+		} else {
+			n.dec = true
 		}
 	}
-	cells, err := farm.Run(ctx, p, jobs)
+
+	type cellKey struct {
+		g   group
+		res [2]int
+	}
+	type cellOut struct{ enc, dec []Result }
+	var keys []cellKey
+	for _, g := range order {
+		for _, res := range TableResolutions {
+			keys = append(keys, cellKey{g: g, res: res})
+		}
+	}
+	cells, err := farm.MapLabeled(ctx, p, keys,
+		func(i int, k cellKey) string {
+			return fmt.Sprintf("tables/%dobj%dlay/%dx%d", k.g.objects, k.g.layers, k.res[0], k.res[1])
+		},
+		func(ctx context.Context, env farm.Env, k cellKey) (cellOut, error) {
+			machines := perf.PaperMachines()
+			wl := Workload{W: k.res[0], H: k.res[1], Frames: frames,
+				Objects: k.g.objects, Layers: k.g.layers}
+			n := needs[k.g]
+			var out cellOut
+			var encMachines []perf.Machine
+			if n.enc {
+				encMachines = machines
+			}
+			encRes, ss, err := RunEncodeIn(env.Space, encMachines, wl)
+			if err != nil {
+				return cellOut{}, err
+			}
+			out.enc = encRes
+			if n.dec {
+				if out.dec, err = RunDecode(machines, wl, ss); err != nil {
+					return cellOut{}, err
+				}
+			}
+			return out, nil
+		})
 	if err != nil {
 		return nil, err
 	}
+	byKey := map[cellKey]cellOut{}
+	for i, k := range keys {
+		byKey[k] = cells[i]
+	}
+
 	out := make([]*perf.Table, len(specs))
 	for si, spec := range specs {
-		tab, _ := assembleTable(spec, cells[si*nRes:(si+1)*nRes])
+		specCells := make([][]Result, len(TableResolutions))
+		for ri, res := range TableResolutions {
+			c := byKey[cellKey{g: group{spec.Objects, spec.Layers}, res: res}]
+			if spec.Encode {
+				specCells[ri] = c.enc
+			} else {
+				specCells[ri] = c.dec
+			}
+		}
+		tab, _ := assembleTable(spec, specCells)
 		out[si] = tab
 	}
 	return out, nil

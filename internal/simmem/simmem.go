@@ -48,6 +48,9 @@ func (k Kind) String() string {
 // A Run counts n/unit graduated memory operations but — because
 // same-line references cannot change an LRU cache's state between each
 // other — implementations may probe each covered cache line only once.
+// Prefetch runs count one prefetch per covered cache line (one prefetch
+// instruction fetches one line); all Tracers in this repository agree on
+// that convention so the same stream yields the same counters everywhere.
 //
 // Ops reports n non-memory (ALU/branch) instructions, used by the timing
 // model to estimate graduated instruction counts.
@@ -55,6 +58,18 @@ type Tracer interface {
 	Access(addr uint64, size uint32, kind Kind)
 	Run(addr uint64, n int, unit uint32, kind Kind)
 	Ops(n uint64)
+}
+
+// StridedTracer is an optional Tracer extension for 2-D block traffic:
+// rows of rowBytes bytes separated by stride bytes, rows times, as
+// unit-sized accesses — exactly equivalent to rows consecutive Run
+// calls, but delivered as one event. The block kernels (SAD, motion
+// compensation, DCT gathers) dominate the trace; batching their rows
+// into one call removes the per-row call overhead from the live path
+// and lets trace recorders store one fixed-width record per block
+// instead of one per row.
+type StridedTracer interface {
+	RunStrided(addr uint64, rowBytes, stride, rows int, unit uint32, kind Kind)
 }
 
 // Nop is a Tracer that discards everything. It lets the codec run at full
@@ -67,6 +82,9 @@ func (Nop) Access(uint64, uint32, Kind) {}
 // Run implements Tracer.
 func (Nop) Run(uint64, int, uint32, Kind) {}
 
+// RunStrided implements StridedTracer.
+func (Nop) RunStrided(uint64, int, int, int, uint32, Kind) {}
+
 // Ops implements Tracer.
 func (Nop) Ops(uint64) {}
 
@@ -75,7 +93,17 @@ type Count struct {
 	Loads, Stores, Prefetches uint64
 	LoadBytes, StoreBytes     uint64
 	OpCount                   uint64
+
+	// LineBytes is the cache-line size used to count prefetches (one
+	// prefetch instruction per covered line, matching what a hardware
+	// counter behind a cache.Hierarchy reports for the same stream).
+	// Zero means DefaultLineBytes.
+	LineBytes int
 }
+
+// DefaultLineBytes is the L1 line size shared by every machine of the
+// paper, used by Count when no explicit line size is configured.
+const DefaultLineBytes = 32
 
 // Access implements Tracer.
 func (c *Count) Access(_ uint64, size uint32, kind Kind) {
@@ -91,7 +119,9 @@ func (c *Count) Access(_ uint64, size uint32, kind Kind) {
 	}
 }
 
-// Run implements Tracer.
+// Run implements Tracer. Prefetch runs count one prefetch per covered
+// line (see Tracer), so Count and a cache.Hierarchy report identical
+// prefetch totals for the same stream.
 func (c *Count) Run(addr uint64, n int, unit uint32, kind Kind) {
 	if n <= 0 {
 		return
@@ -99,17 +129,35 @@ func (c *Count) Run(addr uint64, n int, unit uint32, kind Kind) {
 	if unit == 0 {
 		unit = 1
 	}
-	refs := uint64((n + int(unit) - 1) / int(unit))
 	switch kind {
 	case Load:
-		c.Loads += refs
+		c.Loads += RunRefs(n, unit)
 		c.LoadBytes += uint64(n)
 	case Store:
-		c.Stores += refs
+		c.Stores += RunRefs(n, unit)
 		c.StoreBytes += uint64(n)
 	case Prefetch:
-		c.Prefetches += refs
+		c.Prefetches += c.coveredLines(addr, n)
 	}
+}
+
+// RunStrided implements StridedTracer: identical counting to rows
+// consecutive Run calls.
+func (c *Count) RunStrided(addr uint64, rowBytes, stride, rows int, unit uint32, kind Kind) {
+	for r := 0; r < rows; r++ {
+		c.Run(addr, rowBytes, unit, kind)
+		addr += uint64(stride)
+	}
+}
+
+// coveredLines returns the number of cache lines touched by [addr,
+// addr+n).
+func (c *Count) coveredLines(addr uint64, n int) uint64 {
+	lb := uint64(c.LineBytes)
+	if lb == 0 {
+		lb = DefaultLineBytes
+	}
+	return (addr+uint64(n)-1)/lb - addr/lb + 1
 }
 
 // Ops implements Tracer.
@@ -134,10 +182,34 @@ func (m Multi) Run(addr uint64, n int, unit uint32, kind Kind) {
 	}
 }
 
+// RunStrided implements StridedTracer, forwarding natively to elements
+// that support it and decomposing into per-row Runs for those that
+// don't.
+func (m Multi) RunStrided(addr uint64, rowBytes, stride, rows int, unit uint32, kind Kind) {
+	for _, t := range m {
+		AccessStridedUnit(t, addr, rowBytes, stride, rows, unit, kind)
+	}
+}
+
 // Ops implements Tracer.
 func (m Multi) Ops(n uint64) {
 	for _, t := range m {
 		t.Ops(n)
+	}
+}
+
+// Combine fans one access stream out to every given tracer. Unlike
+// building a Multi directly, a single tracer is returned as itself, so
+// the common one-machine case pays one virtual call per event instead
+// of an extra Multi dispatch plus a loop.
+func Combine(ts ...Tracer) Tracer {
+	switch len(ts) {
+	case 0:
+		return Nop{}
+	case 1:
+		return ts[0]
+	default:
+		return Multi(append([]Tracer(nil), ts...))
 	}
 }
 
@@ -228,11 +300,42 @@ func AccessRunUnit(t Tracer, addr uint64, n int, unit uint32, kind Kind) {
 }
 
 // AccessStrided reports rows of rowBytes bytes separated by stride
-// bytes, rows times, as unit-sized accesses. It models 2-D block kernels
-// (SAD, DCT block gathers, motion compensation).
+// bytes, rows times, as byte-sized accesses. It models 2-D block kernels
+// (SAD, DCT block gathers, motion compensation). Tracers implementing
+// StridedTracer receive the block as one event; others get the
+// equivalent per-row Runs.
 func AccessStrided(t Tracer, addr uint64, rowBytes, stride, rows int, kind Kind) {
+	AccessStridedUnit(t, addr, rowBytes, stride, rows, 1, kind)
+}
+
+// RunRefs returns the graduated-operation count of a run of n bytes in
+// unit-sized accesses — the counting rule of the Run contract — with
+// the common power-of-two units strength-reduced. Tracer
+// implementations share it so their counters cannot drift apart.
+func RunRefs(n int, unit uint32) uint64 {
+	switch unit {
+	case 0, 1:
+		return uint64(n)
+	case 4:
+		return uint64(n+3) >> 2
+	case 8:
+		return uint64(n+7) >> 3
+	default:
+		return uint64((n + int(unit) - 1) / int(unit))
+	}
+}
+
+// AccessStridedUnit is AccessStrided with an explicit access unit.
+func AccessStridedUnit(t Tracer, addr uint64, rowBytes, stride, rows int, unit uint32, kind Kind) {
+	if rows <= 0 || rowBytes <= 0 {
+		return
+	}
+	if st, ok := t.(StridedTracer); ok {
+		st.RunStrided(addr, rowBytes, stride, rows, unit, kind)
+		return
+	}
 	for r := 0; r < rows; r++ {
-		t.Run(addr, rowBytes, 1, kind)
+		t.Run(addr, rowBytes, unit, kind)
 		addr += uint64(stride)
 	}
 }

@@ -166,9 +166,15 @@ func TestRunCountsUnits(t *testing.T) {
 		t.Fatalf("partial unit not rounded up: %d", c.Loads)
 	}
 	c.Run(0x1000, 0, 4, Load) // no-op
+	// Prefetch runs count per covered line — one prefetch instruction
+	// fetches a whole line — matching cache.Hierarchy on the same stream.
 	c.Run(0x1000, 8, 0, Prefetch)
-	if c.Prefetches != 8 {
-		t.Fatalf("zero unit should default to 1: %d", c.Prefetches)
+	if c.Prefetches != 1 {
+		t.Fatalf("one-line prefetch run should count once: %d", c.Prefetches)
+	}
+	c.Run(0x1000+DefaultLineBytes-4, 8, 0, Prefetch) // straddles a line boundary
+	if c.Prefetches != 3 {
+		t.Fatalf("straddling prefetch run should cover 2 lines: %d", c.Prefetches)
 	}
 }
 

@@ -1,0 +1,276 @@
+// L1-filtered traces: the paper's three machines (and most cache
+// sweeps) differ only in their second-level cache, while the shared L1
+// determines which references reach L2 at all. FilterL2 runs the L1
+// simulation once and captures just the L2-bound stream — typically two
+// to three orders of magnitude shorter than the full reference stream —
+// so sweeping L2 geometries costs microseconds per configuration
+// instead of a full cache simulation. This is the classic
+// cache-filtering (trace-stripping) optimisation of trace-driven
+// simulation, exact for any L2 because the L1→L2 stream is a pure
+// function of the L1 geometry.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/simmem"
+)
+
+// L2Filter is a Tracer that simulates one L1 data cache and captures
+// the stream it sends to the next level. It implements simmem.Tracer,
+// simmem.StridedTracer and the codec's PhaseRecorder, mirroring
+// cache.Hierarchy's L1-side behaviour event for event.
+type L2Filter struct {
+	l1        *cache.Cache
+	lineBytes uint64
+
+	base     cache.Stats // L1-determined counters; L2 fields stay zero
+	events   []uint64    // addr<<1 | 1 for writeback installs, | 0 for demand fills
+	marks    []l2Mark
+	names    []string
+	phaseIdx map[string]uint32
+}
+
+// l2Mark is a phase marker inside the L2 event stream, with the
+// L1-level counters at the marker (the L2-level part is recomputed per
+// replayed geometry).
+type l2Mark struct {
+	pos   int
+	name  uint32
+	begin bool
+	base  cache.Stats
+}
+
+var (
+	_ simmem.Tracer        = (*L2Filter)(nil)
+	_ simmem.StridedTracer = (*L2Filter)(nil)
+	_ PhaseSink            = (*L2Filter)(nil)
+)
+
+// NewL2Filter returns a filter simulating the given L1 geometry.
+func NewL2Filter(l1 cache.Config) *L2Filter {
+	c := cache.New(l1)
+	return &L2Filter{l1: c, lineBytes: uint64(l1.LineBytes), phaseIdx: map[string]uint32{}}
+}
+
+// lineRef mirrors cache.Hierarchy.lineRef up to the L1/L2 boundary,
+// emitting the L2-bound events instead of probing an L2.
+func (f *L2Filter) lineRef(addr uint64, write bool) {
+	r1 := f.l1.Access(addr, write)
+	if r1.Hit {
+		return
+	}
+	f.base.L1Misses++
+	if r1.EvictedDirty {
+		f.base.L1Writebacks++
+		f.events = append(f.events, (r1.EvictedLine*f.lineBytes)<<1|1)
+	}
+	f.events = append(f.events, addr<<1)
+}
+
+// Access implements simmem.Tracer (cf. cache.Hierarchy.Access).
+func (f *L2Filter) Access(addr uint64, size uint32, kind simmem.Kind) {
+	switch kind {
+	case simmem.Load:
+		f.base.Loads++
+		f.base.LoadBytes += uint64(size)
+	case simmem.Store:
+		f.base.Stores++
+		f.base.StoreBytes += uint64(size)
+	case simmem.Prefetch:
+		f.base.Prefetches++
+		if f.l1.Lookup(addr) {
+			f.base.PrefetchL1Hits++
+			return
+		}
+		f.lineRef(addr, false)
+		return
+	}
+	if size == 0 {
+		return
+	}
+	first := addr &^ (f.lineBytes - 1)
+	last := (addr + uint64(size) - 1) &^ (f.lineBytes - 1)
+	write := kind == simmem.Store
+	for a := first; a <= last; a += f.lineBytes {
+		f.lineRef(a, write)
+	}
+}
+
+// Run implements simmem.Tracer (cf. cache.Hierarchy.Run).
+func (f *L2Filter) Run(addr uint64, n int, unit uint32, kind simmem.Kind) {
+	f.RunStrided(addr, n, 0, 1, unit, kind)
+}
+
+// RunStrided implements simmem.StridedTracer (cf.
+// cache.Hierarchy.RunStrided).
+func (f *L2Filter) RunStrided(addr uint64, rowBytes, stride, rows int, unit uint32, kind simmem.Kind) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	if kind == simmem.Prefetch {
+		for r := 0; r < rows; r++ {
+			for a := addr &^ (f.lineBytes - 1); a < addr+uint64(rowBytes); a += f.lineBytes {
+				f.Access(a, 0, simmem.Prefetch)
+			}
+			addr += uint64(stride)
+		}
+		return
+	}
+	refs := uint64(rows) * simmem.RunRefs(rowBytes, unit)
+	bytes := uint64(rows) * uint64(rowBytes)
+	write := kind == simmem.Store
+	if write {
+		f.base.Stores += refs
+		f.base.StoreBytes += bytes
+	} else {
+		f.base.Loads += refs
+		f.base.LoadBytes += bytes
+	}
+	for r := 0; r < rows; r++ {
+		first := addr &^ (f.lineBytes - 1)
+		last := (addr + uint64(rowBytes) - 1) &^ (f.lineBytes - 1)
+		for a := first; a <= last; a += f.lineBytes {
+			f.lineRef(a, write)
+		}
+		addr += uint64(stride)
+	}
+}
+
+// Ops implements simmem.Tracer.
+func (f *L2Filter) Ops(n uint64) { f.base.Ops += n }
+
+func (f *L2Filter) phase(name string) uint32 {
+	if i, ok := f.phaseIdx[name]; ok {
+		return i
+	}
+	i := uint32(len(f.names))
+	f.names = append(f.names, name)
+	f.phaseIdx[name] = i
+	return i
+}
+
+// PhaseBegin implements the codec's PhaseRecorder.
+func (f *L2Filter) PhaseBegin(name string) {
+	f.marks = append(f.marks, l2Mark{pos: len(f.events), name: f.phase(name), begin: true, base: f.base})
+}
+
+// PhaseEnd implements the codec's PhaseRecorder.
+func (f *L2Filter) PhaseEnd(name string) {
+	f.marks = append(f.marks, l2Mark{pos: len(f.events), name: f.phase(name), base: f.base})
+}
+
+// Trace returns the captured L2-bound stream. The filter may not be
+// used afterwards.
+func (f *L2Filter) Trace() *L2Trace {
+	return &L2Trace{
+		L1:     f.l1.Config(),
+		base:   f.base,
+		events: f.events,
+		marks:  f.marks,
+		names:  f.names,
+	}
+}
+
+// L2Trace is the L2-bound reference stream of one workload run behind a
+// fixed L1, replayable against any L2 geometry.
+type L2Trace struct {
+	L1     cache.Config
+	base   cache.Stats
+	events []uint64
+	marks  []l2Mark
+	names  []string
+}
+
+// Events returns the number of captured L2 references.
+func (t *L2Trace) Events() int { return len(t.events) }
+
+// SizeBytes returns the approximate in-memory footprint.
+func (t *L2Trace) SizeBytes() int {
+	return cap(t.events)*8 + cap(t.marks)*int(l2MarkBytes)
+}
+
+const l2MarkBytes = 8 + 4 + 4 + 96 // pos, name+begin, pad, Stats
+
+// String summarises the trace for reports.
+func (t *L2Trace) String() string {
+	return fmt.Sprintf("l2trace{%d events, %.1f MB}", len(t.events), float64(t.SizeBytes())/(1<<20))
+}
+
+// Replay simulates the captured stream against one L2 geometry and
+// returns the whole-run Stats plus the per-phase Stats deltas —
+// counter-identical to running the full workload live against a
+// cache.Hierarchy{L1: t.L1, L2: l2}.
+func (t *L2Trace) Replay(l2 cache.Config) (cache.Stats, map[string]cache.Stats) {
+	c := cache.New(l2)
+	var l2Accesses, l2Misses, l2Writebacks uint64
+
+	// statsAt reconstructs the full hierarchy counters at mark m.
+	statsAt := func(m *l2Mark) cache.Stats {
+		s := m.base
+		s.L2Accesses = l2Accesses
+		s.L2Misses = l2Misses
+		s.L2Writebacks = l2Writebacks
+		return s
+	}
+
+	var phases map[string]cache.Stats
+	starts := map[string]cache.Stats{}
+	mi := 0
+	for pos, ev := range t.events {
+		for mi < len(t.marks) && t.marks[mi].pos == pos {
+			t.applyMark(&t.marks[mi], statsAt, starts, &phases)
+			mi++
+		}
+		addr := ev >> 1
+		if ev&1 != 0 {
+			// L1 writeback install: an L2 access that is not a demand
+			// miss; only a displaced dirty L2 victim adds traffic.
+			l2Accesses++
+			r := c.Access(addr, true)
+			if !r.Hit && r.EvictedDirty {
+				l2Writebacks++
+			}
+			continue
+		}
+		l2Accesses++
+		r := c.Access(addr, false)
+		if !r.Hit {
+			l2Misses++
+			if r.EvictedDirty {
+				l2Writebacks++
+			}
+		}
+	}
+	for mi < len(t.marks) {
+		t.applyMark(&t.marks[mi], statsAt, starts, &phases)
+		mi++
+	}
+
+	whole := t.base
+	whole.L2Accesses = l2Accesses
+	whole.L2Misses = l2Misses
+	whole.L2Writebacks = l2Writebacks
+	return whole, phases
+}
+
+// applyMark accumulates one phase begin/end into the phase map, with
+// the same begin-snapshot / end-delta semantics as the harness's live
+// phase tracker.
+func (t *L2Trace) applyMark(m *l2Mark, statsAt func(*l2Mark) cache.Stats, starts map[string]cache.Stats, phases *map[string]cache.Stats) {
+	name := t.names[m.name]
+	if m.begin {
+		starts[name] = statsAt(m)
+		return
+	}
+	s, ok := starts[name]
+	if !ok {
+		return
+	}
+	delete(starts, name)
+	if *phases == nil {
+		*phases = map[string]cache.Stats{}
+	}
+	(*phases)[name] = (*phases)[name].Add(statsAt(m).Sub(s))
+}

@@ -1,0 +1,257 @@
+// Package trace implements capture and replay of the simulated
+// memory-reference stream: the classic trace-driven-simulation split
+// between generating a workload's references (expensive — it runs the
+// instrumented codec) and simulating a memory hierarchy against them
+// (cheap, and repeatable against any number of hierarchies).
+//
+// A Recorder implements simmem.Tracer (plus the strided extension and
+// the codec's phase-recorder shape) and appends fixed-width records into
+// chunked buffers. Replaying the resulting Trace through a
+// cache.Hierarchy reproduces counter-identical Stats to attaching the
+// hierarchy to the live codec run — the paper's whole methodology
+// re-keyed so the MPEG-4 encode happens once per workload and every
+// machine or cache geometry is a replay.
+//
+// Two exactness-preserving compressions keep traces compact:
+//
+//   - Block kernels report 2-D strided blocks as one event (see
+//     simmem.StridedTracer); one record stores what would otherwise be
+//     one record per row.
+//   - Ops (non-memory instruction) counts are order-independent between
+//     phase markers — no Tracer's state depends on where within a phase
+//     they land — so the Recorder accumulates them and emits a single
+//     record before each phase boundary and at the end of the trace.
+//
+// Everything else is stored verbatim, in order: replay issues exactly
+// the memory events of the live run, in the live order.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/simmem"
+)
+
+// Record opcodes. Loads/stores/prefetches appear both as single
+// accesses (opAccess*) and as strided runs (opRun*, rows == 1 for flat
+// runs).
+const (
+	opAccessLoad = iota
+	opAccessStore
+	opAccessPrefetch
+	opRunLoad
+	opRunStore
+	opRunPrefetch
+	opOps        // addr holds the accumulated count
+	opPhaseBegin // addr holds the phase-name index
+	opPhaseEnd
+)
+
+// record is one fixed-width trace record (24 bytes).
+type record struct {
+	addr   uint64 // base address / ops count / phase-name index
+	n      uint32 // access size or run row length in bytes
+	stride uint32 // strided runs: row separation in bytes
+	unit   uint32 // runs: access granularity in bytes
+	rows   uint16 // runs: row count (1 = flat run)
+	op     uint8
+}
+
+// recordBytes is the in-memory footprint of one record, including
+// struct padding.
+const recordBytes = 24
+
+// chunkRecords is the record capacity of one buffer chunk (~768 KB).
+// Chunked growth keeps append cost flat and avoids the transient 2×
+// footprint of reallocating one giant slice.
+const chunkRecords = 1 << 15
+
+// Trace is a captured reference stream.
+type Trace struct {
+	chunks     [][]record
+	phaseNames []string
+	records    int
+}
+
+// Records returns the number of stored records.
+func (t *Trace) Records() int { return t.records }
+
+// SizeBytes returns the approximate in-memory footprint of the trace.
+func (t *Trace) SizeBytes() int {
+	size := 0
+	for _, c := range t.chunks {
+		size += cap(c) * recordBytes
+	}
+	for _, n := range t.phaseNames {
+		size += len(n)
+	}
+	return size
+}
+
+// String summarises the trace for reports.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace{%d records, %.1f MB}", t.records, float64(t.SizeBytes())/(1<<20))
+}
+
+// PhaseSink receives the replayed phase markers. codec.PhaseRecorder
+// and the harness's phase trackers satisfy it.
+type PhaseSink interface {
+	PhaseBegin(name string)
+	PhaseEnd(name string)
+}
+
+// Replay feeds the captured stream through tr, with phase markers
+// delivered to ph (nil ph discards them). The tracer observes exactly
+// the events of the recorded run in recorded order, so a
+// cache.Hierarchy ends in a state and Stats identical to live tracing —
+// for any geometry, not just the one the trace was recorded against.
+func (t *Trace) Replay(tr simmem.Tracer, ph PhaseSink) {
+	st, strided := tr.(simmem.StridedTracer)
+	for _, ch := range t.chunks {
+		for i := range ch {
+			r := &ch[i]
+			switch r.op {
+			case opRunLoad, opRunStore, opRunPrefetch:
+				kind := simmem.Kind(r.op - opRunLoad)
+				if r.rows == 1 {
+					tr.Run(r.addr, int(r.n), r.unit, kind)
+				} else if strided {
+					st.RunStrided(r.addr, int(r.n), int(r.stride), int(r.rows), r.unit, kind)
+				} else {
+					addr := r.addr
+					for row := uint16(0); row < r.rows; row++ {
+						tr.Run(addr, int(r.n), r.unit, kind)
+						addr += uint64(r.stride)
+					}
+				}
+			case opAccessLoad, opAccessStore, opAccessPrefetch:
+				tr.Access(r.addr, r.n, simmem.Kind(r.op-opAccessLoad))
+			case opOps:
+				tr.Ops(r.addr)
+			case opPhaseBegin:
+				if ph != nil {
+					ph.PhaseBegin(t.phaseNames[r.addr])
+				}
+			case opPhaseEnd:
+				if ph != nil {
+					ph.PhaseEnd(t.phaseNames[r.addr])
+				}
+			}
+		}
+	}
+}
+
+// Recorder captures a reference stream. It implements simmem.Tracer,
+// simmem.StridedTracer and the codec's PhaseRecorder, so one Recorder
+// stands in for both the tracer and the phase recorder of a codec run.
+type Recorder struct {
+	t        *Trace
+	cur      []record
+	pendOps  uint64
+	phaseIdx map[string]uint32
+}
+
+var (
+	_ simmem.Tracer        = (*Recorder)(nil)
+	_ simmem.StridedTracer = (*Recorder)(nil)
+	_ PhaseSink            = (*Recorder)(nil)
+)
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{t: &Trace{}, phaseIdx: map[string]uint32{}}
+}
+
+func (r *Recorder) append(rec record) {
+	if len(r.cur) == cap(r.cur) {
+		r.cur = make([]record, 0, chunkRecords)
+		r.t.chunks = append(r.t.chunks, r.cur)
+	}
+	r.cur = append(r.cur, rec)
+	r.t.chunks[len(r.t.chunks)-1] = r.cur
+	r.t.records++
+}
+
+// Access implements simmem.Tracer.
+func (r *Recorder) Access(addr uint64, size uint32, kind simmem.Kind) {
+	r.append(record{op: opAccessLoad + uint8(kind), addr: addr, n: size})
+}
+
+// Run implements simmem.Tracer.
+func (r *Recorder) Run(addr uint64, n int, unit uint32, kind simmem.Kind) {
+	if n <= 0 {
+		return
+	}
+	r.append(record{op: opRunLoad + uint8(kind), addr: addr, n: uint32(n), unit: unit, rows: 1})
+}
+
+// RunStrided implements simmem.StridedTracer. Blocks taller than the
+// record's row field or with strides outside uint32 (never produced by
+// the codec, but legal through the interface) are split or decomposed
+// so the stored stream stays exact.
+func (r *Recorder) RunStrided(addr uint64, rowBytes, stride, rows int, unit uint32, kind simmem.Kind) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	if stride < 0 || int64(stride) > int64(^uint32(0)) {
+		for row := 0; row < rows; row++ {
+			r.Run(addr, rowBytes, unit, kind)
+			addr += uint64(stride)
+		}
+		return
+	}
+	op := opRunLoad + uint8(kind)
+	for rows > 0 {
+		c := rows
+		if c > int(^uint16(0)) {
+			c = int(^uint16(0))
+		}
+		r.append(record{op: op, addr: addr, n: uint32(rowBytes), stride: uint32(stride), unit: unit, rows: uint16(c)})
+		addr += uint64(stride) * uint64(c)
+		rows -= c
+	}
+}
+
+// Ops implements simmem.Tracer. Counts accumulate and flush at phase
+// boundaries and at Finish — their position between those points
+// cannot affect any tracer (they are pure counter additions), and
+// coalescing them removes about a quarter of all records.
+func (r *Recorder) Ops(n uint64) { r.pendOps += n }
+
+func (r *Recorder) flushOps() {
+	if r.pendOps != 0 {
+		r.append(record{op: opOps, addr: r.pendOps})
+		r.pendOps = 0
+	}
+}
+
+func (r *Recorder) phase(name string) uint64 {
+	if i, ok := r.phaseIdx[name]; ok {
+		return uint64(i)
+	}
+	i := uint32(len(r.t.phaseNames))
+	r.t.phaseNames = append(r.t.phaseNames, name)
+	r.phaseIdx[name] = i
+	return uint64(i)
+}
+
+// PhaseBegin implements the codec's PhaseRecorder.
+func (r *Recorder) PhaseBegin(name string) {
+	r.flushOps()
+	r.append(record{op: opPhaseBegin, addr: r.phase(name)})
+}
+
+// PhaseEnd implements the codec's PhaseRecorder.
+func (r *Recorder) PhaseEnd(name string) {
+	r.flushOps()
+	r.append(record{op: opPhaseEnd, addr: r.phase(name)})
+}
+
+// Finish flushes pending state and returns the captured trace. The
+// Recorder may continue to append afterwards (Finish just snapshots the
+// flush point), but the usual lifecycle is record, Finish, drop the
+// Recorder.
+func (r *Recorder) Finish() *Trace {
+	r.flushOps()
+	return r.t
+}

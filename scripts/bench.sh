@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Runs the top-level benchmarks once each (-benchtime=1x) and records
+# the results as JSON, seeding the repository's perf trajectory.
+#
+#   scripts/bench.sh                         # full suite -> BENCH_pr2.json
+#   BENCH='ReplaySweep|Record' scripts/bench.sh   # filtered
+#   OUT=/tmp/bench.json scripts/bench.sh     # alternate output path
+#
+# The raw `go test` output is kept next to the JSON (same path, .txt)
+# so b.Log tables remain inspectable.
+set -eu
+
+BENCH="${BENCH:-.}"
+OUT="${OUT:-BENCH_pr2.json}"
+
+cd "$(dirname "$0")/.."
+
+raw="${OUT%.json}.txt"
+go test -run '^$' -bench "$BENCH" -benchtime=1x -timeout 60m . | tee "$raw"
+go run ./cmd/benchjson < "$raw" > "$OUT"
+echo "wrote $OUT (raw log in $raw)" >&2
