@@ -12,15 +12,20 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/dist"
 	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/perf"
 	"repro/internal/simmem"
+	"repro/internal/trace"
 )
 
 // benchPool is the shared experiment-farm pool the benchmarks run on:
@@ -236,6 +241,87 @@ func BenchmarkReplayOnly(b *testing.B) {
 			b.Fatal("empty replay")
 		}
 	}
+}
+
+// BenchmarkTraceWire measures the portable trace format: encode and
+// decode throughput of a real CIF capture (MB/s over wire bytes — the
+// shipping cost of "encode once, simulate anywhere"), plus the
+// wire-vs-memory compression ratio.
+func BenchmarkTraceWire(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	capture, err := harness.RecordEncodeIn(simmem.NewSpace(0), wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := capture.Enc.WriteTo(&wire); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(wire.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := capture.Enc.WriteTo(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(capture.Enc.SizeBytes())/float64(wire.Len()), "compression_x")
+		b.ReportMetric(float64(wire.Len())/(1<<20), "wireMB")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(wire.Len()))
+		for i := 0; i < b.N; i++ {
+			dec, err := trace.ReadTrace(bytes.NewReader(wire.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dec.Records() != capture.Enc.Records() {
+				b.Fatal("decode dropped records")
+			}
+		}
+	})
+}
+
+// BenchmarkDistributedSweep compares the 18-configuration geometry
+// sweep run locally against the same sweep sharded across two dist
+// workers (in-process HTTP servers here; the protocol and serialization
+// costs are real, the network is loopback). Both run one encode; the
+// distributed variant adds trace serialization, upload and shard
+// round-trips — the overhead a real fleet pays for the fan-out.
+func BenchmarkDistributedSweep(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	nConfigs := len(harness.GeometryL1Configs()) * len(harness.GeometryL2Sizes())
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			points, err := harness.RunGeometrySweepPool(context.Background(), benchPool, wl, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(points) != nConfigs {
+				b.Fatalf("got %d points", len(points))
+			}
+		}
+		b.ReportMetric(float64(nConfigs), "configs")
+	})
+	b.Run("distributed-2workers", func(b *testing.B) {
+		var urls []string
+		for i := 0; i < 2; i++ {
+			srv := httptest.NewServer(dist.NewWorker(dist.WorkerConfig{}).Handler())
+			defer srv.Close()
+			urls = append(urls, srv.URL)
+		}
+		coord := &dist.Coordinator{Workers: urls}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			points, err := coord.GeometrySweep(context.Background(), wl, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(points) != nConfigs {
+				b.Fatalf("got %d points", len(points))
+			}
+		}
+		b.ReportMetric(float64(nConfigs), "configs")
+	})
 }
 
 func seriesString(s perf.Series) string {

@@ -1,0 +1,85 @@
+// Command mp4served serves the paper's experiment harness over HTTP:
+// clients POST study specs (the same JSON schema as mp4study's batch
+// manifests), poll job status, and stream results as experiments
+// complete. Each study runs with its own capture/replay strategy and
+// trace-usage accounting, so concurrent clients never interfere.
+//
+// Usage:
+//
+//	mp4served                      # listen on :8374
+//	mp4served -addr 127.0.0.1:0    # ephemeral port (printed on stdout)
+//	mp4served -workers 8           # farm worker count (default GOMAXPROCS)
+//	mp4served -max-studies 4       # concurrent studies (default 2)
+//
+// Example session:
+//
+//	$ curl -s localhost:8374/v1/studies -d '{"experiments":[{"table":2},{"sweep":"ratio"}]}'
+//	{"id": "study-0001", "state": "queued", ...}
+//	$ curl -s localhost:8374/v1/studies/study-0001
+//	{"id": "study-0001", "state": "running", "done": 1, "total": 2, ...}
+//	$ curl -s localhost:8374/v1/studies/study-0001/result
+//	Table 2. ...
+//
+// On SIGINT/SIGTERM the server drains: submissions are rejected,
+// running studies get -drain-timeout to finish, then are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8374", "listen address")
+	workers := flag.Int("workers", 0, "farm worker count (0 = GOMAXPROCS)")
+	maxStudies := flag.Int("max-studies", 2, "studies simulating concurrently")
+	maxQueued := flag.Int("max-queued", 64, "accepted-but-unfinished studies before 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running studies")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		MaxConcurrent: *maxStudies,
+		MaxQueued:     *maxQueued,
+	})
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp4served:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mp4served listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "mp4served: %v, draining (budget %v)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mp4served:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mp4served: studies cancelled:", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "mp4served:", err)
+	}
+}

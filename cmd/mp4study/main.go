@@ -14,6 +14,8 @@
 //	mp4study -progress ...        # job completions to stderr
 //	mp4study -replay=false ...    # legacy live simulation (no captures)
 //	mp4study -sweep geometry      # encode once, replay every cache geometry
+//	mp4study -sweep geometry -trace-out enc.m4tr   # ... and keep the capture
+//	mp4study -sweep geometry -trace-in enc.m4tr    # sweep a shipped capture
 //	mp4study -cpuprofile p.out    # write pprof profiles
 //
 // Experiments run on the internal/farm worker pool; -parallel sets the
@@ -25,11 +27,22 @@
 // same-L1 machines, filtered down to the L2-bound stream) and every
 // machine or cache geometry is simulated by replaying the capture —
 // counter-identical to live simulation, without re-running the codec.
-// A summary of capture sizes and replay counts is printed to stderr;
-// -replay=false restores the live path (lower memory, more codec runs).
+// Whenever any capture/replay traffic occurred, a summary of capture
+// sizes and replay counts is printed to stderr — including under
+// -replay=false, because the geometry sweep is a replay experiment by
+// nature (its point is simulating every configuration from one
+// capture; -replay=false only switches it to the re-encode baseline,
+// and -trace-in/-trace-out always go through captures).
+//
+// -trace-out writes the geometry sweep's capture in the portable
+// versioned wire format of internal/trace; -trace-in replays a
+// previously written capture instead of encoding, so one machine can
+// encode a workload and any number of machines (or mp4worker
+// processes, see internal/dist) can sweep it.
 //
 // Batch-manifest mode runs an arbitrary experiment list concurrently
-// and prints the outputs in manifest order. The manifest is JSON:
+// and prints the outputs in manifest order. The manifest is JSON (the
+// same schema the mp4served study service accepts):
 //
 //	{
 //	  "frames": 6,
@@ -37,14 +50,18 @@
 //	  "experiments": [
 //	    {"table": 2}, {"table": 8},
 //	    {"figure": 3},
-//	    {"sweep": "ratio"}, {"sweep": "coloring"}
+//	    {"sweep": "ratio"}, {"sweep": "coloring"},
+//	    {"sweep": "geometry", "l1": [{"size": 32768, "line": 32, "ways": 2}], "l2_kb": [512, 1024]}
 //	  ]
 //	}
 //
-// Flags override manifest settings when given explicitly.
+// Flags override manifest settings when given explicitly. Every
+// experiment — including cache geometries named in the manifest — is
+// validated before anything runs.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -58,7 +75,8 @@ import (
 
 	"repro/internal/farm"
 	"repro/internal/harness"
-	"repro/internal/perf"
+	"repro/internal/simmem"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -66,14 +84,22 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate one figure (2-4)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	frames := flag.Int("frames", 0, "sequence length in frames (0 = default)")
-	sweep := flag.String("sweep", "", "extra experiment: ratio | geometry | search | prefetch | staging | coloring")
+	sweep := flag.String("sweep", "", "extra experiment: "+strings.Join(harness.Sweeps, " | "))
 	manifest := flag.String("manifest", "", "batch-manifest file (JSON); runs its experiment list")
 	parallel := flag.Int("parallel", 0, "farm worker count (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report job completions to stderr")
 	replay := flag.Bool("replay", true, "simulate machines by trace capture and replay (false = legacy live simulation)")
+	traceOut := flag.String("trace-out", "", "with -sweep geometry: write the encode capture to this file (portable wire format)")
+	traceIn := flag.String("trace-in", "", "with -sweep geometry: replay this capture file instead of encoding")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	replayFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "replay" {
+			replayFlagSet = true
+		}
+	})
 
 	harness.SetReplayEnabled(*replay)
 	if *cpuprofile != "" {
@@ -119,6 +145,9 @@ func main() {
 	if modes > 1 {
 		fatal(fmt.Errorf("choose exactly one of -all, -table, -figure, -sweep, -manifest"))
 	}
+	if (*traceOut != "" || *traceIn != "") && *sweep != "geometry" {
+		fatal(fmt.Errorf("-trace-out/-trace-in require -sweep geometry"))
+	}
 
 	start := time.Now()
 	ctx := context.Background()
@@ -127,7 +156,7 @@ func main() {
 	switch {
 	case *manifest != "":
 		var err error
-		if pool, err = runManifest(ctx, *manifest, *frames, *parallel, *progress); err != nil {
+		if pool, err = runManifest(ctx, *manifest, *frames, *parallel, *progress, replayFlagSet); err != nil {
 			fatal(err)
 		}
 	case *all:
@@ -135,37 +164,91 @@ func main() {
 			fatal(err)
 		}
 	case *table != 0:
-		if err := printExperiment(ctx, pool, experiment{Table: *table}, *frames); err != nil {
+		if err := printExperiment(ctx, pool, harness.ExperimentSpec{Table: *table}, *frames); err != nil {
 			fatal(err)
 		}
 	case *figure != 0:
-		if err := printExperiment(ctx, pool, experiment{Figure: *figure}, *frames); err != nil {
+		if err := printExperiment(ctx, pool, harness.ExperimentSpec{Figure: *figure}, *frames); err != nil {
+			fatal(err)
+		}
+	case *sweep == "geometry" && (*traceOut != "" || *traceIn != ""):
+		if err := runGeometryTraceIO(ctx, pool, *frames, *traceIn, *traceOut); err != nil {
 			fatal(err)
 		}
 	case *sweep != "":
-		if err := printExperiment(ctx, pool, experiment{Sweep: *sweep}, *frames); err != nil {
+		if err := printExperiment(ctx, pool, harness.ExperimentSpec{Sweep: *sweep}, *frames); err != nil {
 			fatal(err)
 		}
 	}
-	if *replay {
-		reportTraceUsage()
-	}
+	reportTraceUsage()
 	fmt.Fprintf(os.Stderr, "total time: %v (%d workers)\n",
 		time.Since(start).Round(time.Millisecond), pool.Workers())
 }
 
 // reportTraceUsage summarises the capture/replay traffic of the run:
 // how many reference streams were recorded, their memory cost, and how
-// many machine/geometry simulations were served from them.
+// many machine/geometry simulations were served from them. It reports
+// whenever the counters are nonzero, whatever the -replay flag said —
+// the geometry sweep and the trace-file paths capture regardless.
 func reportTraceUsage() {
 	u := harness.TraceUsageSnapshot()
-	if u.Traces == 0 && u.L2Traces == 0 {
+	if u.Zero() {
 		return
 	}
 	fmt.Fprintf(os.Stderr,
 		"traces: %d full (%d records, %.1f MB), %d L1-filtered (%d events, %.1f MB); %d replays\n",
 		u.Traces, u.TraceRecords, float64(u.TraceBytes)/(1<<20),
 		u.L2Traces, u.L2Events, float64(u.L2Bytes)/(1<<20), u.Replays)
+}
+
+// runGeometryTraceIO is the portable-capture path of the geometry
+// sweep: the capture comes from a trace file (-trace-in) or from one
+// local encode, is optionally written out (-trace-out), and the sweep
+// replays it. The sweep output is identical to `-sweep geometry`
+// without the flags.
+func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceIn, traceOut string) error {
+	var tr *trace.Trace
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		tr, err = trace.ReadTrace(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", traceIn, err)
+		}
+		fmt.Fprintf(os.Stderr, "replaying capture %s: %s\n", traceIn, tr)
+	} else {
+		wl := harness.Workload{W: 352, H: 288, Frames: frames}
+		capture, err := harness.RecordEncodeCtx(ctx, simmem.NewSpace(0), wl)
+		if err != nil {
+			return err
+		}
+		tr = capture.Enc
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		n, err := tr.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", traceOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote capture %s: %s as %.1f MB on the wire\n",
+			traceOut, tr, float64(n)/(1<<20))
+	}
+	points, err := harness.RunGeometrySweepFromTrace(ctx, pool, tr, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.GeometrySweepReport(
+		"cache geometry sweep (encode, one trace replayed per config)", points))
+	return nil
 }
 
 // runAll regenerates every table and figure in paper order. Tables 2–7
@@ -182,7 +265,7 @@ func runAll(ctx context.Context, pool *farm.Pool, frames int) error {
 	for _, tab := range tabs {
 		fmt.Print(tab.String() + "\n")
 	}
-	for _, e := range []experiment{{Table: 8}, {Figure: 2}} {
+	for _, e := range []harness.ExperimentSpec{{Table: 8}, {Figure: 2}} {
 		if err := printExperiment(ctx, pool, e, frames); err != nil {
 			return err
 		}
@@ -192,11 +275,13 @@ func runAll(ctx context.Context, pool *farm.Pool, frames int) error {
 		return err
 	}
 	var sb strings.Builder
-	for _, series := range [][]perf.Series{harness.Figure3Series(points), harness.Figure4Series(points)} {
-		for _, s := range series {
-			s.Write(&sb)
-			sb.WriteString("\n")
-		}
+	for _, s := range harness.Figure3Series(points) {
+		s.Write(&sb)
+		sb.WriteString("\n")
+	}
+	for _, s := range harness.Figure4Series(points) {
+		s.Write(&sb)
+		sb.WriteString("\n")
 	}
 	fmt.Print(sb.String())
 	return nil
@@ -216,35 +301,21 @@ func newPool(workers int, progress bool) *farm.Pool {
 	return farm.New(cfg)
 }
 
-// experiment is one schedulable unit of the study: a table, a figure,
-// or an extension sweep. Exactly one field is set.
-type experiment struct {
-	Table  int    `json:"table,omitempty"`
-	Figure int    `json:"figure,omitempty"`
-	Sweep  string `json:"sweep,omitempty"`
-}
-
-func (e experiment) label() string {
-	switch {
-	case e.Table != 0:
-		return fmt.Sprintf("table %d", e.Table)
-	case e.Figure != 0:
-		return fmt.Sprintf("figure %d", e.Figure)
-	default:
-		return "sweep " + e.Sweep
-	}
-}
-
-// manifestFile is the batch-manifest schema.
+// manifestFile is the batch-manifest schema — a superset of what the
+// mp4served study service accepts, so manifests can be POSTed to the
+// service unchanged.
 type manifestFile struct {
-	Frames      int          `json:"frames"`
-	Parallel    int          `json:"parallel"`
-	Experiments []experiment `json:"experiments"`
+	Frames      int                      `json:"frames"`
+	Parallel    int                      `json:"parallel"`
+	Replay      *bool                    `json:"replay,omitempty"`
+	Experiments []harness.ExperimentSpec `json:"experiments"`
 }
 
 // runManifest executes a manifest and returns the pool it actually ran
-// on (the manifest's "parallel" applies when the -parallel flag is 0).
-func runManifest(ctx context.Context, path string, frames, parallel int, progress bool) (*farm.Pool, error) {
+// on. Manifest settings apply only where the corresponding flag was
+// not given explicitly (frames/parallel: flag nonzero wins; replay:
+// detected via flag.Visit), per the "flags override manifest" rule.
+func runManifest(ctx context.Context, path string, frames, parallel int, progress, replayFlagSet bool) (*farm.Pool, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -259,19 +330,12 @@ func runManifest(ctx context.Context, path string, frames, parallel int, progres
 		return nil, fmt.Errorf("manifest %s: no experiments", path)
 	}
 	for i, e := range mf.Experiments {
-		set := 0
-		if e.Table != 0 {
-			set++
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("manifest %s: experiment %d: %w", path, i, err)
 		}
-		if e.Figure != 0 {
-			set++
-		}
-		if e.Sweep != "" {
-			set++
-		}
-		if set != 1 {
-			return nil, fmt.Errorf("manifest %s: experiment %d must set exactly one of table/figure/sweep", path, i)
-		}
+	}
+	if mf.Replay != nil && !replayFlagSet {
+		harness.SetReplayEnabled(*mf.Replay)
 	}
 	if frames == 0 {
 		frames = mf.Frames
@@ -286,14 +350,14 @@ func runManifest(ctx context.Context, path string, frames, parallel int, progres
 // runBatch executes the experiment list on the pool — one farm job per
 // experiment, each internally serial — and prints the rendered outputs
 // in manifest order once all complete.
-func runBatch(ctx context.Context, pool *farm.Pool, exps []experiment, frames int) error {
+func runBatch(ctx context.Context, pool *farm.Pool, exps []harness.ExperimentSpec, frames int) error {
 	jobs := make([]farm.Job[string], len(exps))
 	for i, e := range exps {
 		e := e
 		jobs[i] = farm.Job[string]{
-			Label: e.label(),
+			Label: e.Label(),
 			Run: func(ctx context.Context, env farm.Env) (string, error) {
-				return renderExperiment(ctx, farm.Serial(), e, frames)
+				return harness.RenderExperiment(ctx, farm.Serial(), e, frames)
 			},
 		}
 	}
@@ -309,154 +373,13 @@ func runBatch(ctx context.Context, pool *farm.Pool, exps []experiment, frames in
 
 // printExperiment runs one experiment with its internal fan-out on the
 // pool and prints it.
-func printExperiment(ctx context.Context, pool *farm.Pool, e experiment, frames int) error {
-	out, err := renderExperiment(ctx, pool, e, frames)
+func printExperiment(ctx context.Context, pool *farm.Pool, e harness.ExperimentSpec, frames int) error {
+	out, err := harness.RenderExperiment(ctx, pool, e, frames)
 	if err != nil {
 		return err
 	}
 	fmt.Print(out)
 	return nil
-}
-
-// renderExperiment produces the text of one experiment, running its
-// internal fan-out (resolutions, sizes, configurations) on the pool.
-func renderExperiment(ctx context.Context, pool *farm.Pool, e experiment, frames int) (string, error) {
-	switch {
-	case e.Table != 0:
-		return renderTable(ctx, pool, e.Table, frames)
-	case e.Figure != 0:
-		return renderFigure(ctx, pool, e.Figure, frames)
-	case e.Sweep != "":
-		return renderSweep(ctx, pool, e.Sweep, frames)
-	}
-	return "", fmt.Errorf("empty experiment")
-}
-
-func renderTable(ctx context.Context, pool *farm.Pool, n, frames int) (string, error) {
-	switch n {
-	case 1:
-		return harness.Table1() + "\n", nil
-	case 8:
-		tab, err := harness.Table8Pool(ctx, pool, frames)
-		if err != nil {
-			return "", err
-		}
-		return tab.String() + "\n", nil
-	default:
-		spec, err := harness.TableSpecByNum(n)
-		if err != nil {
-			return "", err
-		}
-		tab, _, err := harness.RunTablePool(ctx, pool, spec, frames)
-		if err != nil {
-			return "", err
-		}
-		return tab.String() + "\n", nil
-	}
-}
-
-func renderFigure(ctx context.Context, pool *farm.Pool, n, frames int) (string, error) {
-	var sb strings.Builder
-	switch n {
-	case 2:
-		series, err := harness.Figure2Pool(ctx, pool, frames)
-		if err != nil {
-			return "", err
-		}
-		for _, s := range series {
-			s.Write(&sb)
-			sb.WriteString("\n")
-		}
-		return sb.String(), nil
-	case 3, 4:
-		points, err := harness.RunObjectSweepPool(ctx, pool, frames)
-		if err != nil {
-			return "", err
-		}
-		series := harness.Figure3Series(points)
-		if n == 4 {
-			series = harness.Figure4Series(points)
-		}
-		for _, s := range series {
-			s.Write(&sb)
-			sb.WriteString("\n")
-		}
-		return sb.String(), nil
-	default:
-		return "", fmt.Errorf("no figure %d (the paper's data figures are 2-4)", n)
-	}
-}
-
-// renderSweep runs the extension experiments: the paper's future-work
-// processor/memory ratio study and the design-choice ablations.
-func renderSweep(ctx context.Context, pool *farm.Pool, name string, frames int) (string, error) {
-	wl := harness.Workload{W: 352, H: 288, Frames: frames}
-	switch name {
-	case "geometry":
-		var points []harness.GeometryPoint
-		var err error
-		title := "cache geometry sweep (encode, one trace replayed per config)"
-		if harness.ReplayEnabled() {
-			points, err = harness.RunGeometrySweepPool(ctx, pool, wl, nil, nil)
-		} else {
-			title = "cache geometry sweep (encode, re-encoded live per config)"
-			points, err = harness.RunGeometrySweepLive(ctx, pool, wl, nil, nil)
-		}
-		if err != nil {
-			return "", err
-		}
-		var sb strings.Builder
-		sb.WriteString(harness.FormatGeometrySweep(title, points))
-		sb.WriteString("\n")
-		for _, s := range harness.GeometrySweepSeries(points) {
-			s.Write(&sb)
-			sb.WriteString("\n")
-		}
-		return sb.String(), nil
-	case "ratio":
-		points, err := harness.RunRatioSweepPool(ctx, pool, wl, nil)
-		if err != nil {
-			return "", err
-		}
-		var sb strings.Builder
-		for _, s := range harness.RatioSweepSeries(points) {
-			s.Write(&sb)
-			sb.WriteString("\n")
-		}
-		if c := harness.MemoryBoundCrossover(points); c > 0 {
-			fmt.Fprintf(&sb, "decode becomes memory bound (>=50%% DRAM stall) at %gx the baseline DRAM latency\n", c)
-		} else {
-			sb.WriteString("decode never becomes memory bound within the sweep\n")
-		}
-		return sb.String(), nil
-	case "search":
-		res, err := harness.RunSearchAblationPool(ctx, pool, wl)
-		if err != nil {
-			return "", err
-		}
-		return harness.FormatAblation("motion search ablation (encode, R12K 1MB)", res), nil
-	case "prefetch":
-		res, err := harness.RunPrefetchAblationPool(ctx, pool, wl, nil)
-		if err != nil {
-			return "", err
-		}
-		return harness.FormatAblation("prefetch cadence ablation (encode, R12K 1MB)", res), nil
-	case "staging":
-		res, err := harness.RunStagingAblationPool(ctx, pool, wl)
-		if err != nil {
-			return "", err
-		}
-		return harness.FormatAblation("per-VOP staging ablation (encode, R12K 1MB)", res), nil
-	case "coloring":
-		wl.Objects = 2
-		res, err := harness.RunColoringAblationPool(ctx, pool, wl)
-		if err != nil {
-			return "", err
-		}
-		return harness.FormatAblation("page coloring ablation (encode, R12K 1MB)", res), nil
-	default:
-		return "", fmt.Errorf("unknown sweep %q", name)
-	}
 }
 
 // profileFlushes holds the -cpuprofile/-memprofile finalizers. They

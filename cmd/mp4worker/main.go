@@ -1,0 +1,63 @@
+// Command mp4worker is a distributed-sweep worker: it accepts
+// serialized reference traces (the portable wire format of
+// internal/trace) and replays (L1, L2) cache-configuration shards
+// against them on a local experiment farm. A dist.Coordinator (see
+// internal/dist and examples/distributed) encodes a workload once and
+// fans the simulation grid across any number of these processes.
+//
+// Usage:
+//
+//	mp4worker                     # listen on :8375
+//	mp4worker -addr 127.0.0.1:0   # ephemeral port (printed on stdout)
+//	mp4worker -workers 8          # farm worker count (default GOMAXPROCS)
+//	mp4worker -max-traces 4       # resident uploaded traces
+//
+// The listen address is printed as "mp4worker listening on <addr>" so
+// orchestration scripts can scrape ephemeral ports.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	addr := flag.String("addr", ":8375", "listen address")
+	workers := flag.Int("workers", 0, "farm worker count (0 = GOMAXPROCS)")
+	maxTraces := flag.Int("max-traces", 8, "resident uploaded traces")
+	flag.Parse()
+
+	w := dist.NewWorker(dist.WorkerConfig{Workers: *workers, MaxTraces: *maxTraces})
+	httpSrv := &http.Server{Handler: w.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp4worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mp4worker listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mp4worker:", err)
+		os.Exit(1)
+	}
+}

@@ -18,18 +18,32 @@ import (
 	"fmt"
 )
 
-// Config describes one cache level.
+// Config describes one cache level. The JSON tags are the wire shape
+// used by service requests, batch manifests and distributed shard
+// jobs; geometry arriving through any of those paths is validated (see
+// TryNew) before a cache is built from it.
 type Config struct {
-	Name      string
-	SizeBytes int
-	LineBytes int // power of two
-	Ways      int
+	Name      string `json:"name,omitempty"`
+	SizeBytes int    `json:"size"`
+	LineBytes int    `json:"line"` // power of two
+	Ways      int    `json:"ways"`
 }
+
+// MaxSizeBytes bounds a single cache level's capacity (1 GiB — far
+// above any geometry the study sweeps). The bound exists because
+// geometries arrive in network requests and manifests: without it, a
+// well-formed request naming an absurd size would pass the structural
+// checks and then OOM the process inside TryNew's array allocation
+// instead of returning an error.
+const MaxSizeBytes = 1 << 30
 
 // Validate checks the geometry for consistency.
 func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
 		return fmt.Errorf("cache %s: nonpositive geometry %+v", c.Name, c)
+	}
+	if c.SizeBytes > MaxSizeBytes {
+		return fmt.Errorf("cache %s: size %d exceeds the %d-byte bound", c.Name, c.SizeBytes, MaxSizeBytes)
 	}
 	if c.LineBytes&(c.LineBytes-1) != 0 {
 		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
@@ -68,11 +82,27 @@ type Cache struct {
 	Writebacks uint64
 }
 
-// New builds a cache from cfg. It panics on invalid geometry, which is a
-// programming error (configs are static machine descriptions).
+// New builds a cache from cfg. It panics on invalid geometry, which is
+// a programming error for its callers: New is reserved for static
+// machine descriptions (the built-in SGI platforms and compiled-in
+// sweep axes). Geometry that arrives from outside the binary — service
+// requests, manifests, distributed shard jobs — must go through TryNew
+// (or validate with Config.Validate first) so a bad request is an
+// error response, not a crashed process.
 func New(cfg Config) *Cache {
-	if err := cfg.Validate(); err != nil {
+	c, err := TryNew(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return c
+}
+
+// TryNew builds a cache from cfg, returning an error on invalid
+// geometry. This is the constructor for every ingress path where the
+// geometry is data rather than code.
+func TryNew(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	lines := cfg.SizeBytes / cfg.LineBytes
 	sets := lines / cfg.Ways
@@ -88,7 +118,7 @@ func New(cfg Config) *Cache {
 		tags:      make([]uint64, lines),
 		valid:     make([]bool, lines),
 		dirty:     make([]bool, lines),
-	}
+	}, nil
 }
 
 // Config returns the cache geometry.

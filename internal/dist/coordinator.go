@@ -1,0 +1,305 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/harness"
+	"repro/internal/perf"
+	"repro/internal/simmem"
+)
+
+// Coordinator drives a distributed geometry sweep: capture once
+// locally, upload the serialized trace to every worker, shard the
+// (L1 × L2 size) grid across them, and merge the results in
+// deterministic shard order.
+type Coordinator struct {
+	// Workers are the base URLs of the worker processes, e.g.
+	// "http://10.0.0.7:8375". At least one is required.
+	Workers []string
+	// Client is the HTTP client used for all calls. Nil means
+	// http.DefaultClient.
+	Client *http.Client
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// planShards cuts the (L1 × L2 size) grid into shards: per L1, the L2
+// axis splits into at most `workers` contiguous chunks. Flattening
+// shard results by Index therefore reproduces the (L1 outer, L2
+// inner) point order of the local sweep exactly, independent of which
+// worker ran what or when it finished.
+func planShards(l1s []cache.Config, l2Sizes []int, workers int) []Shard {
+	var shards []Shard
+	for _, l1 := range l1s {
+		chunks := workers
+		if chunks > len(l2Sizes) {
+			chunks = len(l2Sizes)
+		}
+		for j := 0; j < chunks; j++ {
+			lo := j * len(l2Sizes) / chunks
+			hi := (j + 1) * len(l2Sizes) / chunks
+			if lo == hi {
+				continue
+			}
+			shards = append(shards, Shard{
+				Index:   len(shards),
+				L1:      l1,
+				L2Sizes: append([]int(nil), l2Sizes[lo:hi]...),
+			})
+		}
+	}
+	return shards
+}
+
+// GeometrySweep runs the distributed counterpart of
+// harness.RunGeometrySweep: one local capture, every configuration
+// replayed on the worker fleet. Nil/empty axes use the harness
+// defaults. The returned points are identical — field for field — to
+// the local sweep of the same workload and axes.
+func (c *Coordinator) GeometrySweep(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([]harness.GeometryPoint, error) {
+	shardPoints, err := c.geometrySweepShards(ctx, wl, l1s, l2Sizes)
+	if err != nil {
+		return nil, err
+	}
+	var out []harness.GeometryPoint
+	for _, pts := range shardPoints {
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// GeometrySweepSeries runs the distributed sweep and renders it as the
+// usual per-L1 display series. Each shard contributes a series chunk;
+// chunks of the same L1 row are reassembled X-wise with
+// perf.MergeSeries in shard order — the same merge discipline the
+// figure sweeps use — so the output is byte-identical to
+// harness.GeometrySweepSeries over a local sweep.
+func (c *Coordinator) GeometrySweepSeries(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([]perf.Series, error) {
+	shardPoints, err := c.geometrySweepShards(ctx, wl, l1s, l2Sizes)
+	if err != nil {
+		return nil, err
+	}
+	var merged []perf.Series
+	for start := 0; start < len(shardPoints); {
+		// Shards of one L1 row are contiguous in plan order; merge the
+		// row's chunks, then move to the next row.
+		end := start + 1
+		for end < len(shardPoints) && shardPoints[end][0].L1 == shardPoints[start][0].L1 {
+			end++
+		}
+		chunks := make([][]perf.Series, 0, end-start)
+		for _, pts := range shardPoints[start:end] {
+			chunks = append(chunks, harness.GeometrySweepSeries(pts))
+		}
+		row, err := perf.MergeSeries(chunks...)
+		if err != nil {
+			return nil, fmt.Errorf("dist: merging shard series: %w", err)
+		}
+		merged = append(merged, row...)
+		start = end
+	}
+	return merged, nil
+}
+
+// geometrySweepShards performs the capture/upload/replay cycle and
+// returns per-shard points ordered by shard index.
+func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([][]harness.GeometryPoint, error) {
+	if len(c.Workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers configured")
+	}
+	if len(l1s) == 0 {
+		l1s = harness.GeometryL1Configs()
+	}
+	if len(l2Sizes) == 0 {
+		l2Sizes = harness.GeometryL2Sizes()
+	}
+
+	// Plan the shards first: small grids can leave workers without
+	// assignments, and those must not receive (or store) an upload.
+	shards := planShards(l1s, l2Sizes, len(c.Workers))
+	byWorker := make([][]Shard, len(c.Workers))
+	for i, sh := range shards {
+		w := i % len(c.Workers)
+		byWorker[w] = append(byWorker[w], sh)
+	}
+
+	// Capture once; serialize once. Every assigned worker receives
+	// the same bytes.
+	capture, err := harness.RecordEncodeCtx(ctx, simmem.NewSpace(0), wl)
+	if err != nil {
+		return nil, fmt.Errorf("dist: capture: %w", err)
+	}
+	var wire bytes.Buffer
+	if _, err := capture.Enc.WriteTo(&wire); err != nil {
+		return nil, fmt.Errorf("dist: serialize: %w", err)
+	}
+
+	// Register cleanup before checking the upload error: a partial
+	// upload failure must still release the traces that did land, or
+	// repeated failures would fill the surviving workers' stores.
+	ids, err := c.uploadAll(ctx, wire.Bytes(), byWorker)
+	defer c.deleteAll(ids)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([][]harness.GeometryPoint, len(shards))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Workers))
+	for wi := range c.Workers {
+		if len(byWorker[wi]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			// Only indices this worker was assigned may be written:
+			// concurrent goroutines share the results slice, so an
+			// index echoed back wrong (buggy or stale worker) must be
+			// an error, not a silent overwrite of another worker's
+			// element.
+			mine := map[int]bool{}
+			for _, sh := range byWorker[wi] {
+				mine[sh.Index] = true
+			}
+			resp, err := c.replay(ctx, wi, ReplayRequest{TraceID: ids[wi], Shards: byWorker[wi]})
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			for _, res := range resp.Results {
+				if !mine[res.Index] {
+					errs[wi] = fmt.Errorf("dist: worker %s returned shard index %d it was not assigned", c.Workers[wi], res.Index)
+					return
+				}
+				delete(mine, res.Index)
+				results[res.Index] = res.Points
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for wi, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: worker %s: %w", c.Workers[wi], err)
+		}
+	}
+	for i, pts := range results {
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("dist: shard %d missing from worker responses", i)
+		}
+	}
+	return results, nil
+}
+
+// uploadAll ships the serialized trace to every worker with shard
+// assignments, concurrently. The returned slice always reflects the
+// uploads that succeeded (empty ID where one failed or none was
+// needed), even when err is non-nil, so the caller can release them.
+func (c *Coordinator) uploadAll(ctx context.Context, wire []byte, byWorker [][]Shard) ([]string, error) {
+	ids := make([]string, len(c.Workers))
+	errs := make([]error, len(c.Workers))
+	var wg sync.WaitGroup
+	for wi, base := range c.Workers {
+		if len(byWorker[wi]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wi int, base string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/traces", bytes.NewReader(wire))
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			req.Header.Set("Content-Type", "application/octet-stream")
+			var info TraceInfo
+			if err := c.do(req, http.StatusCreated, &info); err != nil {
+				errs[wi] = err
+				return
+			}
+			ids[wi] = info.ID
+		}(wi, base)
+	}
+	wg.Wait()
+	for wi, err := range errs {
+		if err != nil {
+			return ids, fmt.Errorf("dist: upload to %s: %w", c.Workers[wi], err)
+		}
+	}
+	return ids, nil
+}
+
+// deleteAll releases the uploaded traces (best effort; workers also
+// bound their stores). Each delete carries its own short timeout — it
+// runs deferred, possibly after the sweep's context is already
+// cancelled, and a hung worker must not stall the coordinator's
+// return.
+func (c *Coordinator) deleteAll(ids []string) {
+	for wi, id := range ids {
+		if id == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Workers[wi]+"/v1/traces/"+id, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		if resp, err := c.client().Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+	}
+}
+
+// replay posts one worker's shard batch.
+func (c *Coordinator) replay(ctx context.Context, wi int, rr ReplayRequest) (*ReplayResponse, error) {
+	body, err := json.Marshal(rr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Workers[wi]+"/v1/replay", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp ReplayResponse
+	if err := c.do(req, http.StatusOK, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// do executes a request, decodes a JSON response into out on the
+// expected status, and turns everything else into an error carrying
+// the server's diagnostic.
+func (c *Coordinator) do(req *http.Request, wantStatus int, out any) error {
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, eb.Error)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

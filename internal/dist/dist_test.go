@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/harness"
+	"repro/internal/perf"
+	"repro/internal/simmem"
+	"repro/internal/trace"
+)
+
+// TestMain doubles as the worker-process entry point: the end-to-end
+// tests re-exec this test binary with DIST_TEST_WORKER=1 to get real,
+// separate worker OS processes (not just goroutines), which is the
+// shape the coordinator is built for.
+func TestMain(m *testing.M) {
+	if os.Getenv("DIST_TEST_WORKER") == "1" {
+		runWorkerProcess()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runWorkerProcess serves the worker protocol on an ephemeral loopback
+// port, announces the address on stdout, and exits when stdin closes
+// (i.e. when the parent test dies — including by panic or kill).
+func runWorkerProcess() {
+	w := NewWorker(WorkerConfig{Workers: 2})
+	srv := httptest.NewServer(w.Handler())
+	fmt.Printf("WORKER %s\n", srv.URL)
+	io.Copy(io.Discard, os.Stdin)
+	srv.Close()
+}
+
+// spawnWorkers launches n worker processes and returns their base
+// URLs. Workers die with the test via their stdin pipes.
+func spawnWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(), "DIST_TEST_WORKER=1")
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			stdin.Close()
+			cmd.Wait()
+		})
+		sc := bufio.NewScanner(stdout)
+		deadline := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+		for sc.Scan() {
+			if url, ok := strings.CutPrefix(sc.Text(), "WORKER "); ok {
+				urls[i] = url
+				break
+			}
+		}
+		deadline.Stop()
+		if urls[i] == "" {
+			t.Fatalf("worker %d never announced its address", i)
+		}
+	}
+	return urls
+}
+
+// sweepAxes returns the compact grid the end-to-end tests sweep: two
+// L1 configurations by four L2 sizes, enough to exercise multi-shard
+// plans on two workers.
+func sweepAxes() ([]cache.Config, []int) {
+	return harness.GeometryL1Configs()[:2], []int{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+}
+
+// TestDistributedSweepMatchesLocalAcrossProcesses is the end-to-end
+// acceptance test: a geometry sweep sharded across two real worker
+// processes returns results identical — field for field and byte for
+// byte — to the local RunGeometrySweep of the same workload and axes.
+func TestDistributedSweepMatchesLocalAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	urls := spawnWorkers(t, 2)
+	coord := &Coordinator{Workers: urls}
+	wl := harness.Workload{W: 160, H: 128, Frames: 2}
+	l1s, l2Sizes := sweepAxes()
+
+	distPoints, err := coord.GeometrySweep(context.Background(), wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localPoints, err := harness.RunGeometrySweep(wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(distPoints) != len(localPoints) {
+		t.Fatalf("%d distributed points vs %d local", len(distPoints), len(localPoints))
+	}
+	if !reflect.DeepEqual(distPoints, localPoints) {
+		for i := range distPoints {
+			if !reflect.DeepEqual(distPoints[i], localPoints[i]) {
+				t.Fatalf("point %d differs\ndist  %+v\nlocal %+v", i, distPoints[i], localPoints[i])
+			}
+		}
+		t.Fatal("points differ")
+	}
+	// Byte-identical rendering.
+	distText := harness.FormatGeometrySweep("sweep", distPoints)
+	localText := harness.FormatGeometrySweep("sweep", localPoints)
+	if distText != localText {
+		t.Fatalf("rendered sweeps differ\n--- dist ---\n%s\n--- local ---\n%s", distText, localText)
+	}
+
+	// Series path: shard chunks merged via perf.MergeSeries must be
+	// byte-identical to the locally derived series.
+	distSeries, err := coord.GeometrySweepSeries(context.Background(), wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSeries := harness.GeometrySweepSeries(localPoints)
+	if !reflect.DeepEqual(distSeries, localSeries) {
+		t.Fatalf("series differ\ndist  %+v\nlocal %+v", distSeries, localSeries)
+	}
+}
+
+// TestSerializedTraceCounterIdenticalOnPaperMachines is the wire-level
+// acceptance test: a capture serialized to the portable format and
+// decoded back replays to counter-identical cache.Stats on all three
+// paper machines.
+func TestSerializedTraceCounterIdenticalOnPaperMachines(t *testing.T) {
+	wl := harness.Workload{W: 160, H: 128, Frames: 2}
+	capture, err := harness.RecordEncodeIn(simmem.NewSpace(0), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := capture.Enc.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.ReadTrace(bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range perf.PaperMachines() {
+		want := harness.ReplayOn(m, capture.Enc, capture.SS.TotalBytes())
+		got := harness.ReplayOn(m, decoded, capture.SS.TotalBytes())
+		if want.Whole.Raw != got.Whole.Raw {
+			t.Errorf("%s: decoded replay differs\nwant %+v\ngot  %+v", m.Label(), want.Whole.Raw, got.Whole.Raw)
+		}
+		for name, wp := range want.Phases {
+			if gp := got.Phases[name]; gp.Raw != wp.Raw {
+				t.Errorf("%s phase %s: %+v != %+v", m.Label(), name, gp.Raw, wp.Raw)
+			}
+		}
+	}
+}
+
+// TestWorkerValidatesIngress: corrupt trace uploads and invalid shard
+// geometries are 4xx responses with diagnostics, never worker crashes.
+func TestWorkerValidatesIngress(t *testing.T) {
+	srv := httptest.NewServer(NewWorker(WorkerConfig{Workers: 1}).Handler())
+	defer srv.Close()
+
+	post := func(path, ctype string, body []byte) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, ctype, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	// Corrupt trace bodies.
+	for _, body := range [][]byte{nil, []byte("garbage"), []byte("M4TR\x07")} {
+		if code, msg := post("/v1/traces", "application/octet-stream", body); code != http.StatusBadRequest {
+			t.Errorf("corrupt upload %q: status %d (%s), want 400", body, code, msg)
+		}
+	}
+
+	// A valid trace for the shard tests.
+	rec := trace.NewRecorder()
+	rec.Run(0, 4096, 1, 0)
+	var wire bytes.Buffer
+	if _, err := rec.Finish().WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	code, body := post("/v1/traces", "application/octet-stream", wire.Bytes())
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", code, body)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+
+	valid := cache.Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 32, Ways: 2}
+	for name, req := range map[string]ReplayRequest{
+		"bad l1":       {TraceID: info.ID, Shards: []Shard{{L1: cache.Config{SizeBytes: 31, LineBytes: 7, Ways: 3}, L2Sizes: []int{1 << 20}}}},
+		"bad l2 size":  {TraceID: info.ID, Shards: []Shard{{L1: valid, L2Sizes: []int{12345}}}},
+		"no l2 sizes":  {TraceID: info.ID, Shards: []Shard{{L1: valid}}},
+		"no shards":    {TraceID: info.ID},
+		"zero ways l1": {TraceID: info.ID, Shards: []Shard{{L1: cache.Config{SizeBytes: 32 << 10, LineBytes: 32}, L2Sizes: []int{1 << 20}}}},
+	} {
+		raw, _ := json.Marshal(req)
+		if code, msg := post("/v1/replay", "application/json", raw); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, code, msg)
+		}
+	}
+
+	// Unknown trace ID.
+	raw, _ := json.Marshal(ReplayRequest{TraceID: "trace-9999", Shards: []Shard{{L1: valid, L2Sizes: []int{1 << 20}}}})
+	if code, msg := post("/v1/replay", "application/json", raw); code != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d (%s), want 404", code, msg)
+	}
+
+	// The valid shard still works after all the rejected ones.
+	raw, _ = json.Marshal(ReplayRequest{TraceID: info.ID, Shards: []Shard{{L1: valid, L2Sizes: []int{1 << 20}}}})
+	if code, msg := post("/v1/replay", "application/json", raw); code != http.StatusOK {
+		t.Errorf("valid replay after rejects: status %d (%s)", code, msg)
+	}
+}
+
+// TestWorkerTraceStoreBound: uploads beyond MaxTraces are refused, and
+// DELETE frees slots.
+func TestWorkerTraceStoreBound(t *testing.T) {
+	srv := httptest.NewServer(NewWorker(WorkerConfig{Workers: 1, MaxTraces: 1}).Handler())
+	defer srv.Close()
+
+	rec := trace.NewRecorder()
+	rec.Run(0, 64, 1, 0)
+	var wire bytes.Buffer
+	if _, err := rec.Finish().WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	upload := func() (int, TraceInfo) {
+		resp, err := http.Post(srv.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(wire.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info TraceInfo
+		json.NewDecoder(resp.Body).Decode(&info)
+		return resp.StatusCode, info
+	}
+	code, info := upload()
+	if code != http.StatusCreated {
+		t.Fatalf("first upload: %d", code)
+	}
+	if code, _ := upload(); code != http.StatusInsufficientStorage {
+		t.Fatalf("second upload: %d, want 507", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/traces/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if code, _ := upload(); code != http.StatusCreated {
+		t.Fatalf("upload after delete: %d", code)
+	}
+}
+
+// TestPlanShardsCoversGridInOrder: the shard plan partitions the grid
+// into contiguous chunks whose flattening is the (L1 outer, L2 inner)
+// enumeration, for every worker count.
+func TestPlanShardsCoversGridInOrder(t *testing.T) {
+	l1s := harness.GeometryL1Configs()
+	l2s := harness.GeometryL2Sizes()
+	for workers := 1; workers <= 8; workers++ {
+		shards := planShards(l1s, l2s, workers)
+		var gotL1 []cache.Config
+		var gotL2 []int
+		for i, sh := range shards {
+			if sh.Index != i {
+				t.Fatalf("workers=%d: shard %d has index %d", workers, i, sh.Index)
+			}
+			for range sh.L2Sizes {
+				gotL1 = append(gotL1, sh.L1)
+			}
+			gotL2 = append(gotL2, sh.L2Sizes...)
+		}
+		var wantL1 []cache.Config
+		var wantL2 []int
+		for _, l1 := range l1s {
+			for _, s := range l2s {
+				wantL1 = append(wantL1, l1)
+				wantL2 = append(wantL2, s)
+			}
+		}
+		if !reflect.DeepEqual(gotL1, wantL1) || !reflect.DeepEqual(gotL2, wantL2) {
+			t.Fatalf("workers=%d: shard plan does not flatten to the local enumeration", workers)
+		}
+	}
+}
+
+// TestCoordinatorSurfacesWorkerErrors: a worker returning an error
+// fails the sweep with the worker's diagnostic attached.
+func TestCoordinatorSurfacesWorkerErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/traces" {
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(TraceInfo{ID: "trace-0001"})
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(errorBody{Error: "worker exploded"})
+	}))
+	defer srv.Close()
+	coord := &Coordinator{Workers: []string{srv.URL}}
+	_, err := coord.GeometrySweep(context.Background(),
+		harness.Workload{W: 96, H: 80, Frames: 2}, nil, []int{1 << 20})
+	if err == nil || !strings.Contains(err.Error(), "worker exploded") {
+		t.Fatalf("worker error not surfaced: %v", err)
+	}
+}

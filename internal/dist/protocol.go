@@ -1,0 +1,74 @@
+// Package dist shards trace-replay sweeps across worker processes.
+//
+// The paper's methodology — simulate one workload on many machines —
+// distributes along its natural seam: a workload is encoded ONCE by
+// the coordinator, the captured reference stream is serialized in the
+// portable trace wire format (internal/trace), shipped to each worker
+// over HTTP, and every (L1, L2) cache configuration becomes an
+// independent replay job on whichever worker its shard landed on.
+// Workers execute shards through the same farm.Run engine local sweeps
+// use, so a distributed sweep is the local sweep with the replay loop
+// stretched across processes; results merge in deterministic shard
+// order and are identical to harness.RunGeometrySweep (asserted
+// end-to-end by the tests, across real worker subprocesses).
+//
+// Protocol (worker side, all JSON unless noted):
+//
+//	POST   /v1/traces        body = trace wire format → TraceInfo
+//	DELETE /v1/traces/{id}
+//	POST   /v1/replay        ReplayRequest → ReplayResponse
+//	GET    /v1/healthz
+//
+// Every geometry in a ReplayRequest arrives from the network and is
+// validated through cache.TryNew before simulation; a bad shard is a
+// 400 response, never a worker crash. Trace uploads are decoded with
+// the fuzz-hardened wire reader, so a corrupt body is a 400 too.
+package dist
+
+import (
+	"repro/internal/cache"
+	"repro/internal/harness"
+)
+
+// TraceInfo describes an uploaded trace.
+type TraceInfo struct {
+	ID      string `json:"id"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"` // wire size as received
+}
+
+// Shard is one replay job: a single L1 configuration with a contiguous
+// chunk of the L2-size axis. Index is the shard's position in the
+// coordinator's deterministic plan (see planShards); results are
+// merged by it, never by arrival order.
+type Shard struct {
+	Index   int          `json:"index"`
+	L1      cache.Config `json:"l1"`
+	L2Sizes []int        `json:"l2_sizes"`
+}
+
+// ReplayRequest asks a worker to replay a set of shards against a
+// previously uploaded trace.
+type ReplayRequest struct {
+	TraceID string  `json:"trace_id"`
+	Shards  []Shard `json:"shards"`
+}
+
+// ShardResult is one shard's sweep points, in (L1, L2 size) order.
+type ShardResult struct {
+	Index  int                     `json:"index"`
+	Points []harness.GeometryPoint `json:"points"`
+}
+
+// ReplayResponse returns every requested shard plus the worker-side
+// capture/replay accounting for the request (each request runs under
+// its own harness.Study).
+type ReplayResponse struct {
+	Results []ShardResult      `json:"results"`
+	Usage   harness.TraceUsage `json:"trace_usage"`
+}
+
+// errorBody is the JSON error envelope shared by all endpoints.
+type errorBody struct {
+	Error string `json:"error"`
+}

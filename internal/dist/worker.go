@@ -1,0 +1,211 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/farm"
+	"repro/internal/harness"
+	"repro/internal/perf"
+	"repro/internal/trace"
+)
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Workers sizes the farm pool shards execute on. <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MaxTraces bounds resident uploaded traces. <= 0 means 8.
+	MaxTraces int
+	// MaxTraceBytes bounds one upload's wire size. <= 0 means 1 GiB.
+	MaxTraceBytes int64
+}
+
+// Worker executes replay shards against uploaded traces. Mount its
+// Handler on any HTTP server (cmd/mp4worker is the standalone binary).
+type Worker struct {
+	cfg  WorkerConfig
+	pool *farm.Pool
+
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+	nextID int
+}
+
+// NewWorker builds a Worker from cfg.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 8
+	}
+	if cfg.MaxTraceBytes <= 0 {
+		cfg.MaxTraceBytes = 1 << 30
+	}
+	return &Worker{
+		cfg:    cfg,
+		pool:   farm.New(farm.Config{Workers: cfg.Workers}),
+		traces: map[string]*trace.Trace{},
+	}
+}
+
+// Handler returns the worker protocol handler.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/traces", w.handleUpload)
+	mux.HandleFunc("DELETE /v1/traces/{id}", w.handleDelete)
+	mux.HandleFunc("POST /v1/replay", w.handleReplay)
+	mux.HandleFunc("GET /v1/healthz", w.handleHealth)
+	return mux
+}
+
+func (w *Worker) writeError(rw http.ResponseWriter, code int, format string, args ...any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleUpload decodes a wire-format trace body and stores it for
+// replay. The decoder validates everything; corrupt input is a 400.
+func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	full := len(w.traces) >= w.cfg.MaxTraces
+	w.mu.Unlock()
+	if full {
+		w.writeError(rw, http.StatusInsufficientStorage, "trace store full (%d resident)", w.cfg.MaxTraces)
+		return
+	}
+	body := io.LimitReader(r.Body, w.cfg.MaxTraceBytes+1)
+	var tr trace.Trace
+	n, err := tr.ReadFrom(body)
+	if err != nil {
+		if errors.Is(err, trace.ErrBadFormat) {
+			w.writeError(rw, http.StatusBadRequest, "trace upload: %v", err)
+		} else {
+			w.writeError(rw, http.StatusInternalServerError, "trace upload: %v", err)
+		}
+		return
+	}
+	if n > w.cfg.MaxTraceBytes {
+		w.writeError(rw, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", w.cfg.MaxTraceBytes)
+		return
+	}
+
+	// Re-check the bound under the lock at insert time: several
+	// uploads may pass the early check concurrently, and the early
+	// reject only exists to skip decoding work.
+	w.mu.Lock()
+	if len(w.traces) >= w.cfg.MaxTraces {
+		w.mu.Unlock()
+		w.writeError(rw, http.StatusInsufficientStorage, "trace store full (%d resident)", w.cfg.MaxTraces)
+		return
+	}
+	w.nextID++
+	id := fmt.Sprintf("trace-%04d", w.nextID)
+	w.traces[id] = &tr
+	w.mu.Unlock()
+
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusCreated)
+	json.NewEncoder(rw).Encode(TraceInfo{ID: id, Records: tr.Records(), Bytes: n})
+}
+
+func (w *Worker) handleDelete(rw http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	w.mu.Lock()
+	_, ok := w.traces[id]
+	delete(w.traces, id)
+	w.mu.Unlock()
+	if !ok {
+		w.writeError(rw, http.StatusNotFound, "no trace %q", id)
+		return
+	}
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+// handleReplay runs the requested shards on the farm pool. Geometry is
+// network data: every shard axis is validated via cache.TryNew before
+// any simulation, and the whole request is rejected on the first
+// invalid shard.
+func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		w.writeError(rw, http.StatusBadRequest, "invalid replay request: %v", err)
+		return
+	}
+	if len(req.Shards) == 0 {
+		w.writeError(rw, http.StatusBadRequest, "no shards")
+		return
+	}
+	for _, sh := range req.Shards {
+		if err := validateShard(sh); err != nil {
+			w.writeError(rw, http.StatusBadRequest, "shard %d: %v", sh.Index, err)
+			return
+		}
+	}
+	w.mu.Lock()
+	tr := w.traces[req.TraceID]
+	w.mu.Unlock()
+	if tr == nil {
+		w.writeError(rw, http.StatusNotFound, "no trace %q", req.TraceID)
+		return
+	}
+
+	study := harness.NewStudy(true)
+	ctx := harness.WithStudy(r.Context(), study)
+	results, err := farm.MapLabeled(ctx, w.pool, req.Shards,
+		func(i int, sh Shard) string {
+			return fmt.Sprintf("shard%d/l1=%dK-%dw", sh.Index, sh.L1.SizeBytes>>10, sh.L1.Ways)
+		},
+		func(ctx context.Context, env farm.Env, sh Shard) (ShardResult, error) {
+			points, err := harness.RunGeometrySweepFromTrace(ctx, farm.Serial(), tr, []cache.Config{sh.L1}, sh.L2Sizes)
+			if err != nil {
+				return ShardResult{}, err
+			}
+			return ShardResult{Index: sh.Index, Points: points}, nil
+		})
+	if err != nil {
+		w.writeError(rw, http.StatusInternalServerError, "replay: %v", err)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(ReplayResponse{Results: results, Usage: study.Usage()})
+}
+
+// validateShard builds every geometry the shard names through
+// cache.TryNew — the error-returning ingress constructor — so invalid
+// requests stop here.
+func validateShard(sh Shard) error {
+	if _, err := cache.TryNew(sh.L1); err != nil {
+		return fmt.Errorf("l1: %w", err)
+	}
+	if len(sh.L2Sizes) == 0 {
+		return errors.New("no l2 sizes")
+	}
+	// Validate against the same base L2 geometry the sweep will
+	// actually simulate (geometryMachine swaps only the size into the
+	// O2's L2), so ingress validation cannot drift from execution.
+	base := perf.O2R12K1MB().L2
+	for _, size := range sh.L2Sizes {
+		l2 := base
+		l2.SizeBytes = size
+		if _, err := cache.TryNew(l2); err != nil {
+			return fmt.Errorf("l2 size %d: %w", size, err)
+		}
+	}
+	return nil
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	n := len(w.traces)
+	w.mu.Unlock()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(map[string]any{"ok": true, "traces": n, "workers": w.pool.Workers()})
+}

@@ -1,0 +1,275 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/farm"
+	"repro/internal/perf"
+)
+
+// ExperimentSpec is one schedulable unit of the study: a table, a
+// figure, or an extension sweep. Exactly one of Table/Figure/Sweep is
+// set. The JSON shape is shared by mp4study's batch manifests and the
+// study service's submissions, so a manifest file posts to the service
+// unchanged.
+//
+// The geometry sweep accepts optional axes. They are data, not code —
+// manifests and network requests carry them — so Validate builds every
+// axis entry through cache.TryNew before any simulation starts.
+type ExperimentSpec struct {
+	Table  int    `json:"table,omitempty"`
+	Figure int    `json:"figure,omitempty"`
+	Sweep  string `json:"sweep,omitempty"`
+
+	// Geometry-sweep axes (sweep == "geometry" only). Empty axes use
+	// GeometryL1Configs / GeometryL2Sizes.
+	L1s  []cache.Config `json:"l1,omitempty"`
+	L2KB []int          `json:"l2_kb,omitempty"`
+}
+
+// Sweeps lists the valid Sweep values.
+var Sweeps = []string{"ratio", "geometry", "search", "prefetch", "staging", "coloring"}
+
+// Label names the experiment for progress reporting and error
+// attribution.
+func (e ExperimentSpec) Label() string {
+	switch {
+	case e.Table != 0:
+		return fmt.Sprintf("table %d", e.Table)
+	case e.Figure != 0:
+		return fmt.Sprintf("figure %d", e.Figure)
+	default:
+		return "sweep " + e.Sweep
+	}
+}
+
+// GeometryAxes converts the spec's optional axes into the sweep's
+// argument shape (nil where defaulted).
+func (e ExperimentSpec) GeometryAxes() (l1s []cache.Config, l2Sizes []int) {
+	for _, l1 := range e.L1s {
+		if l1.Name == "" {
+			l1.Name = "L1D"
+		}
+		l1s = append(l1s, l1)
+	}
+	for _, kb := range e.L2KB {
+		l2Sizes = append(l2Sizes, kb<<10)
+	}
+	return l1s, l2Sizes
+}
+
+// Validate checks the spec without running anything: exactly one
+// experiment kind, a known table/figure/sweep, and — because geometry
+// axes arrive from manifests and network requests — every axis entry
+// must build via cache.TryNew.
+func (e ExperimentSpec) Validate() error {
+	set := 0
+	if e.Table != 0 {
+		set++
+	}
+	if e.Figure != 0 {
+		set++
+	}
+	if e.Sweep != "" {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("experiment must set exactly one of table/figure/sweep, has %d", set)
+	}
+	switch {
+	case e.Table != 0:
+		if e.Table != 1 && e.Table != 8 {
+			if _, err := TableSpecByNum(e.Table); err != nil {
+				return err
+			}
+		}
+	case e.Figure != 0:
+		if e.Figure < 2 || e.Figure > 4 {
+			return fmt.Errorf("no figure %d (the paper's data figures are 2-4)", e.Figure)
+		}
+	default:
+		known := false
+		for _, s := range Sweeps {
+			if e.Sweep == s {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown sweep %q (have %s)", e.Sweep, strings.Join(Sweeps, ", "))
+		}
+	}
+	if len(e.L1s) > 0 || len(e.L2KB) > 0 {
+		if e.Sweep != "geometry" {
+			return fmt.Errorf("geometry axes are only valid with sweep \"geometry\"")
+		}
+		// Bound the KB values before the <<10 conversion so an absurd
+		// request cannot overflow int into a nonsense (or accidentally
+		// plausible) byte count.
+		for _, kb := range e.L2KB {
+			if kb <= 0 || kb > cache.MaxSizeBytes>>10 {
+				return fmt.Errorf("l2 axis: %d KB out of range (1..%d)", kb, cache.MaxSizeBytes>>10)
+			}
+		}
+		l1s, l2Sizes := e.GeometryAxes()
+		for _, l1 := range l1s {
+			if _, err := cache.TryNew(l1); err != nil {
+				return fmt.Errorf("l1 axis: %w", err)
+			}
+		}
+		base := perf.O2R12K1MB().L2
+		for _, size := range l2Sizes {
+			l2 := base
+			l2.SizeBytes = size
+			if _, err := cache.TryNew(l2); err != nil {
+				return fmt.Errorf("l2 axis: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RenderExperiment produces the text of one experiment, running its
+// internal fan-out (resolutions, sizes, configurations) on the pool.
+// Strategy and usage accounting follow the context's Study. It is the
+// rendering engine behind cmd/mp4study and the study service.
+func RenderExperiment(ctx context.Context, pool *farm.Pool, e ExperimentSpec, frames int) (string, error) {
+	if err := e.Validate(); err != nil {
+		return "", err
+	}
+	switch {
+	case e.Table != 0:
+		return renderTable(ctx, pool, e.Table, frames)
+	case e.Figure != 0:
+		return renderFigure(ctx, pool, e.Figure, frames)
+	default:
+		return renderSweep(ctx, pool, e, frames)
+	}
+}
+
+func renderTable(ctx context.Context, pool *farm.Pool, n, frames int) (string, error) {
+	switch n {
+	case 1:
+		return Table1() + "\n", nil
+	case 8:
+		tab, err := Table8Pool(ctx, pool, frames)
+		if err != nil {
+			return "", err
+		}
+		return tab.String() + "\n", nil
+	default:
+		spec, err := TableSpecByNum(n)
+		if err != nil {
+			return "", err
+		}
+		tab, _, err := RunTablePool(ctx, pool, spec, frames)
+		if err != nil {
+			return "", err
+		}
+		return tab.String() + "\n", nil
+	}
+}
+
+func renderFigure(ctx context.Context, pool *farm.Pool, n, frames int) (string, error) {
+	var sb strings.Builder
+	switch n {
+	case 2:
+		series, err := Figure2Pool(ctx, pool, frames)
+		if err != nil {
+			return "", err
+		}
+		writeSeries(&sb, series)
+		return sb.String(), nil
+	case 3, 4:
+		points, err := RunObjectSweepPool(ctx, pool, frames)
+		if err != nil {
+			return "", err
+		}
+		series := Figure3Series(points)
+		if n == 4 {
+			series = Figure4Series(points)
+		}
+		writeSeries(&sb, series)
+		return sb.String(), nil
+	default:
+		return "", fmt.Errorf("no figure %d (the paper's data figures are 2-4)", n)
+	}
+}
+
+func writeSeries(sb *strings.Builder, series []perf.Series) {
+	for _, s := range series {
+		s.Write(sb)
+		sb.WriteString("\n")
+	}
+}
+
+// renderSweep runs the extension experiments: the paper's future-work
+// processor/memory ratio study, the cache-geometry sweep and the
+// design-choice ablations.
+func renderSweep(ctx context.Context, pool *farm.Pool, e ExperimentSpec, frames int) (string, error) {
+	wl := Workload{W: 352, H: 288, Frames: frames}
+	switch e.Sweep {
+	case "geometry":
+		// The geometry sweep is a replay experiment by nature: its whole
+		// point is simulating every configuration from one capture. The
+		// live variant survives only as the re-encode baseline for a
+		// study that explicitly disables replay.
+		l1s, l2Sizes := e.GeometryAxes()
+		var points []GeometryPoint
+		var err error
+		title := "cache geometry sweep (encode, one trace replayed per config)"
+		if StudyFrom(ctx).ReplayEnabled() {
+			points, err = RunGeometrySweepPool(ctx, pool, wl, l1s, l2Sizes)
+		} else {
+			title = "cache geometry sweep (encode, re-encoded live per config)"
+			points, err = RunGeometrySweepLive(ctx, pool, wl, l1s, l2Sizes)
+		}
+		if err != nil {
+			return "", err
+		}
+		return GeometrySweepReport(title, points), nil
+	case "ratio":
+		points, err := RunRatioSweepPool(ctx, pool, wl, nil)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		writeSeries(&sb, RatioSweepSeries(points))
+		if c := MemoryBoundCrossover(points); c > 0 {
+			fmt.Fprintf(&sb, "decode becomes memory bound (>=50%% DRAM stall) at %gx the baseline DRAM latency\n", c)
+		} else {
+			sb.WriteString("decode never becomes memory bound within the sweep\n")
+		}
+		return sb.String(), nil
+	case "search":
+		res, err := RunSearchAblationPool(ctx, pool, wl)
+		if err != nil {
+			return "", err
+		}
+		return FormatAblation("motion search ablation (encode, R12K 1MB)", res), nil
+	case "prefetch":
+		res, err := RunPrefetchAblationPool(ctx, pool, wl, nil)
+		if err != nil {
+			return "", err
+		}
+		return FormatAblation("prefetch cadence ablation (encode, R12K 1MB)", res), nil
+	case "staging":
+		res, err := RunStagingAblationPool(ctx, pool, wl)
+		if err != nil {
+			return "", err
+		}
+		return FormatAblation("per-VOP staging ablation (encode, R12K 1MB)", res), nil
+	case "coloring":
+		wl.Objects = 2
+		res, err := RunColoringAblationPool(ctx, pool, wl)
+		if err != nil {
+			return "", err
+		}
+		return FormatAblation("page coloring ablation (encode, R12K 1MB)", res), nil
+	default:
+		return "", fmt.Errorf("unknown sweep %q", e.Sweep)
+	}
+}

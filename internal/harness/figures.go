@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/farm"
 	"repro/internal/perf"
+	"repro/internal/simmem"
 )
 
 // Figure2Sizes is the growing-image-size sweep (the paper reports
@@ -37,11 +38,11 @@ func Figure2Sweep(ctx context.Context, p *farm.Pool, frames int, sizes [][2]int)
 		func(i int, sz [2]int) string { return fmt.Sprintf("figure2/%dx%d", sz[0], sz[1]) },
 		func(ctx context.Context, env farm.Env, sz [2]int) ([]perf.Series, error) {
 			wl := Workload{W: sz[0], H: sz[1], Frames: frames}
-			_, ss, err := RunEncodeIn(env.Space, []perf.Machine{m}, wl)
+			_, ss, err := RunEncodeCtx(ctx, env.Space, []perf.Machine{m}, wl)
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunDecode([]perf.Machine{m}, wl, ss)
+			res, err := RunDecodeCtx(ctx, simmem.NewSpace(0), []perf.Machine{m}, wl, ss)
 			if err != nil {
 				return nil, err
 			}
@@ -111,11 +112,11 @@ func RunObjectSweepPool(ctx context.Context, p *farm.Pool, frames int) ([]Object
 	return farm.Map(ctx, p, cases, func(ctx context.Context, env farm.Env, c sweepCase) (ObjectSweepPoint, error) {
 		wl := Workload{W: c.res[0], H: c.res[1], Frames: frames,
 			Objects: c.cfg.Objects, Layers: c.cfg.Layers}
-		encRes, ss, err := RunEncodeIn(env.Space, []perf.Machine{m}, wl)
+		encRes, ss, err := RunEncodeCtx(ctx, env.Space, []perf.Machine{m}, wl)
 		if err != nil {
 			return ObjectSweepPoint{}, err
 		}
-		decRes, err := RunDecode([]perf.Machine{m}, wl, ss)
+		decRes, err := RunDecodeCtx(ctx, simmem.NewSpace(0), []perf.Machine{m}, wl, ss)
 		if err != nil {
 			return ObjectSweepPoint{}, err
 		}

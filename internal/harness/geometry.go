@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/farm"
@@ -73,35 +74,59 @@ func RunGeometrySweep(wl Workload, l1s []cache.Config, l2Sizes []int) ([]Geometr
 }
 
 // RunGeometrySweepPool encodes the workload exactly once, then
-// simulates every (L1, L2 size) combination by replay: the full trace
-// replays through an L1 filter per L1 configuration (one farm job
-// each), and each filtered trace replays per L2 size. Points return in
-// (L1 outer, L2 inner) order. Nil/empty axes use the defaults.
+// simulates every (L1, L2 size) combination by replaying the capture
+// (see RunGeometrySweepFromTrace). Points return in (L1 outer, L2
+// inner) order. Nil/empty axes use the defaults.
 func RunGeometrySweepPool(ctx context.Context, p *farm.Pool, wl Workload, l1s []cache.Config, l2Sizes []int) ([]GeometryPoint, error) {
+	capture, err := RecordEncodeCtx(ctx, simmem.NewSpace(0), wl)
+	if err != nil {
+		return nil, err
+	}
+	return RunGeometrySweepFromTrace(ctx, p, capture.Enc, l1s, l2Sizes)
+}
+
+// RunGeometrySweepFromTrace runs the geometry sweep against an existing
+// capture — recorded in-process or decoded from a trace file (mp4study
+// -trace-in, or a shard request arriving at a distributed worker): the
+// full trace replays through an L1 filter per L1 configuration (one
+// farm job each), and each filtered trace replays per L2 size. Points
+// return in (L1 outer, L2 inner) order, identical to
+// RunGeometrySweepPool on the workload the trace captures. Nil/empty
+// axes use the defaults; every geometry is validated before simulation
+// (traces and axes may arrive over the network).
+func RunGeometrySweepFromTrace(ctx context.Context, p *farm.Pool, tr *trace.Trace, l1s []cache.Config, l2Sizes []int) ([]GeometryPoint, error) {
 	if len(l1s) == 0 {
 		l1s = GeometryL1Configs()
 	}
 	if len(l2Sizes) == 0 {
 		l2Sizes = GeometryL2Sizes()
 	}
-	capture, err := RecordEncodeIn(simmem.NewSpace(0), wl)
-	if err != nil {
-		return nil, err
+	for _, l1 := range l1s {
+		if err := l1.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for _, size := range l2Sizes {
+		l2 := geometryMachine(GeometryL1Configs()[0], size).L2
+		if err := l2.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	rows, err := farm.MapLabeled(ctx, p, l1s,
 		func(i int, l1 cache.Config) string {
 			return fmt.Sprintf("geometry/l1=%dK-%dw", l1.SizeBytes>>10, l1.Ways)
 		},
 		func(ctx context.Context, env farm.Env, l1 cache.Config) ([]GeometryPoint, error) {
+			s := StudyFrom(ctx)
 			f := trace.NewL2Filter(l1)
-			capture.Enc.Replay(f, nil)
+			tr.Replay(f, nil)
 			lt := f.Trace()
-			noteL2Trace(lt)
+			s.noteL2Trace(lt)
 			points := make([]GeometryPoint, len(l2Sizes))
 			for i, size := range l2Sizes {
 				m := geometryMachine(l1, size)
 				whole, _ := lt.Replay(m.L2)
-				usage.replays.Add(1)
+				s.noteReplay()
 				points[i] = GeometryPoint{
 					Label:  geometryLabel(l1, size),
 					L1:     l1,
@@ -177,6 +202,20 @@ func GeometrySweepSeries(points []GeometryPoint) []perf.Series {
 		out[len(out)-1].Append(humanBytes(p.L2.SizeBytes), p.Encode.L2MissRate*100)
 	}
 	return out
+}
+
+// GeometrySweepReport renders the sweep's full output block — aligned
+// table plus display series — shared by renderSweep and the CLI's
+// -trace-in/-trace-out paths so their outputs cannot drift apart.
+func GeometrySweepReport(title string, points []GeometryPoint) string {
+	var sb strings.Builder
+	sb.WriteString(FormatGeometrySweep(title, points))
+	sb.WriteString("\n")
+	for _, s := range GeometrySweepSeries(points) {
+		s.Write(&sb)
+		sb.WriteString("\n")
+	}
+	return sb.String()
 }
 
 // FormatGeometrySweep renders the sweep as an aligned text block.

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -140,21 +141,31 @@ func RunEncode(machines []perf.Machine, wl Workload) ([]Result, *codec.SessionSt
 
 // RunEncodeIn is RunEncode in a caller-provided simulated address
 // space. The experiment farm passes each job's isolated Space here, so
-// concurrent runs can never share allocator state.
-//
-// Multi-machine sets run in capture-and-replay mode (unless disabled
-// via SetReplayEnabled): machines sharing one L1 geometry — the paper's
-// three platforms — cost one codec run plus one L1 simulation, with
-// each machine served by a replay of the L2-bound stream; machine sets
-// with differing L1s replay a full recorded trace per machine. Either
-// way the Stats are counter-identical to the live path (see
-// replay_test.go).
+// concurrent runs can never share allocator state. Strategy and usage
+// accounting come from the process-default Study; use RunEncodeCtx to
+// scope them to a request.
 func RunEncodeIn(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
-	if len(machines) > 1 && ReplayEnabled() {
+	return RunEncodeCtx(context.Background(), space, machines, wl)
+}
+
+// RunEncodeCtx is RunEncodeIn with the simulation strategy and usage
+// accounting taken from the context's Study (see WithStudy; a bare
+// context uses the process default, which the CLI flags configure).
+//
+// Multi-machine sets run in capture-and-replay mode (unless the study
+// disables it): machines sharing one L1 geometry — the paper's three
+// platforms — cost one codec run plus one L1 simulation, with each
+// machine served by a replay of the L2-bound stream; machine sets with
+// differing L1s replay a full recorded trace per machine. Either way
+// the Stats are counter-identical to the live path (see
+// replay_test.go).
+func RunEncodeCtx(ctx context.Context, space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
+	s := StudyFrom(ctx)
+	if len(machines) > 1 && s.ReplayEnabled() {
 		if sameL1(machines) {
-			return runEncodeFiltered(space, machines, wl)
+			return runEncodeFiltered(s, space, machines, wl)
 		}
-		return runEncodeRecorded(space, machines, wl)
+		return runEncodeRecorded(ctx, space, machines, wl)
 	}
 	return RunEncodeLiveIn(space, machines, wl)
 }
@@ -198,13 +209,21 @@ func RunDecode(machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([
 }
 
 // RunDecodeIn is RunDecode in a caller-provided simulated address
-// space (see RunEncodeIn for the simulation strategies).
+// space (see RunEncodeIn for the simulation strategies and study
+// scoping).
 func RunDecodeIn(space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
-	if len(machines) > 1 && ReplayEnabled() {
+	return RunDecodeCtx(context.Background(), space, machines, wl, ss)
+}
+
+// RunDecodeCtx is RunDecodeIn with strategy and usage accounting taken
+// from the context's Study (see RunEncodeCtx).
+func RunDecodeCtx(ctx context.Context, space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
+	s := StudyFrom(ctx)
+	if len(machines) > 1 && s.ReplayEnabled() {
 		if sameL1(machines) {
-			return runDecodeFiltered(space, machines, ss)
+			return runDecodeFiltered(s, space, machines, ss)
 		}
-		return runDecodeRecorded(space, machines, wl.normalize(), ss)
+		return runDecodeRecorded(ctx, space, machines, wl.normalize(), ss)
 	}
 	return RunDecodeLiveIn(space, machines, wl, ss)
 }

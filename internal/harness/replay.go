@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/cache"
@@ -24,20 +25,125 @@ import (
 // the equivalence tests in replay_test.go), so every path below is
 // interchangeable with the live Multi-tracer path it replaced.
 
-// replayEnabled selects the multi-machine strategy of RunEncodeIn /
-// RunDecodeIn: capture-and-replay (default) or the legacy live path
-// that attaches every hierarchy to the codec run. The live path remains
-// for baselines and for memory-constrained runs (mp4study -replay=false).
-var replayDisabled atomic.Bool
+// Study bundles the per-run simulation policy and accounting: the
+// capture/replay strategy and the TraceUsage counters. Every run
+// belongs to exactly one Study, carried through the context (see
+// WithStudy); runs without one share the process-default Study, which
+// the CLI configures via SetReplayEnabled.
+//
+// The split exists because the service front-end runs many unrelated
+// studies concurrently in one process: with process-global state, one
+// request flipping the strategy would race every other request, and
+// usage accounting would interleave across clients. A Study isolates
+// both per request while staying safe for the farm's worker
+// concurrency inside one study (the counters are atomics).
+type Study struct {
+	replayDisabled atomic.Bool
+	usage          struct {
+		traces, traceRecords, traceBytes atomic.Uint64
+		l2Traces, l2Events, l2Bytes      atomic.Uint64
+		replays                          atomic.Uint64
+	}
+}
 
-// SetReplayEnabled switches the multi-machine simulation strategy.
-func SetReplayEnabled(on bool) { replayDisabled.Store(!on) }
+// NewStudy returns a Study with the given capture/replay strategy and
+// zeroed usage counters.
+func NewStudy(replay bool) *Study {
+	s := &Study{}
+	s.replayDisabled.Store(!replay)
+	return s
+}
+
+// SetReplayEnabled switches the study's multi-machine simulation
+// strategy: capture-and-replay (default) or the legacy live path that
+// attaches every hierarchy to the codec run. The live path remains for
+// baselines and for memory-constrained runs (mp4study -replay=false).
+func (s *Study) SetReplayEnabled(on bool) { s.replayDisabled.Store(!on) }
 
 // ReplayEnabled reports whether capture-and-replay is in use.
-func ReplayEnabled() bool { return !replayDisabled.Load() }
+func (s *Study) ReplayEnabled() bool { return !s.replayDisabled.Load() }
+
+// Usage returns the capture/replay counters accumulated by this study.
+func (s *Study) Usage() TraceUsage {
+	return TraceUsage{
+		Traces:       s.usage.traces.Load(),
+		TraceRecords: s.usage.traceRecords.Load(),
+		TraceBytes:   s.usage.traceBytes.Load(),
+		L2Traces:     s.usage.l2Traces.Load(),
+		L2Events:     s.usage.l2Events.Load(),
+		L2Bytes:      s.usage.l2Bytes.Load(),
+		Replays:      s.usage.replays.Load(),
+	}
+}
+
+// ResetUsage zeroes the study's counters.
+func (s *Study) ResetUsage() {
+	s.usage.traces.Store(0)
+	s.usage.traceRecords.Store(0)
+	s.usage.traceBytes.Store(0)
+	s.usage.l2Traces.Store(0)
+	s.usage.l2Events.Store(0)
+	s.usage.l2Bytes.Store(0)
+	s.usage.replays.Store(0)
+}
+
+func (s *Study) noteTrace(t *trace.Trace) {
+	s.usage.traces.Add(1)
+	s.usage.traceRecords.Add(uint64(t.Records()))
+	s.usage.traceBytes.Add(uint64(t.SizeBytes()))
+}
+
+func (s *Study) noteL2Trace(t *trace.L2Trace) {
+	s.usage.l2Traces.Add(1)
+	s.usage.l2Events.Add(uint64(t.Events()))
+	s.usage.l2Bytes.Add(uint64(t.SizeBytes()))
+}
+
+func (s *Study) noteReplay() { s.usage.replays.Add(1) }
+
+// defaultStudy backs the package-level strategy and usage functions:
+// the process-wide defaults that cmd/mp4study's flags configure. Runs
+// whose context carries no explicit Study land here.
+var defaultStudy = NewStudy(true)
+
+// SetReplayEnabled switches the default study's strategy (the CLI
+// -replay flag). Server-style callers should configure a per-request
+// Study via WithStudy instead of mutating the process default.
+func SetReplayEnabled(on bool) { defaultStudy.SetReplayEnabled(on) }
+
+// ReplayEnabled reports the default study's strategy.
+func ReplayEnabled() bool { return defaultStudy.ReplayEnabled() }
+
+// TraceUsageSnapshot returns the default study's counters.
+func TraceUsageSnapshot() TraceUsage { return defaultStudy.Usage() }
+
+// ResetTraceUsage zeroes the default study's counters.
+func ResetTraceUsage() { defaultStudy.ResetUsage() }
+
+// studyKey carries the Study through a context.
+type studyKey struct{}
+
+// WithStudy returns a context whose harness runs use s for strategy
+// selection and usage accounting. The farm propagates the context into
+// every job, so one WithStudy at submission scope covers a whole
+// fanned-out experiment.
+func WithStudy(ctx context.Context, s *Study) context.Context {
+	return context.WithValue(ctx, studyKey{}, s)
+}
+
+// StudyFrom returns the context's Study, or the process default when
+// none (or a nil context) is present.
+func StudyFrom(ctx context.Context) *Study {
+	if ctx != nil {
+		if s, ok := ctx.Value(studyKey{}).(*Study); ok {
+			return s
+		}
+	}
+	return defaultStudy
+}
 
 // TraceUsage aggregates capture/replay activity across all experiments
-// since the last reset — the -replay trace report of cmd/mp4study.
+// of one Study — the -replay trace report of cmd/mp4study.
 type TraceUsage struct {
 	Traces       uint64 // full traces recorded
 	TraceRecords uint64
@@ -48,47 +154,8 @@ type TraceUsage struct {
 	Replays      uint64 // machine/geometry simulations served from captures
 }
 
-var usage struct {
-	traces, traceRecords, traceBytes atomic.Uint64
-	l2Traces, l2Events, l2Bytes      atomic.Uint64
-	replays                          atomic.Uint64
-}
-
-// TraceUsageSnapshot returns the counters accumulated so far.
-func TraceUsageSnapshot() TraceUsage {
-	return TraceUsage{
-		Traces:       usage.traces.Load(),
-		TraceRecords: usage.traceRecords.Load(),
-		TraceBytes:   usage.traceBytes.Load(),
-		L2Traces:     usage.l2Traces.Load(),
-		L2Events:     usage.l2Events.Load(),
-		L2Bytes:      usage.l2Bytes.Load(),
-		Replays:      usage.replays.Load(),
-	}
-}
-
-// ResetTraceUsage zeroes the counters.
-func ResetTraceUsage() {
-	usage.traces.Store(0)
-	usage.traceRecords.Store(0)
-	usage.traceBytes.Store(0)
-	usage.l2Traces.Store(0)
-	usage.l2Events.Store(0)
-	usage.l2Bytes.Store(0)
-	usage.replays.Store(0)
-}
-
-func noteTrace(t *trace.Trace) {
-	usage.traces.Add(1)
-	usage.traceRecords.Add(uint64(t.Records()))
-	usage.traceBytes.Add(uint64(t.SizeBytes()))
-}
-
-func noteL2Trace(t *trace.L2Trace) {
-	usage.l2Traces.Add(1)
-	usage.l2Events.Add(uint64(t.Events()))
-	usage.l2Bytes.Add(uint64(t.SizeBytes()))
-}
+// Zero reports whether no capture/replay activity was recorded.
+func (u TraceUsage) Zero() bool { return u == TraceUsage{} }
 
 // Capture bundles the recorded reference streams of one workload: the
 // encode trace, optionally the decode trace, and the coded stream the
@@ -102,8 +169,14 @@ type Capture struct {
 }
 
 // RecordEncodeIn encodes the workload once with only a trace recorder
-// attached — no cache simulation — and returns the capture.
+// attached — no cache simulation — and returns the capture, accounted
+// to the default study.
 func RecordEncodeIn(space *simmem.Space, wl Workload) (*Capture, error) {
+	return RecordEncodeCtx(context.Background(), space, wl)
+}
+
+// RecordEncodeCtx is RecordEncodeIn accounted to the context's Study.
+func RecordEncodeCtx(ctx context.Context, space *simmem.Space, wl Workload) (*Capture, error) {
 	wl = wl.normalize()
 	frames := wl.frames(space)
 	rec := trace.NewRecorder()
@@ -112,29 +185,40 @@ func RecordEncodeIn(space *simmem.Space, wl Workload) (*Capture, error) {
 		return nil, err
 	}
 	tr := rec.Finish()
-	noteTrace(tr)
+	StudyFrom(ctx).noteTrace(tr)
 	return &Capture{Workload: wl, Enc: tr, SS: ss}, nil
 }
 
 // RecordDecodeIn records the decode (playback) trace of the capture's
 // coded stream into c.Dec.
 func (c *Capture) RecordDecodeIn(space *simmem.Space) error {
+	return c.recordDecode(defaultStudy, space)
+}
+
+func (c *Capture) recordDecode(s *Study, space *simmem.Space) error {
 	rec := trace.NewRecorder()
 	if err := streamDecode(c.SS, space, rec, rec); err != nil {
 		return err
 	}
 	c.Dec = rec.Finish()
-	noteTrace(c.Dec)
+	s.noteTrace(c.Dec)
 	return nil
 }
 
 // ReplayOn simulates a captured trace on machine m, reproducing the
-// Stats (and per-phase deltas) a live run on m would have counted.
+// Stats (and per-phase deltas) a live run on m would have counted. The
+// replay is accounted to the default study; use ReplayOnCtx inside a
+// service request.
 func ReplayOn(m perf.Machine, tr *trace.Trace, bytes int) Result {
+	return ReplayOnCtx(context.Background(), m, tr, bytes)
+}
+
+// ReplayOnCtx is ReplayOn accounted to the context's Study.
+func ReplayOnCtx(ctx context.Context, m perf.Machine, tr *trace.Trace, bytes int) Result {
 	h := m.NewHierarchy()
 	pt := newPhaseTracker(h)
 	tr.Replay(h, pt)
-	usage.replays.Add(1)
+	StudyFrom(ctx).noteReplay()
 	return makeResult(m, h, pt, bytes)
 }
 
@@ -168,11 +252,11 @@ func resultFromStats(m perf.Machine, whole cache.Stats, phases map[string]cache.
 
 // replayL2All simulates an L1-filtered capture on every machine of the
 // (same-L1) set.
-func replayL2All(machines []perf.Machine, lt *trace.L2Trace, bytes int) []Result {
+func replayL2All(s *Study, machines []perf.Machine, lt *trace.L2Trace, bytes int) []Result {
 	results := make([]Result, len(machines))
 	for i, m := range machines {
 		whole, phases := lt.Replay(m.L2)
-		usage.replays.Add(1)
+		s.noteReplay()
 		results[i] = resultFromStats(m, whole, phases, bytes)
 	}
 	return results
@@ -181,7 +265,7 @@ func replayL2All(machines []perf.Machine, lt *trace.L2Trace, bytes int) []Result
 // runEncodeFiltered encodes once behind the shared L1 filter and
 // replays the L2-bound stream per machine: O(encode + L1 sim) codec
 // work for any number of machines.
-func runEncodeFiltered(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
+func runEncodeFiltered(s *Study, space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
 	wl = wl.normalize()
 	frames := wl.frames(space)
 	f := trace.NewL2Filter(machines[0].L1)
@@ -190,44 +274,44 @@ func runEncodeFiltered(space *simmem.Space, machines []perf.Machine, wl Workload
 		return nil, nil, err
 	}
 	lt := f.Trace()
-	noteL2Trace(lt)
-	return replayL2All(machines, lt, ss.TotalBytes()), ss, nil
+	s.noteL2Trace(lt)
+	return replayL2All(s, machines, lt, ss.TotalBytes()), ss, nil
 }
 
 // runEncodeRecorded captures the full trace once and replays it per
 // machine — the general path for machine sets with differing L1s.
-func runEncodeRecorded(space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
-	c, err := RecordEncodeIn(space, wl)
+func runEncodeRecorded(ctx context.Context, space *simmem.Space, machines []perf.Machine, wl Workload) ([]Result, *codec.SessionStream, error) {
+	c, err := RecordEncodeCtx(ctx, space, wl)
 	if err != nil {
 		return nil, nil, err
 	}
 	results := make([]Result, len(machines))
 	for i, m := range machines {
-		results[i] = ReplayOn(m, c.Enc, c.SS.TotalBytes())
+		results[i] = ReplayOnCtx(ctx, m, c.Enc, c.SS.TotalBytes())
 	}
 	return results, c.SS, nil
 }
 
 // runDecodeFiltered / runDecodeRecorded mirror the encode variants for
 // the playback pipeline.
-func runDecodeFiltered(space *simmem.Space, machines []perf.Machine, ss *codec.SessionStream) ([]Result, error) {
+func runDecodeFiltered(s *Study, space *simmem.Space, machines []perf.Machine, ss *codec.SessionStream) ([]Result, error) {
 	f := trace.NewL2Filter(machines[0].L1)
 	if err := streamDecode(ss, space, f, f); err != nil {
 		return nil, err
 	}
 	lt := f.Trace()
-	noteL2Trace(lt)
-	return replayL2All(machines, lt, ss.TotalBytes()), nil
+	s.noteL2Trace(lt)
+	return replayL2All(s, machines, lt, ss.TotalBytes()), nil
 }
 
-func runDecodeRecorded(space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
+func runDecodeRecorded(ctx context.Context, space *simmem.Space, machines []perf.Machine, wl Workload, ss *codec.SessionStream) ([]Result, error) {
 	c := &Capture{Workload: wl, SS: ss}
-	if err := c.RecordDecodeIn(space); err != nil {
+	if err := c.recordDecode(StudyFrom(ctx), space); err != nil {
 		return nil, err
 	}
 	results := make([]Result, len(machines))
 	for i, m := range machines {
-		results[i] = ReplayOn(m, c.Dec, ss.TotalBytes())
+		results[i] = ReplayOnCtx(ctx, m, c.Dec, ss.TotalBytes())
 	}
 	return results, nil
 }

@@ -41,11 +41,11 @@ func RunRatioSweepPool(ctx context.Context, p *farm.Pool, wl Workload, factors [
 		factors = []float64{1, 2, 4, 8, 16, 32, 64}
 	}
 	base := perf.O2R12K1MB()
-	encRes, ss, err := RunEncode([]perf.Machine{base}, wl)
+	encRes, ss, err := RunEncodeCtx(ctx, simmem.NewSpace(0), []perf.Machine{base}, wl)
 	if err != nil {
 		return nil, err
 	}
-	decRes, err := RunDecode([]perf.Machine{base}, wl, ss)
+	decRes, err := RunDecodeCtx(ctx, simmem.NewSpace(0), []perf.Machine{base}, wl, ss)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/simmem"
+
 	"repro/internal/farm"
 	"repro/internal/perf"
 )
@@ -47,19 +49,19 @@ func TableSpecByNum(n int) (TableSpec, error) {
 // Encode tables measure the encode on all machines; decode tables
 // encode untraced (only the coded stream matters) and measure the
 // decode. It is the farm job body for single-table generation.
-func runTableCell(env farm.Env, spec TableSpec, res [2]int, frames int) ([]Result, error) {
+func runTableCell(ctx context.Context, env farm.Env, spec TableSpec, res [2]int, frames int) ([]Result, error) {
 	machines := perf.PaperMachines()
 	wl := Workload{W: res[0], H: res[1], Frames: frames,
 		Objects: spec.Objects, Layers: spec.Layers}
 	if spec.Encode {
-		encRes, _, err := RunEncodeIn(env.Space, machines, wl)
+		encRes, _, err := RunEncodeCtx(ctx, env.Space, machines, wl)
 		return encRes, err
 	}
-	_, ss, err := RunEncodeIn(env.Space, nil, wl)
+	_, ss, err := RunEncodeCtx(ctx, env.Space, nil, wl)
 	if err != nil {
 		return nil, err
 	}
-	return RunDecode(machines, wl, ss)
+	return RunDecodeCtx(ctx, simmem.NewSpace(0), machines, wl, ss)
 }
 
 // assembleTable lays per-resolution results into the paper's column
@@ -96,7 +98,7 @@ func RunTablePool(ctx context.Context, p *farm.Pool, spec TableSpec, frames int)
 		jobs[i] = farm.Job[[]Result]{
 			Label: fmt.Sprintf("table%d/%dx%d", spec.Num, res[0], res[1]),
 			Run: func(ctx context.Context, env farm.Env) ([]Result, error) {
-				return runTableCell(env, spec, res, frames)
+				return runTableCell(ctx, env, spec, res, frames)
 			},
 		}
 	}
@@ -162,13 +164,13 @@ func RunTables(ctx context.Context, p *farm.Pool, specs []TableSpec, frames int)
 			if n.enc {
 				encMachines = machines
 			}
-			encRes, ss, err := RunEncodeIn(env.Space, encMachines, wl)
+			encRes, ss, err := RunEncodeCtx(ctx, env.Space, encMachines, wl)
 			if err != nil {
 				return cellOut{}, err
 			}
 			out.enc = encRes
 			if n.dec {
-				if out.dec, err = RunDecode(machines, wl, ss); err != nil {
+				if out.dec, err = RunDecodeCtx(ctx, simmem.NewSpace(0), machines, wl, ss); err != nil {
 					return cellOut{}, err
 				}
 			}
@@ -237,11 +239,11 @@ func Table8Pool(ctx context.Context, p *farm.Pool, frames int) (*perf.Table, err
 		func(i int, res [2]int) string { return fmt.Sprintf("table8/%dx%d", res[0], res[1]) },
 		func(ctx context.Context, env farm.Env, res [2]int) (table8Cell, error) {
 			wl := Workload{W: res[0], H: res[1], Frames: frames}
-			encRes, ss, err := RunEncodeIn(env.Space, []perf.Machine{m}, wl)
+			encRes, ss, err := RunEncodeCtx(ctx, env.Space, []perf.Machine{m}, wl)
 			if err != nil {
 				return table8Cell{}, err
 			}
-			decRes, err := RunDecode([]perf.Machine{m}, wl, ss)
+			decRes, err := RunDecodeCtx(ctx, simmem.NewSpace(0), []perf.Machine{m}, wl, ss)
 			if err != nil {
 				return table8Cell{}, err
 			}

@@ -1,0 +1,499 @@
+// Package service is the study front-end: an HTTP/JSON API that
+// accepts experiment submissions (the same experiment specs mp4study's
+// batch manifests use), validates them at the door, executes them on a
+// bounded experiment farm, and serves job polling and incremental
+// result streaming to many concurrent clients.
+//
+// Each submission becomes one job with its own harness.Study, so the
+// capture/replay strategy and the trace-usage accounting are scoped to
+// the request — concurrent clients can run different strategies in one
+// process without racing (the bug class the Study refactor removed).
+//
+// API (see README "Distributed architecture" for the full contract):
+//
+//	POST   /v1/studies           submit a StudySpec        → 202 StudyStatus
+//	GET    /v1/studies           list all jobs             → 200 []StudyStatus
+//	GET    /v1/studies/{id}      poll one job              → 200 StudyStatus
+//	GET    /v1/studies/{id}/result  stream outputs in order as they
+//	                             complete (text/plain, chunked)
+//	DELETE /v1/studies/{id}      cancel a queued/running job
+//	GET    /v1/healthz           liveness + queue depth
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/harness"
+)
+
+// StudySpec is one submission: an experiment list plus run settings.
+// It is a superset of mp4study's manifest schema, so a manifest file
+// can be POSTed unchanged.
+type StudySpec struct {
+	Frames int `json:"frames,omitempty"`
+	// Parallel is accepted for manifest compatibility but ignored: the
+	// server owns its farm sizing.
+	Parallel    int                      `json:"parallel,omitempty"`
+	Replay      *bool                    `json:"replay,omitempty"` // default true
+	Experiments []harness.ExperimentSpec `json:"experiments"`
+}
+
+// Validate rejects malformed submissions before any simulation work.
+func (s StudySpec) Validate() error {
+	if len(s.Experiments) == 0 {
+		return errors.New("no experiments")
+	}
+	if s.Frames < 0 || s.Frames > 10000 {
+		return fmt.Errorf("frames %d out of range [0, 10000]", s.Frames)
+	}
+	for i, e := range s.Experiments {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("experiment %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// StudyStatus is the poll response for one job.
+type StudyStatus struct {
+	ID          string             `json:"id"`
+	State       string             `json:"state"`
+	Submitted   time.Time          `json:"submitted"`
+	Started     *time.Time         `json:"started,omitempty"`
+	Finished    *time.Time         `json:"finished,omitempty"`
+	Done        int                `json:"done"`  // experiments completed
+	Total       int                `json:"total"` // experiments submitted
+	Error       string             `json:"error,omitempty"`
+	Experiments []string           `json:"experiments"`
+	TraceUsage  harness.TraceUsage `json:"trace_usage"`
+}
+
+// job is the server-side state of one submission.
+type job struct {
+	id     string
+	spec   StudySpec
+	study  *harness.Study
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	updated   chan struct{} // closed and replaced on every state change
+	state     string
+	submitted time.Time
+	started   *time.Time
+	finished  *time.Time
+	outputs   []string
+	done      int
+	errMsg    string
+}
+
+func (j *job) notifyLocked() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateCancelled && state != StateCancelled {
+		return // cancellation wins
+	}
+	j.state = state
+	now := time.Now()
+	switch state {
+	case StateRunning:
+		j.started = &now
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = &now
+	}
+	j.notifyLocked()
+}
+
+func (j *job) setOutput(i int, out string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.outputs[i] = out
+	j.done = i + 1
+	j.notifyLocked()
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateCancelled {
+		return
+	}
+	j.state = StateFailed
+	j.errMsg = err.Error()
+	now := time.Now()
+	j.finished = &now
+	j.notifyLocked()
+}
+
+func (j *job) status() StudyStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := StudyStatus{
+		ID:         j.id,
+		State:      j.state,
+		Submitted:  j.submitted,
+		Started:    j.started,
+		Finished:   j.finished,
+		Done:       j.done,
+		Total:      len(j.spec.Experiments),
+		Error:      j.errMsg,
+		TraceUsage: j.study.Usage(),
+	}
+	for _, e := range j.spec.Experiments {
+		st.Experiments = append(st.Experiments, e.Label())
+	}
+	return st
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers sizes the farm pool experiments fan out on. <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MaxConcurrent bounds the studies simulating at once; further
+	// submissions queue. <= 0 means 2.
+	MaxConcurrent int
+	// MaxQueued bounds accepted-but-unfinished studies; beyond it,
+	// submissions are rejected with 429. <= 0 means 64.
+	MaxQueued int
+	// MaxHistory bounds retained terminal (done/failed/cancelled)
+	// studies; the oldest beyond it are dropped — their status and
+	// outputs become 404 — so a long-lived server does not grow
+	// without bound. <= 0 means 256.
+	MaxHistory int
+}
+
+// Server executes study submissions on a bounded farm pool. Create
+// with New, mount via Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	pool   *farm.Pool
+	sem    chan struct{} // MaxConcurrent tokens
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 64
+	}
+	if cfg.MaxHistory <= 0 {
+		cfg.MaxHistory = 256
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:    cfg,
+		pool:   farm.New(farm.Config{Workers: cfg.Workers}),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		base:   base,
+		cancel: cancel,
+		jobs:   map[string]*job{},
+	}
+}
+
+// Handler returns the HTTP handler for the service API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/studies", s.handleSubmit)
+	mux.HandleFunc("GET /v1/studies", s.handleList)
+	mux.HandleFunc("GET /v1/studies/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/studies/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/studies/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec StudySpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid study spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid study spec: %v", err)
+		return
+	}
+
+	replay := spec.Replay == nil || *spec.Replay
+	j := &job{
+		spec:      spec,
+		study:     harness.NewStudy(replay),
+		state:     StateQueued,
+		submitted: time.Now(),
+		updated:   make(chan struct{}),
+		outputs:   make([]string, len(spec.Experiments)),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.pruneLocked()
+	active := 0
+	for _, id := range s.order {
+		switch s.jobs[id].status().State {
+		case StateQueued, StateRunning:
+			active++
+		}
+	}
+	if active >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "queue full (%d studies pending)", active)
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("study-%04d", s.nextID)
+	jobCtx, jobCancel := context.WithCancel(s.base)
+	j.cancel = jobCancel
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.run(jobCtx, j)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// run executes one job: wait for a concurrency token, then render the
+// experiments in order (each experiment fans out internally on the
+// shared pool), publishing outputs as they complete.
+func (s *Server) run(ctx context.Context, j *job) {
+	defer s.wg.Done()
+	defer j.cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		j.fail(fmt.Errorf("cancelled while queued"))
+		return
+	}
+	j.setState(StateRunning)
+	ctx = harness.WithStudy(ctx, j.study)
+	for i, e := range j.spec.Experiments {
+		out, err := harness.RenderExperiment(ctx, s.pool, e, j.spec.Frames)
+		if err != nil {
+			if ctx.Err() != nil {
+				j.fail(fmt.Errorf("cancelled during %s", e.Label()))
+			} else {
+				j.fail(fmt.Errorf("%s: %w", e.Label(), err))
+			}
+			return
+		}
+		j.setOutput(i, out)
+	}
+	j.setState(StateDone)
+}
+
+// pruneLocked drops the oldest terminal jobs beyond MaxHistory so a
+// long-lived server's job table stays bounded. Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		switch s.jobs[id].status().State {
+		case StateDone, StateFailed, StateCancelled:
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.MaxHistory {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		st := s.jobs[id].status().State
+		isTerminal := st == StateDone || st == StateFailed || st == StateCancelled
+		if isTerminal && terminal > s.cfg.MaxHistory {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no study %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]StudyStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleResult streams the job's outputs in experiment order, flushing
+// each as it completes — a client can follow a long study live. If the
+// study fails or is cancelled mid-stream, a final diagnostic line ends
+// the body (the HTTP status is already committed by then; poll
+// /v1/studies/{id} for machine-readable state).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	for i := 0; ; {
+		j.mu.Lock()
+		state, done, errMsg := j.state, j.done, j.errMsg
+		var pending []string
+		for ; i < done; i++ {
+			pending = append(pending, j.outputs[i])
+		}
+		updated := j.updated
+		j.mu.Unlock()
+
+		for _, out := range pending {
+			io.WriteString(w, out)
+		}
+		if len(pending) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		switch state {
+		case StateDone:
+			if i >= done {
+				return
+			}
+		case StateFailed, StateCancelled:
+			fmt.Fprintf(w, "study %s: %s\n", state, errMsg)
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+	if !terminal {
+		j.state = StateCancelled
+		j.errMsg = "cancelled by client"
+		now := time.Now()
+		j.finished = &now
+		j.notifyLocked()
+	}
+	j.mu.Unlock()
+	if !terminal {
+		j.cancel()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued, running := 0, 0
+	for _, id := range s.order {
+		switch s.jobs[id].status().State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       !closed,
+		"queued":   queued,
+		"running":  running,
+		"workers":  s.pool.Workers(),
+		"shutdown": closed,
+	})
+}
+
+// Shutdown stops the server gracefully: new submissions are rejected
+// immediately, running and queued studies get until ctx's deadline to
+// finish, then everything still in flight is cancelled. It returns nil
+// if all work drained, or ctx's error if the deadline forced
+// cancellation.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // cancel every job context
+		<-drained
+		return ctx.Err()
+	}
+}

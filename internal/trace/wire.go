@@ -1,0 +1,590 @@
+// Portable trace files. A captured Trace or L2Trace can be written to
+// any io.Writer and read back on any machine, so a workload is encoded
+// once and every simulation — local or on a remote worker — is a replay
+// of the same bytes (internal/dist ships traces to worker processes in
+// exactly this format).
+//
+// The format is versioned and fully validated on the way in: corrupt,
+// truncated or wrong-version input yields an error, never a panic — the
+// decode side is safe to expose to network input (and is fuzzed, see
+// wire_fuzz_test.go).
+//
+// Layout (all integers are unsigned varints unless noted; addresses are
+// zigzag varint deltas against the previous address, which keeps the
+// mostly-sequential reference streams of the codec to a few bytes per
+// record):
+//
+//	Trace   file: "M4TR" version
+//	              phase-name table: count, then per name: length, bytes
+//	              record count
+//	              records: op byte, then per op class:
+//	                access:  addrDelta(zigzag) size
+//	                run:     addrDelta(zigzag) rowBytes unit rows [stride if rows>1]
+//	                ops:     count
+//	                phase:   name index
+//
+//	L2Trace file: "M4L2" version
+//	              L1 geometry: name length+bytes, size, line, ways
+//	              base Stats (12 counters)
+//	              phase-name table (as above)
+//	              event count, then per event: zigzag delta of the
+//	                packed (addr<<1|writeback) word
+//	              mark count, then per mark: position delta, name index,
+//	                begin byte, 12 counter deltas against the previous mark
+//
+// Versioning rule: readers accept exactly the versions they know;
+// anything else is an error (no silent best-effort decoding). Additive
+// changes bump the version and readers grow a case for the old one.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+)
+
+// WireVersion is the current trace file format version.
+const WireVersion = 1
+
+var (
+	traceMagic = [4]byte{'M', '4', 'T', 'R'}
+	l2Magic    = [4]byte{'M', '4', 'L', '2'}
+)
+
+// ErrBadFormat tags every decode failure: wrong magic, unknown version,
+// truncation, or a structurally invalid field. errors.Is(err,
+// ErrBadFormat) holds for all of them (I/O errors from the underlying
+// reader pass through unwrapped).
+var ErrBadFormat = errors.New("malformed trace data")
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("trace: %s: %w", fmt.Sprintf(format, args...), ErrBadFormat)
+}
+
+// Decode-side sanity caps: larger values in a header mean a corrupt or
+// hostile file, not a real capture. The address bound matters for
+// safety, not just plausibility: replay walks cache lines with
+// `for a := first; a <= last; a += lineBytes`, so an address near the
+// top of the 64-bit space would wrap the loop counter and spin
+// forever. Capping decoded addresses at 2^56 keeps every replay span
+// (addr + stride*rows + length, each field individually bounded) far
+// below 2^64. The simulated address space never leaves the low
+// terabytes, so no legitimate capture is affected.
+const (
+	maxWireNames   = 1 << 20
+	maxWireNameLen = 1 << 16
+	maxWireAddr    = 1 << 56
+)
+
+// ---- encoding helpers ----
+
+// wireWriter wraps the destination with buffering, varint helpers and
+// write-count tracking for the io.WriterTo contract.
+type wireWriter struct {
+	bw  *bufio.Writer
+	n   int64
+	err error
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func newWireWriter(w io.Writer) *wireWriter { return &wireWriter{bw: bufio.NewWriter(w)} }
+
+func (w *wireWriter) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.bw.Write(p)
+	w.n += int64(n)
+	w.err = err
+}
+
+func (w *wireWriter) byte(b byte) { w.write([]byte{b}) }
+
+func (w *wireWriter) uvarint(v uint64) {
+	w.write(w.tmp[:binary.PutUvarint(w.tmp[:], v)])
+}
+
+// svarint writes v zigzag-encoded.
+func (w *wireWriter) svarint(v int64) {
+	w.uvarint(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+func (w *wireWriter) string(s string) {
+	w.uvarint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+func (w *wireWriter) flush() (int64, error) {
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	return w.n, w.err
+}
+
+// ---- decoding helpers ----
+
+// wireReader wraps the source with buffering and validated varint
+// reads. Truncation surfaces as an ErrBadFormat-tagged error.
+type wireReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func newWireReader(r io.Reader) *wireReader { return &wireReader{br: bufio.NewReader(r)} }
+
+func (r *wireReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.n++
+	}
+	return b, err
+}
+
+func (r *wireReader) full(p []byte) error {
+	n, err := io.ReadFull(r.br, p)
+	r.n += int64(n)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return badf("truncated input")
+	}
+	return err
+}
+
+func (r *wireReader) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return 0, badf("truncated %s", what)
+	}
+	if err != nil {
+		// binary.ReadUvarint reports overlong encodings via errors.New;
+		// tag them as format errors, pass real I/O errors through.
+		if err.Error() == "binary: varint overflows a 64-bit integer" {
+			return 0, badf("%s: %v", what, err)
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+func (r *wireReader) svarint(what string) (int64, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v>>1) ^ -int64(v&1), nil
+}
+
+func (r *wireReader) uint32Field(what string) (uint32, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(^uint32(0)) {
+		return 0, badf("%s %d overflows 32 bits", what, v)
+	}
+	return uint32(v), nil
+}
+
+func (r *wireReader) header(magic [4]byte, kind string) error {
+	var got [4]byte
+	if err := r.full(got[:]); err != nil {
+		return err
+	}
+	if got != magic {
+		return badf("not a %s file (magic %q)", kind, got)
+	}
+	v, err := r.uvarint("version")
+	if err != nil {
+		return err
+	}
+	if v != WireVersion {
+		return badf("unsupported %s version %d (reader speaks %d)", kind, v, WireVersion)
+	}
+	return nil
+}
+
+func (r *wireReader) nameTable() ([]string, error) {
+	n, err := r.uvarint("name count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireNames {
+		return nil, badf("name count %d exceeds limit", n)
+	}
+	names := make([]string, n)
+	for i := range names {
+		l, err := r.uvarint("name length")
+		if err != nil {
+			return nil, err
+		}
+		if l > maxWireNameLen {
+			return nil, badf("name length %d exceeds limit", l)
+		}
+		buf := make([]byte, l)
+		if err := r.full(buf); err != nil {
+			return nil, err
+		}
+		names[i] = string(buf)
+	}
+	return names, nil
+}
+
+func writeNameTable(w *wireWriter, names []string) {
+	w.uvarint(uint64(len(names)))
+	for _, n := range names {
+		w.string(n)
+	}
+}
+
+// ---- Trace ----
+
+var _ io.WriterTo = (*Trace)(nil)
+var _ io.ReaderFrom = (*Trace)(nil)
+
+// WriteTo encodes the trace in the portable wire format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	ww := newWireWriter(w)
+	ww.write(traceMagic[:])
+	ww.uvarint(WireVersion)
+	writeNameTable(ww, t.phaseNames)
+	ww.uvarint(uint64(t.records))
+	prevAddr := uint64(0)
+	for _, ch := range t.chunks {
+		for i := range ch {
+			r := &ch[i]
+			ww.byte(r.op)
+			switch r.op {
+			case opAccessLoad, opAccessStore, opAccessPrefetch:
+				ww.svarint(int64(r.addr - prevAddr))
+				prevAddr = r.addr
+				ww.uvarint(uint64(r.n))
+			case opRunLoad, opRunStore, opRunPrefetch:
+				ww.svarint(int64(r.addr - prevAddr))
+				prevAddr = r.addr
+				ww.uvarint(uint64(r.n))
+				ww.uvarint(uint64(r.unit))
+				ww.uvarint(uint64(r.rows))
+				if r.rows > 1 {
+					ww.uvarint(uint64(r.stride))
+				}
+			default: // opOps, opPhaseBegin, opPhaseEnd: addr is a count/index
+				ww.uvarint(r.addr)
+			}
+		}
+	}
+	return ww.flush()
+}
+
+// ReadFrom decodes a wire-format trace, replacing t's contents. On
+// error t is left empty, never partially filled.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	wr := newWireReader(r)
+	dec, err := readTrace(wr)
+	if err != nil {
+		*t = Trace{}
+		return wr.n, err
+	}
+	*t = *dec
+	return wr.n, nil
+}
+
+// ReadTrace decodes a wire-format trace from r.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	_, err := t.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func readTrace(r *wireReader) (*Trace, error) {
+	if err := r.header(traceMagic, "trace"); err != nil {
+		return nil, err
+	}
+	names, err := r.nameTable()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.uvarint("record count")
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{phaseNames: names}
+	var cur []record
+	prevAddr := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		op, err := r.ReadByte()
+		if err != nil {
+			return nil, badf("truncated at record %d", i)
+		}
+		var rec record
+		rec.op = op
+		switch op {
+		case opAccessLoad, opAccessStore, opAccessPrefetch:
+			d, err := r.svarint("address delta")
+			if err != nil {
+				return nil, err
+			}
+			prevAddr += uint64(d)
+			if prevAddr > maxWireAddr {
+				return nil, badf("address %#x exceeds the %#x bound", prevAddr, uint64(maxWireAddr))
+			}
+			rec.addr = prevAddr
+			if rec.n, err = r.uint32Field("access size"); err != nil {
+				return nil, err
+			}
+		case opRunLoad, opRunStore, opRunPrefetch:
+			d, err := r.svarint("address delta")
+			if err != nil {
+				return nil, err
+			}
+			prevAddr += uint64(d)
+			if prevAddr > maxWireAddr {
+				return nil, badf("address %#x exceeds the %#x bound", prevAddr, uint64(maxWireAddr))
+			}
+			rec.addr = prevAddr
+			if rec.n, err = r.uint32Field("run length"); err != nil {
+				return nil, err
+			}
+			if rec.unit, err = r.uint32Field("run unit"); err != nil {
+				return nil, err
+			}
+			rows, err := r.uvarint("run rows")
+			if err != nil {
+				return nil, err
+			}
+			if rows == 0 || rows > uint64(^uint16(0)) {
+				return nil, badf("run rows %d out of range", rows)
+			}
+			rec.rows = uint16(rows)
+			if rows > 1 {
+				if rec.stride, err = r.uint32Field("run stride"); err != nil {
+					return nil, err
+				}
+			}
+		case opOps:
+			if rec.addr, err = r.uvarint("ops count"); err != nil {
+				return nil, err
+			}
+		case opPhaseBegin, opPhaseEnd:
+			idx, err := r.uvarint("phase index")
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(len(names)) {
+				return nil, badf("phase index %d out of range (table has %d)", idx, len(names))
+			}
+			rec.addr = idx
+		default:
+			return nil, badf("unknown record op %d", op)
+		}
+		if len(cur) == cap(cur) {
+			cur = make([]record, 0, chunkRecords)
+			t.chunks = append(t.chunks, cur)
+		}
+		cur = append(cur, rec)
+		t.chunks[len(t.chunks)-1] = cur
+		t.records++
+	}
+	return t, nil
+}
+
+// ---- L2Trace ----
+
+var _ io.WriterTo = (*L2Trace)(nil)
+var _ io.ReaderFrom = (*L2Trace)(nil)
+
+// statsFields flattens the counter block in wire order.
+func statsFields(s *cache.Stats) [12]*uint64 {
+	return [12]*uint64{
+		&s.Loads, &s.Stores, &s.LoadBytes, &s.StoreBytes, &s.Ops,
+		&s.L1Misses, &s.L1Writebacks, &s.L2Accesses, &s.L2Misses,
+		&s.L2Writebacks, &s.Prefetches, &s.PrefetchL1Hits,
+	}
+}
+
+func writeStatsDelta(w *wireWriter, s, prev cache.Stats) {
+	sf, pf := statsFields(&s), statsFields(&prev)
+	for i := range sf {
+		// Counters are monotonic, so deltas are non-negative and small;
+		// wraparound subtraction keeps even a non-monotonic (hand-built)
+		// Stats lossless.
+		w.uvarint(*sf[i] - *pf[i])
+	}
+}
+
+func readStatsDelta(r *wireReader, prev cache.Stats) (cache.Stats, error) {
+	s := prev
+	sf := statsFields(&s)
+	for i := range sf {
+		d, err := r.uvarint("counter")
+		if err != nil {
+			return cache.Stats{}, err
+		}
+		*sf[i] += d
+	}
+	return s, nil
+}
+
+// WriteTo encodes the L1-filtered trace in the portable wire format.
+func (t *L2Trace) WriteTo(w io.Writer) (int64, error) {
+	ww := newWireWriter(w)
+	ww.write(l2Magic[:])
+	ww.uvarint(WireVersion)
+	ww.string(t.L1.Name)
+	ww.uvarint(uint64(t.L1.SizeBytes))
+	ww.uvarint(uint64(t.L1.LineBytes))
+	ww.uvarint(uint64(t.L1.Ways))
+	writeStatsDelta(ww, t.base, cache.Stats{})
+	writeNameTable(ww, t.names)
+	ww.uvarint(uint64(len(t.events)))
+	prev := uint64(0)
+	for _, ev := range t.events {
+		ww.svarint(int64(ev - prev))
+		prev = ev
+	}
+	ww.uvarint(uint64(len(t.marks)))
+	prevPos, prevStats := 0, cache.Stats{}
+	for i := range t.marks {
+		m := &t.marks[i]
+		ww.uvarint(uint64(m.pos - prevPos))
+		prevPos = m.pos
+		ww.uvarint(uint64(m.name))
+		if m.begin {
+			ww.byte(1)
+		} else {
+			ww.byte(0)
+		}
+		writeStatsDelta(ww, m.base, prevStats)
+		prevStats = m.base
+	}
+	return ww.flush()
+}
+
+// ReadFrom decodes a wire-format L2 trace, replacing t's contents. On
+// error t is left empty, never partially filled.
+func (t *L2Trace) ReadFrom(r io.Reader) (int64, error) {
+	wr := newWireReader(r)
+	dec, err := readL2Trace(wr)
+	if err != nil {
+		*t = L2Trace{}
+		return wr.n, err
+	}
+	*t = *dec
+	return wr.n, nil
+}
+
+// ReadL2Trace decodes a wire-format L1-filtered trace from r.
+func ReadL2Trace(r io.Reader) (*L2Trace, error) {
+	t := &L2Trace{}
+	_, err := t.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func readL2Trace(r *wireReader) (*L2Trace, error) {
+	if err := r.header(l2Magic, "l2trace"); err != nil {
+		return nil, err
+	}
+	nameLen, err := r.uvarint("L1 name length")
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > maxWireNameLen {
+		return nil, badf("L1 name length %d exceeds limit", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if err := r.full(nameBuf); err != nil {
+		return nil, err
+	}
+	t := &L2Trace{L1: cache.Config{Name: string(nameBuf)}}
+	for _, f := range []struct {
+		dst  *int
+		what string
+	}{
+		{&t.L1.SizeBytes, "L1 size"},
+		{&t.L1.LineBytes, "L1 line size"},
+		{&t.L1.Ways, "L1 ways"},
+	} {
+		v, err := r.uvarint(f.what)
+		if err != nil {
+			return nil, err
+		}
+		if v > uint64(^uint32(0)) {
+			return nil, badf("%s %d out of range", f.what, v)
+		}
+		*f.dst = int(v)
+	}
+	if err := t.L1.Validate(); err != nil {
+		return nil, badf("L1 geometry: %v", err)
+	}
+	if t.base, err = readStatsDelta(r, cache.Stats{}); err != nil {
+		return nil, err
+	}
+	if t.names, err = r.nameTable(); err != nil {
+		return nil, err
+	}
+	nEvents, err := r.uvarint("event count")
+	if err != nil {
+		return nil, err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < nEvents; i++ {
+		d, err := r.svarint("event delta")
+		if err != nil {
+			return nil, err
+		}
+		prev += uint64(d)
+		if prev>>1 > maxWireAddr {
+			return nil, badf("event address %#x exceeds the %#x bound", prev>>1, uint64(maxWireAddr))
+		}
+		t.events = append(t.events, prev)
+	}
+	nMarks, err := r.uvarint("mark count")
+	if err != nil {
+		return nil, err
+	}
+	prevPos, prevStats := uint64(0), cache.Stats{}
+	for i := uint64(0); i < nMarks; i++ {
+		d, err := r.uvarint("mark position delta")
+		if err != nil {
+			return nil, err
+		}
+		prevPos += d
+		if prevPos > nEvents {
+			return nil, badf("mark position %d beyond %d events", prevPos, nEvents)
+		}
+		nameIdx, err := r.uvarint("mark name index")
+		if err != nil {
+			return nil, err
+		}
+		if nameIdx >= uint64(len(t.names)) {
+			return nil, badf("mark name index %d out of range (table has %d)", nameIdx, len(t.names))
+		}
+		beginByte, err := r.ReadByte()
+		if err != nil {
+			return nil, badf("truncated at mark %d", i)
+		}
+		if beginByte > 1 {
+			return nil, badf("mark begin flag %d invalid", beginByte)
+		}
+		base, err := readStatsDelta(r, prevStats)
+		if err != nil {
+			return nil, err
+		}
+		prevStats = base
+		t.marks = append(t.marks, l2Mark{
+			pos:   int(prevPos),
+			name:  uint32(nameIdx),
+			begin: beginByte == 1,
+			base:  base,
+		})
+	}
+	return t, nil
+}
