@@ -284,9 +284,13 @@ func BenchmarkTraceWire(b *testing.B) {
 // BenchmarkDistributedSweep compares the 18-configuration geometry
 // sweep run locally against the same sweep sharded across two dist
 // workers (in-process HTTP servers here; the protocol and serialization
-// costs are real, the network is loopback). Both run one encode; the
-// distributed variant adds trace serialization, upload and shard
-// round-trips — the overhead a real fleet pays for the fan-out.
+// costs are real, the network is loopback). All variants run one
+// encode; the distributed ones add trace serialization, upload and
+// shard round-trips — the overhead a real fleet pays for the fan-out.
+// The two distributed variants measure what is on the wire: the
+// default ships one L1-filtered M4L2 trace per L1 row, the fulltrace
+// baseline ships the whole M4TR capture to every worker. Their uploadMB
+// metrics are the full-vs-L2 shipping ratio BENCH_pr4.json records.
 func BenchmarkDistributedSweep(b *testing.B) {
 	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
 	nConfigs := len(harness.GeometryL1Configs()) * len(harness.GeometryL2Sizes())
@@ -302,26 +306,34 @@ func BenchmarkDistributedSweep(b *testing.B) {
 		}
 		b.ReportMetric(float64(nConfigs), "configs")
 	})
-	b.Run("distributed-2workers", func(b *testing.B) {
-		var urls []string
-		for i := 0; i < 2; i++ {
-			srv := httptest.NewServer(dist.NewWorker(dist.WorkerConfig{}).Handler())
-			defer srv.Close()
-			urls = append(urls, srv.URL)
-		}
-		coord := &dist.Coordinator{Workers: urls}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			points, err := coord.GeometrySweep(context.Background(), wl, nil, nil)
-			if err != nil {
-				b.Fatal(err)
+	distributed := func(shipFull bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			var urls []string
+			for i := 0; i < 2; i++ {
+				srv := httptest.NewServer(dist.NewWorker(dist.WorkerConfig{}).Handler())
+				defer srv.Close()
+				urls = append(urls, srv.URL)
 			}
-			if len(points) != nConfigs {
-				b.Fatalf("got %d points", len(points))
+			coord := &dist.Coordinator{Workers: urls, ShipFullTrace: shipFull}
+			var stats dist.SweepStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts, st, err := coord.GeometrySweepWithStats(context.Background(), wl, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pts) != nConfigs {
+					b.Fatalf("got %d points", len(pts))
+				}
+				stats = st
 			}
+			b.ReportMetric(float64(nConfigs), "configs")
+			b.ReportMetric(float64(stats.UploadBytes)/(1<<20), "uploadMB")
+			b.ReportMetric(float64(stats.Uploads), "uploads")
 		}
-		b.ReportMetric(float64(nConfigs), "configs")
-	})
+	}
+	b.Run("distributed-2workers", distributed(false))
+	b.Run("distributed-2workers-fulltrace", distributed(true))
 }
 
 func seriesString(s perf.Series) string {

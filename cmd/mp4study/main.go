@@ -16,6 +16,8 @@
 //	mp4study -sweep geometry      # encode once, replay every cache geometry
 //	mp4study -sweep geometry -trace-out enc.m4tr   # ... and keep the capture
 //	mp4study -sweep geometry -trace-in enc.m4tr    # sweep a shipped capture
+//	mp4study -sweep geometry -workers http://a:8375,http://b:8375
+//	                              # ... sharded across an mp4worker fleet
 //	mp4study -cpuprofile p.out    # write pprof profiles
 //
 // Experiments run on the internal/farm worker pool; -parallel sets the
@@ -39,6 +41,14 @@
 // previously written capture instead of encoding, so one machine can
 // encode a workload and any number of machines (or mp4worker
 // processes, see internal/dist) can sweep it.
+//
+// -workers runs the geometry sweep on an mp4worker fleet: the
+// coordinator encodes once, filters the capture per L1 configuration,
+// ships each L1 row's small L2-bound trace to the workers, and merges
+// the sharded results — identical output to the local sweep, with
+// worker failures absorbed by re-planning shards onto the survivors
+// (see internal/dist). A fleet summary (uploads, bytes shipped,
+// failovers) goes to stderr.
 //
 // Batch-manifest mode runs an arbitrary experiment list concurrently
 // and prints the outputs in manifest order. The manifest is JSON (the
@@ -73,6 +83,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/simmem"
@@ -91,6 +102,7 @@ func main() {
 	replay := flag.Bool("replay", true, "simulate machines by trace capture and replay (false = legacy live simulation)")
 	traceOut := flag.String("trace-out", "", "with -sweep geometry: write the encode capture to this file (portable wire format)")
 	traceIn := flag.String("trace-in", "", "with -sweep geometry: replay this capture file instead of encoding")
+	workers := flag.String("workers", "", "with -sweep geometry: comma-separated mp4worker base URLs; shards the sweep across the fleet")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -148,6 +160,14 @@ func main() {
 	if (*traceOut != "" || *traceIn != "") && *sweep != "geometry" {
 		fatal(fmt.Errorf("-trace-out/-trace-in require -sweep geometry"))
 	}
+	if *workers != "" {
+		if *sweep != "geometry" {
+			fatal(fmt.Errorf("-workers requires -sweep geometry"))
+		}
+		if *traceOut != "" || *traceIn != "" {
+			fatal(fmt.Errorf("-workers is incompatible with -trace-out/-trace-in (the coordinator captures and ships per-L1 filtered traces itself)"))
+		}
+	}
 
 	start := time.Now()
 	ctx := context.Background()
@@ -169,6 +189,10 @@ func main() {
 		}
 	case *figure != 0:
 		if err := printExperiment(ctx, pool, harness.ExperimentSpec{Figure: *figure}, *frames); err != nil {
+			fatal(err)
+		}
+	case *sweep == "geometry" && *workers != "":
+		if err := runGeometryFleet(ctx, *frames, *workers); err != nil {
 			fatal(err)
 		}
 	case *sweep == "geometry" && (*traceOut != "" || *traceIn != ""):
@@ -245,6 +269,42 @@ func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceI
 	points, err := harness.RunGeometrySweepFromTrace(ctx, pool, tr, nil, nil)
 	if err != nil {
 		return err
+	}
+	fmt.Print(harness.GeometrySweepReport(
+		"cache geometry sweep (encode, one trace replayed per config)", points))
+	return nil
+}
+
+// runGeometryFleet is the distributed-fleet path of the geometry
+// sweep: one mp4study process coordinates, the named mp4worker
+// processes simulate. The printed sweep is identical to the local
+// `-sweep geometry`; the fleet accounting goes to stderr.
+func runGeometryFleet(ctx context.Context, frames int, workers string) error {
+	var urls []string
+	for _, u := range strings.Split(workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-workers: no worker URLs")
+	}
+	coord := &dist.Coordinator{Workers: urls}
+	wl := harness.Workload{W: 352, H: 288, Frames: frames}
+	points, stats, err := coord.GeometrySweepWithStats(ctx, wl, nil, nil)
+	if err != nil {
+		return err
+	}
+	shipped := "full trace"
+	if stats.L2Shipped {
+		shipped = "L1-filtered traces"
+	}
+	fmt.Fprintf(os.Stderr,
+		"fleet: %d workers, %d uploads of %s (%.1f MB), %d replay calls, %d failovers, %d workers lost\n",
+		len(urls), stats.Uploads, shipped, float64(stats.UploadBytes)/(1<<20),
+		stats.Replays, stats.Failovers, stats.DeadWorkers)
+	for _, f := range stats.WorkerFailures {
+		fmt.Fprintf(os.Stderr, "fleet: lost %s\n", f)
 	}
 	fmt.Print(harness.GeometrySweepReport(
 		"cache geometry sweep (encode, one trace replayed per config)", points))

@@ -1,9 +1,12 @@
 // Command mp4worker is a distributed-sweep worker: it accepts
 // serialized reference traces (the portable wire format of
-// internal/trace) and replays (L1, L2) cache-configuration shards
-// against them on a local experiment farm. A dist.Coordinator (see
-// internal/dist and examples/distributed) encodes a workload once and
-// fans the simulation grid across any number of these processes.
+// internal/trace — full M4TR captures or the ~40× smaller L1-filtered
+// M4L2 traces, selected by upload Content-Type) and replays (L1, L2)
+// cache-configuration shards against them on a local experiment farm.
+// A dist.Coordinator (see internal/dist, examples/distributed, and
+// `mp4study -sweep geometry -workers ...`) encodes a workload once and
+// fans the simulation grid across any number of these processes,
+// re-planning shards onto the surviving workers when one fails.
 //
 // Usage:
 //

@@ -3,11 +3,13 @@
 //
 // The demo boots two dist workers on loopback HTTP servers (stand-ins
 // for `mp4worker` processes on other hosts), then has a coordinator
-// encode a CIF workload ONCE, serialize the captured reference stream
-// into the portable trace format, ship it to both workers, and shard
-// the 18-configuration cache-geometry grid across them. The merged
-// result is compared against the same sweep computed locally — the
-// two are identical, because a replay of the same bytes is the same
+// encode a CIF workload ONCE, filter the captured reference stream
+// down to each L1 row's L2-bound trace, ship those small M4L2
+// payloads to the workers, and shard the 18-configuration
+// cache-geometry grid across them (worker failures would be absorbed
+// by re-planning shards onto the survivors). The merged result is
+// compared against the same sweep computed locally — the two are
+// identical, because a replay of the same bytes is the same
 // simulation wherever it runs.
 //
 //	go run ./examples/distributed
@@ -41,12 +43,14 @@ func main() {
 	wl := harness.Workload{W: 352, H: 288, Frames: 2}
 
 	start := time.Now()
-	distPoints, err := coord.GeometrySweep(context.Background(), wl, nil, nil)
+	distPoints, stats, err := coord.GeometrySweepWithStats(context.Background(), wl, nil, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "distributed sweep:", err)
 		os.Exit(1)
 	}
 	distTime := time.Since(start)
+	fmt.Printf("shipped %d L1-filtered traces, %.2f MB total on the wire\n",
+		stats.Uploads, float64(stats.UploadBytes)/(1<<20))
 
 	start = time.Now()
 	localPoints, err := harness.RunGeometrySweep(wl, nil, nil)

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -17,23 +19,111 @@ import (
 )
 
 // Coordinator drives a distributed geometry sweep: capture once
-// locally, upload the serialized trace to every worker, shard the
-// (L1 × L2 size) grid across them, and merge the results in
-// deterministic shard order.
+// locally, filter the capture down to the per-L1 L2-bound traces,
+// shard the (L1 × L2 size) grid across the workers, and merge the
+// results in deterministic shard order. Workers that fail or time out
+// are dropped and their shards re-planned onto the survivors (see
+// the package comment for the failover semantics).
 type Coordinator struct {
 	// Workers are the base URLs of the worker processes, e.g.
 	// "http://10.0.0.7:8375". At least one is required.
 	Workers []string
-	// Client is the HTTP client used for all calls. Nil means
-	// http.DefaultClient.
+	// Client is the HTTP client used for all calls. Nil means a
+	// default client with connect/TLS/response-header timeouts (but no
+	// overall request timeout — per-attempt deadlines bound each
+	// upload and replay instead, see UploadTimeout/ReplayTimeout).
 	Client *http.Client
+	// ShipFullTrace uploads the full M4TR capture to the workers
+	// instead of the per-L1 filtered M4L2 traces. The filtered path is
+	// the default — every shard of an L1 row shares that L1, so the
+	// row only ever needs the ~40× smaller L2-bound stream. The full
+	// path remains as the baseline (and the benchmark's comparison
+	// point).
+	ShipFullTrace bool
+	// UploadTimeout bounds one trace-upload attempt. <= 0 means 2m.
+	UploadTimeout time.Duration
+	// ReplayTimeout bounds one shard-batch replay attempt. <= 0 means
+	// 10m. Raise it (and supply a Client whose transport allows it)
+	// for very long traces.
+	ReplayTimeout time.Duration
+	// MaxAttempts bounds how many workers may try one shard batch
+	// before the sweep fails. <= 0 means 3.
+	MaxAttempts int
+}
+
+// defaultClient is used when Coordinator.Client is nil. It bounds
+// connection establishment and header latency — so one unreachable or
+// hung worker cannot stall a sweep forever — but sets no overall
+// request timeout: replay calls legitimately take as long as the
+// simulation they run, and the coordinator's per-attempt context
+// deadlines are the authoritative bound. The response-header ceiling
+// is therefore generous; it only exists to reap connections whose
+// per-attempt context was never going to fire (custom ReplayTimeout
+// beyond it requires a custom Client).
+var defaultClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 15 * time.Minute,
+		ExpectContinueTimeout: 1 * time.Second,
+		MaxIdleConnsPerHost:   4,
+	},
 }
 
 func (c *Coordinator) client() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
-	return http.DefaultClient
+	return defaultClient
+}
+
+func (c *Coordinator) uploadTimeout() time.Duration {
+	if c.UploadTimeout > 0 {
+		return c.UploadTimeout
+	}
+	return 2 * time.Minute
+}
+
+func (c *Coordinator) replayTimeout() time.Duration {
+	if c.ReplayTimeout > 0 {
+		return c.ReplayTimeout
+	}
+	return 10 * time.Minute
+}
+
+func (c *Coordinator) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 3
+}
+
+// SweepStats reports what one distributed sweep actually shipped and
+// survived — the observability half of the failover scheduler.
+type SweepStats struct {
+	// L2Shipped reports whether per-L1 filtered M4L2 traces were
+	// uploaded instead of the full capture.
+	L2Shipped bool
+	// Uploads and UploadBytes count every trace upload that succeeded,
+	// including re-uploads forced by failover.
+	Uploads     int
+	UploadBytes int64
+	// Replays counts successful shard-batch replay calls.
+	Replays int
+	// Failovers counts shard batches re-planned onto another worker
+	// after a worker failure (including batches the dead worker had
+	// queued but never started).
+	Failovers int
+	// DeadWorkers counts workers dropped from the sweep.
+	DeadWorkers int
+	// WorkerFailures carries the diagnostic of every dropped worker,
+	// in failure order — a sweep that survived failovers should still
+	// say what went wrong.
+	WorkerFailures []string
 }
 
 // planShards cuts the (L1 × L2 size) grid into shards: per L1, the L2
@@ -70,15 +160,22 @@ func planShards(l1s []cache.Config, l2Sizes []int, workers int) []Shard {
 // defaults. The returned points are identical — field for field — to
 // the local sweep of the same workload and axes.
 func (c *Coordinator) GeometrySweep(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([]harness.GeometryPoint, error) {
-	shardPoints, err := c.geometrySweepShards(ctx, wl, l1s, l2Sizes)
+	points, _, err := c.GeometrySweepWithStats(ctx, wl, l1s, l2Sizes)
+	return points, err
+}
+
+// GeometrySweepWithStats is GeometrySweep plus the sweep's transport
+// and failover accounting.
+func (c *Coordinator) GeometrySweepWithStats(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([]harness.GeometryPoint, SweepStats, error) {
+	shardPoints, stats, err := c.geometrySweepShards(ctx, wl, l1s, l2Sizes)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	var out []harness.GeometryPoint
 	for _, pts := range shardPoints {
 		out = append(out, pts...)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // GeometrySweepSeries runs the distributed sweep and renders it as the
@@ -88,7 +185,7 @@ func (c *Coordinator) GeometrySweep(ctx context.Context, wl harness.Workload, l1
 // figure sweeps use — so the output is byte-identical to
 // harness.GeometrySweepSeries over a local sweep.
 func (c *Coordinator) GeometrySweepSeries(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([]perf.Series, error) {
-	shardPoints, err := c.geometrySweepShards(ctx, wl, l1s, l2Sizes)
+	shardPoints, _, err := c.geometrySweepShards(ctx, wl, l1s, l2Sizes)
 	if err != nil {
 		return nil, err
 	}
@@ -114,11 +211,36 @@ func (c *Coordinator) GeometrySweepSeries(ctx context.Context, wl harness.Worklo
 	return merged, nil
 }
 
-// geometrySweepShards performs the capture/upload/replay cycle and
-// returns per-shard points ordered by shard index.
-func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([][]harness.GeometryPoint, error) {
+// payload is one serialized trace the sweep ships: the full capture
+// (fullKey) or one L1 row's filtered stream.
+type payload struct {
+	key         string
+	contentType string
+	wire        []byte
+}
+
+const fullKey = "full-trace"
+
+// batch is one dispatchable unit of work: a set of shards that replay
+// against the same payload, plus its failover accounting.
+type batch struct {
+	payload  *payload
+	shards   []Shard
+	attempts int
+	lastErr  error
+}
+
+func (b *batch) label() string {
+	lo, hi := b.shards[0].Index, b.shards[len(b.shards)-1].Index
+	return fmt.Sprintf("shards %d-%d (%s)", lo, hi, b.payload.key)
+}
+
+// geometrySweepShards performs the capture/filter/upload/replay cycle
+// and returns per-shard points ordered by shard index.
+func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Workload, l1s []cache.Config, l2Sizes []int) ([][]harness.GeometryPoint, SweepStats, error) {
+	var stats SweepStats
 	if len(c.Workers) == 0 {
-		return nil, fmt.Errorf("dist: no workers configured")
+		return nil, stats, fmt.Errorf("dist: no workers configured")
 	}
 	if len(l1s) == 0 {
 		l1s = harness.GeometryL1Configs()
@@ -126,153 +248,424 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 	if len(l2Sizes) == 0 {
 		l2Sizes = harness.GeometryL2Sizes()
 	}
+	// Validate both axes before any capture work: they may come from
+	// flags or manifests, and a bad axis entry must not cost an encode
+	// — nor masquerade as fleet-wide worker failure when every worker
+	// rejects the same invalid shard.
+	for _, l1 := range l1s {
+		if _, err := cache.TryNew(l1); err != nil {
+			return nil, stats, fmt.Errorf("dist: l1 axis: %w", err)
+		}
+	}
+	baseL2 := perf.O2R12K1MB().L2
+	for _, size := range l2Sizes {
+		l2 := baseL2
+		l2.SizeBytes = size
+		if _, err := cache.TryNew(l2); err != nil {
+			return nil, stats, fmt.Errorf("dist: l2 axis: %w", err)
+		}
+	}
 
 	// Plan the shards first: small grids can leave workers without
 	// assignments, and those must not receive (or store) an upload.
 	shards := planShards(l1s, l2Sizes, len(c.Workers))
+
+	// Capture once; serialize per payload. In the default (filtered)
+	// mode each L1 row ships only its L2-bound stream.
+	capture, err := harness.RecordEncodeCtx(ctx, simmem.NewSpace(0), wl)
+	if err != nil {
+		return nil, stats, fmt.Errorf("dist: capture: %w", err)
+	}
+	payloadOf, err := c.buildPayloads(ctx, capture, l1s, shards)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.L2Shipped = !c.ShipFullTrace
+
+	// Initial assignment: shards round-robin across workers (as the
+	// pre-failover coordinator did), then each worker's shards group
+	// per payload into one batch — one replay call per (worker,
+	// trace). Assignment only affects scheduling, never results:
+	// points merge by shard index.
 	byWorker := make([][]Shard, len(c.Workers))
 	for i, sh := range shards {
 		w := i % len(c.Workers)
 		byWorker[w] = append(byWorker[w], sh)
 	}
-
-	// Capture once; serialize once. Every assigned worker receives
-	// the same bytes.
-	capture, err := harness.RecordEncodeCtx(ctx, simmem.NewSpace(0), wl)
-	if err != nil {
-		return nil, fmt.Errorf("dist: capture: %w", err)
-	}
-	var wire bytes.Buffer
-	if _, err := capture.Enc.WriteTo(&wire); err != nil {
-		return nil, fmt.Errorf("dist: serialize: %w", err)
-	}
-
-	// Register cleanup before checking the upload error: a partial
-	// upload failure must still release the traces that did land, or
-	// repeated failures would fill the surviving workers' stores.
-	ids, err := c.uploadAll(ctx, wire.Bytes(), byWorker)
-	defer c.deleteAll(ids)
-	if err != nil {
-		return nil, err
-	}
-
-	results := make([][]harness.GeometryPoint, len(shards))
-	var wg sync.WaitGroup
-	errs := make([]error, len(c.Workers))
-	for wi := range c.Workers {
-		if len(byWorker[wi]) == 0 {
-			continue
+	s := newSweepState(c, len(shards))
+	for wi, mine := range byWorker {
+		group := map[*payload]*batch{}
+		for _, sh := range mine {
+			p := payloadOf[sh.Index]
+			b, ok := group[p]
+			if !ok {
+				b = &batch{payload: p}
+				group[p] = b
+				s.queues[wi] = append(s.queues[wi], b)
+				s.pendingN++
+			}
+			b.shards = append(b.shards, sh)
 		}
+	}
+
+	// Run the fleet. Cleanup is registered before the error check: a
+	// partially failed sweep must still release the traces that did
+	// land, or repeated failures would fill the surviving workers'
+	// stores.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.cancel = cancel
+	var wg sync.WaitGroup
+	for wi := range c.Workers {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			// Only indices this worker was assigned may be written:
-			// concurrent goroutines share the results slice, so an
-			// index echoed back wrong (buggy or stale worker) must be
-			// an error, not a silent overwrite of another worker's
-			// element.
-			mine := map[int]bool{}
-			for _, sh := range byWorker[wi] {
-				mine[sh.Index] = true
-			}
-			resp, err := c.replay(ctx, wi, ReplayRequest{TraceID: ids[wi], Shards: byWorker[wi]})
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			for _, res := range resp.Results {
-				if !mine[res.Index] {
-					errs[wi] = fmt.Errorf("dist: worker %s returned shard index %d it was not assigned", c.Workers[wi], res.Index)
-					return
-				}
-				delete(mine, res.Index)
-				results[res.Index] = res.Points
-			}
+			s.runWorker(sctx, wi)
 		}(wi)
 	}
 	wg.Wait()
-	for wi, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("dist: worker %s: %w", c.Workers[wi], err)
-		}
+	defer c.deleteAll(s.uploaded)
+
+	s.stats.L2Shipped = stats.L2Shipped
+	if s.fatal != nil {
+		return nil, s.stats, s.fatal
 	}
-	for i, pts := range results {
+	for i, pts := range s.results {
 		if len(pts) == 0 {
-			return nil, fmt.Errorf("dist: shard %d missing from worker responses", i)
+			return nil, s.stats, fmt.Errorf("dist: shard %d missing from worker responses", i)
 		}
 	}
-	return results, nil
+	return s.results, s.stats, nil
 }
 
-// uploadAll ships the serialized trace to every worker with shard
-// assignments, concurrently. The returned slice always reflects the
-// uploads that succeeded (empty ID where one failed or none was
-// needed), even when err is non-nil, so the caller can release them.
-func (c *Coordinator) uploadAll(ctx context.Context, wire []byte, byWorker [][]Shard) ([]string, error) {
-	ids := make([]string, len(c.Workers))
-	errs := make([]error, len(c.Workers))
-	var wg sync.WaitGroup
-	for wi, base := range c.Workers {
-		if len(byWorker[wi]) == 0 {
-			continue
+// buildPayloads serializes what the sweep will ship: either the full
+// capture as one payload, or — the default — one M4L2 payload per L1
+// row, produced by replaying the capture through each row's L1 filter
+// exactly once (the same FilterGeometryL1 seam the local sweep uses,
+// so a worker replaying the payload cannot diverge from a local run).
+// payloadOf maps each shard index to its payload.
+func (c *Coordinator) buildPayloads(ctx context.Context, capture *harness.Capture, l1s []cache.Config, shards []Shard) (map[int]*payload, error) {
+	payloadOf := make(map[int]*payload, len(shards))
+	if c.ShipFullTrace {
+		var wire bytes.Buffer
+		if _, err := capture.Enc.WriteTo(&wire); err != nil {
+			return nil, fmt.Errorf("dist: serialize: %w", err)
 		}
+		p := &payload{key: fullKey, contentType: ContentTypeTrace, wire: wire.Bytes()}
+		for _, sh := range shards {
+			payloadOf[sh.Index] = p
+		}
+		return payloadOf, nil
+	}
+
+	// One filter replay per L1 row, concurrently — this is the work
+	// the workers would otherwise each repeat per shard.
+	payloads := make([]*payload, len(l1s))
+	errs := make([]error, len(l1s))
+	var wg sync.WaitGroup
+	for li, l1 := range l1s {
 		wg.Add(1)
-		go func(wi int, base string) {
+		go func(li int, l1 cache.Config) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/traces", bytes.NewReader(wire))
-			if err != nil {
-				errs[wi] = err
+			lt := harness.FilterGeometryL1(ctx, capture.Enc, l1)
+			var wire bytes.Buffer
+			if _, err := lt.WriteTo(&wire); err != nil {
+				errs[li] = fmt.Errorf("dist: serialize l2 trace %d: %w", li, err)
 				return
 			}
-			req.Header.Set("Content-Type", "application/octet-stream")
-			var info TraceInfo
-			if err := c.do(req, http.StatusCreated, &info); err != nil {
-				errs[wi] = err
-				return
+			payloads[li] = &payload{
+				key:         fmt.Sprintf("l2/l1=%dK-%dw#%d", l1.SizeBytes>>10, l1.Ways, li),
+				contentType: ContentTypeL2Trace,
+				wire:        wire.Bytes(),
 			}
-			ids[wi] = info.ID
-		}(wi, base)
+		}(li, l1)
 	}
 	wg.Wait()
-	for wi, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return ids, fmt.Errorf("dist: upload to %s: %w", c.Workers[wi], err)
+			return nil, err
 		}
 	}
-	return ids, nil
+	for _, sh := range shards {
+		for li := range l1s {
+			if sh.L1 == l1s[li] {
+				payloadOf[sh.Index] = payloads[li]
+				break
+			}
+		}
+	}
+	return payloadOf, nil
 }
 
-// deleteAll releases the uploaded traces (best effort; workers also
-// bound their stores). Each delete carries its own short timeout — it
-// runs deferred, possibly after the sweep's context is already
-// cancelled, and a hung worker must not stall the coordinator's
-// return.
-func (c *Coordinator) deleteAll(ids []string) {
-	for wi, id := range ids {
-		if id == "" {
-			continue
+// sweepState is the failover scheduler's shared state. Batches queue
+// per worker; a worker goroutine drains its own queue and, when it
+// fails, hands its remaining work to the survivors.
+type sweepState struct {
+	c      *Coordinator
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [][]*batch
+	pendingN int // batches not yet completed (queued + running)
+	alive    []bool
+	aliveN   int
+	busy     []bool // worker is mid-batch (its queue length alone lies)
+	fatal    error
+	stats    SweepStats
+
+	// results is indexed by shard index; each element is written by
+	// exactly one in-flight batch at a time.
+	results [][]harness.GeometryPoint
+	// uploaded maps payload key → trace ID per worker. Each worker's
+	// map is touched only by its own goroutine while the sweep runs;
+	// deleteAll reads them all after the goroutines join.
+	uploaded []map[string]string
+}
+
+func newSweepState(c *Coordinator, nShards int) *sweepState {
+	s := &sweepState{
+		c:        c,
+		queues:   make([][]*batch, len(c.Workers)),
+		alive:    make([]bool, len(c.Workers)),
+		aliveN:   len(c.Workers),
+		busy:     make([]bool, len(c.Workers)),
+		results:  make([][]harness.GeometryPoint, nShards),
+		uploaded: make([]map[string]string, len(c.Workers)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.alive {
+		s.alive[i] = true
+		s.uploaded[i] = map[string]string{}
+	}
+	return s
+}
+
+// runWorker drains worker wi's queue until the sweep completes, the
+// sweep aborts, or the worker itself fails (at which point its work is
+// re-planned and the goroutine exits).
+func (s *sweepState) runWorker(ctx context.Context, wi int) {
+	for {
+		s.mu.Lock()
+		for s.fatal == nil && s.pendingN > 0 && len(s.queues[wi]) == 0 {
+			s.cond.Wait()
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Workers[wi]+"/v1/traces/"+id, nil)
+		if s.fatal != nil || s.pendingN == 0 {
+			s.mu.Unlock()
+			return
+		}
+		b := s.queues[wi][0]
+		s.queues[wi] = s.queues[wi][1:]
+		s.busy[wi] = true
+		s.mu.Unlock()
+
+		err := s.runBatch(ctx, wi, b)
+
+		s.mu.Lock()
+		s.busy[wi] = false
 		if err != nil {
-			cancel()
+			if ctx.Err() != nil {
+				// The sweep's context died (caller cancellation, or the
+				// abort broadcast of an earlier fatal error) — the worker
+				// did not fail, so no death, no re-plan, no attempt
+				// burned. setFatal is a no-op if a real fatal error (or
+				// the cancellation) is already recorded.
+				s.setFatal(fmt.Errorf("dist: sweep cancelled: %w", ctx.Err()))
+			} else {
+				s.failWorker(wi, b, err)
+			}
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		}
+		s.pendingN--
+		s.stats.Replays++
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+// failWorker (mu held) drops worker wi from the sweep and re-plans its
+// current batch plus everything still queued to it onto the surviving
+// workers. The failed attempt counts against the batch's budget;
+// batches the worker never started carry their counts unchanged. The
+// sweep aborts when no workers remain or a batch exhausts its budget.
+func (s *sweepState) failWorker(wi int, cur *batch, err error) {
+	if s.fatal != nil {
+		return
+	}
+	s.alive[wi] = false
+	s.aliveN--
+	s.stats.DeadWorkers++
+	cur.attempts++
+	cur.lastErr = fmt.Errorf("worker %s: %w", s.c.Workers[wi], err)
+	s.stats.WorkerFailures = append(s.stats.WorkerFailures, cur.lastErr.Error())
+	orphans := append([]*batch{cur}, s.queues[wi]...)
+	s.queues[wi] = nil
+	for _, b := range orphans {
+		if b.attempts >= s.c.maxAttempts() {
+			s.setFatal(fmt.Errorf("dist: %s failed on %d workers (attempt budget %d): %w",
+				b.label(), b.attempts, s.c.maxAttempts(), b.lastErr))
+			return
+		}
+		if s.aliveN == 0 {
+			s.setFatal(fmt.Errorf("dist: all %d workers failed: %w", len(s.c.Workers), cur.lastErr))
+			return
+		}
+		// Re-plan onto the least-loaded survivor — an idle worker beats
+		// one mid-replay with an empty queue, so the orphan does not
+		// queue behind a long replay while capacity sits free.
+		target, best := -1, 0
+		for w := range s.queues {
+			if !s.alive[w] {
+				continue
+			}
+			load := len(s.queues[w])
+			if s.busy[w] {
+				load++
+			}
+			if target == -1 || load < best {
+				target, best = w, load
+			}
+		}
+		s.queues[target] = append(s.queues[target], b)
+		s.stats.Failovers++
+	}
+}
+
+// setFatal (mu held) aborts the sweep: every in-flight request is
+// cancelled and every worker goroutine unblocks and exits.
+func (s *sweepState) setFatal(err error) {
+	if s.fatal == nil {
+		s.fatal = err
+		if s.cancel != nil {
+			s.cancel()
+		}
+	}
+}
+
+// runBatch executes one batch on worker wi: upload the batch's payload
+// if this worker does not hold it yet (failover re-plans land here
+// with the trace absent), then replay the shards — each step under its
+// own deadline — and store the returned points by shard index.
+func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
+	base := s.c.Workers[wi]
+	id, ok := s.uploaded[wi][b.payload.key]
+	if !ok {
+		upload := func() (*TraceInfo, error) {
+			uctx, cancel := context.WithTimeout(ctx, s.c.uploadTimeout())
+			defer cancel()
+			return s.c.upload(uctx, base, b.payload)
+		}
+		info, err := upload()
+		var he *httpError
+		if errors.As(err, &he) && he.status == http.StatusInsufficientStorage {
+			// The worker's trace store is full of OUR earlier uploads
+			// (one payload per L1 row served, more after failovers) —
+			// that is this sweep's footprint, not a worker fault. Evict
+			// the payloads no queued batch here still needs and retry
+			// once before treating it as a failure.
+			if s.evictUnneeded(ctx, wi, b) > 0 {
+				info, err = upload()
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("upload %s: %w", b.payload.key, err)
+		}
+		id = info.ID
+		s.uploaded[wi][b.payload.key] = id
+		s.mu.Lock()
+		s.stats.Uploads++
+		s.stats.UploadBytes += int64(len(b.payload.wire))
+		s.mu.Unlock()
+	}
+
+	rctx, cancel := context.WithTimeout(ctx, s.c.replayTimeout())
+	resp, err := s.c.replay(rctx, base, ReplayRequest{TraceID: id, Shards: b.shards})
+	cancel()
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", b.label(), err)
+	}
+
+	// Only indices this batch carries may be written: the results
+	// slice is shared across workers, so an index echoed back wrong
+	// (buggy or stale worker) must be an error — and a failover — not
+	// a silent overwrite of another shard's element.
+	mine := make(map[int]bool, len(b.shards))
+	for _, sh := range b.shards {
+		mine[sh.Index] = true
+	}
+	for _, res := range resp.Results {
+		if !mine[res.Index] {
+			return fmt.Errorf("returned shard index %d it was not assigned", res.Index)
+		}
+		if len(res.Points) == 0 {
+			return fmt.Errorf("shard %d returned no points", res.Index)
+		}
+		delete(mine, res.Index)
+		s.results[res.Index] = res.Points
+	}
+	if len(mine) > 0 {
+		return fmt.Errorf("response missing %d of %d shards", len(mine), len(b.shards))
+	}
+	return nil
+}
+
+// evictUnneeded deletes from worker wi every uploaded trace whose
+// payload is referenced neither by cur nor by any batch still queued
+// to wi, freeing store slots for the upload cur needs. Returns how
+// many traces were released. Only wi's own goroutine calls this, so
+// the uploads map needs no extra locking; the queue snapshot does.
+func (s *sweepState) evictUnneeded(ctx context.Context, wi int, cur *batch) int {
+	needed := map[string]bool{cur.payload.key: true}
+	s.mu.Lock()
+	for _, b := range s.queues[wi] {
+		needed[b.payload.key] = true
+	}
+	s.mu.Unlock()
+	evicted := 0
+	for key, id := range s.uploaded[wi] {
+		if needed[key] {
 			continue
 		}
-		if resp, err := c.client().Do(req); err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+		dctx, cancel := context.WithTimeout(ctx, s.c.uploadTimeout())
+		req, err := http.NewRequestWithContext(dctx, http.MethodDelete, s.c.Workers[wi]+"/v1/traces/"+id, nil)
+		if err == nil {
+			err = s.c.do(req, http.StatusNoContent, nil)
 		}
 		cancel()
+		if err == nil {
+			delete(s.uploaded[wi], key)
+			evicted++
+		}
 	}
+	return evicted
 }
 
-// replay posts one worker's shard batch.
-func (c *Coordinator) replay(ctx context.Context, wi int, rr ReplayRequest) (*ReplayResponse, error) {
+// upload ships one payload to a worker.
+func (c *Coordinator) upload(ctx context.Context, base string, p *payload) (*TraceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/traces", bytes.NewReader(p.wire))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", p.contentType)
+	var info TraceInfo
+	if err := c.do(req, http.StatusCreated, &info); err != nil {
+		return nil, err
+	}
+	if info.ID == "" {
+		return nil, fmt.Errorf("worker returned an empty trace ID")
+	}
+	return &info, nil
+}
+
+// replay posts one shard batch.
+func (c *Coordinator) replay(ctx context.Context, base string, rr ReplayRequest) (*ReplayResponse, error) {
 	body, err := json.Marshal(rr)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Workers[wi]+"/v1/replay", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/replay", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -284,22 +677,69 @@ func (c *Coordinator) replay(ctx context.Context, wi int, rr ReplayRequest) (*Re
 	return &resp, nil
 }
 
+// deleteAll releases the uploaded traces (best effort; workers also
+// bound their stores). Deletes run concurrently, each under its own
+// short timeout — the call runs deferred, possibly after the sweep's
+// context is already cancelled, and the dead worker that triggered a
+// failover must not add its timeout to everyone else's cleanup.
+func (c *Coordinator) deleteAll(uploaded []map[string]string) {
+	var wg sync.WaitGroup
+	for wi, ids := range uploaded {
+		for _, id := range ids {
+			wg.Add(1)
+			go func(base, id string) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/traces/"+id, nil)
+				if err != nil {
+					return
+				}
+				if resp, err := c.client().Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}(c.Workers[wi], id)
+		}
+	}
+	wg.Wait()
+}
+
+// httpError is a non-expected-status response, keeping the code
+// inspectable (the scheduler treats a full trace store differently
+// from a dead worker).
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.status, e.msg) }
+
 // do executes a request, decodes a JSON response into out on the
-// expected status, and turns everything else into an error carrying
-// the server's diagnostic.
+// expected status, and turns everything else into an *httpError
+// carrying the server's diagnostic. The body is always drained before
+// close so the transport can reuse the connection — a sweep makes many
+// upload/replay/delete calls per worker and must not pay a new
+// connection for each.
 func (c *Coordinator) do(req *http.Request, wantStatus int, out any) error {
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != wantStatus {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		var eb errorBody
 		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, eb.Error)
+			return &httpError{status: resp.StatusCode, msg: eb.Error}
 		}
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		return &httpError{status: resp.StatusCode, msg: string(bytes.TrimSpace(raw))}
+	}
+	if out == nil { // status-only call (e.g. DELETE → 204, no body)
+		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

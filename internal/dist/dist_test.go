@@ -37,51 +37,73 @@ func TestMain(m *testing.M) {
 
 // runWorkerProcess serves the worker protocol on an ephemeral loopback
 // port, announces the address on stdout, and exits when stdin closes
-// (i.e. when the parent test dies — including by panic or kill).
+// (i.e. when the parent test dies — including by panic or kill). With
+// DIST_TEST_DIE_ON_REPLAY=1 the process kills itself the moment a
+// replay request arrives — the harness for the kill-a-worker e2e test.
 func runWorkerProcess() {
 	w := NewWorker(WorkerConfig{Workers: 2})
-	srv := httptest.NewServer(w.Handler())
+	var handler http.Handler = w.Handler()
+	if os.Getenv("DIST_TEST_DIE_ON_REPLAY") == "1" {
+		inner := handler
+		handler = http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/replay" {
+				os.Exit(1)
+			}
+			inner.ServeHTTP(rw, r)
+		})
+	}
+	srv := httptest.NewServer(handler)
 	fmt.Printf("WORKER %s\n", srv.URL)
 	io.Copy(io.Discard, os.Stdin)
 	srv.Close()
 }
 
+// spawnWorker launches one worker process (with optional extra
+// environment) and returns its base URL. The worker dies with the
+// test via its stdin pipe.
+func spawnWorker(t *testing.T, extraEnv ...string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(append(os.Environ(), "DIST_TEST_WORKER=1"), extraEnv...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		stdin.Close()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	deadline := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	url := ""
+	for sc.Scan() {
+		if u, ok := strings.CutPrefix(sc.Text(), "WORKER "); ok {
+			url = u
+			break
+		}
+	}
+	deadline.Stop()
+	if url == "" {
+		t.Fatal("worker never announced its address")
+	}
+	return url
+}
+
 // spawnWorkers launches n worker processes and returns their base
-// URLs. Workers die with the test via their stdin pipes.
+// URLs.
 func spawnWorkers(t *testing.T, n int) []string {
 	t.Helper()
 	urls := make([]string, n)
-	for i := 0; i < n; i++ {
-		cmd := exec.Command(os.Args[0], "-test.run=^$")
-		cmd.Env = append(os.Environ(), "DIST_TEST_WORKER=1")
-		stdin, err := cmd.StdinPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() {
-			stdin.Close()
-			cmd.Wait()
-		})
-		sc := bufio.NewScanner(stdout)
-		deadline := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
-		for sc.Scan() {
-			if url, ok := strings.CutPrefix(sc.Text(), "WORKER "); ok {
-				urls[i] = url
-				break
-			}
-		}
-		deadline.Stop()
-		if urls[i] == "" {
-			t.Fatalf("worker %d never announced its address", i)
-		}
+	for i := range urls {
+		urls[i] = spawnWorker(t)
 	}
 	return urls
 }
@@ -106,9 +128,15 @@ func TestDistributedSweepMatchesLocalAcrossProcesses(t *testing.T) {
 	wl := harness.Workload{W: 160, H: 128, Frames: 2}
 	l1s, l2Sizes := sweepAxes()
 
-	distPoints, err := coord.GeometrySweep(context.Background(), wl, l1s, l2Sizes)
+	distPoints, stats, err := coord.GeometrySweepWithStats(context.Background(), wl, l1s, l2Sizes)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !stats.L2Shipped || stats.Uploads == 0 || stats.UploadBytes == 0 {
+		t.Errorf("expected L2-filtered uploads, got stats %+v", stats)
+	}
+	if stats.DeadWorkers != 0 || stats.Failovers != 0 {
+		t.Errorf("healthy fleet reported failures: %+v", stats)
 	}
 	localPoints, err := harness.RunGeometrySweep(wl, l1s, l2Sizes)
 	if err != nil {
@@ -141,6 +169,42 @@ func TestDistributedSweepMatchesLocalAcrossProcesses(t *testing.T) {
 	localSeries := harness.GeometrySweepSeries(localPoints)
 	if !reflect.DeepEqual(distSeries, localSeries) {
 		t.Fatalf("series differ\ndist  %+v\nlocal %+v", distSeries, localSeries)
+	}
+}
+
+// TestDistributedSweepSurvivesKilledWorkerProcess is the failover
+// acceptance test at full fidelity: three real worker OS processes,
+// one of which kills itself (os.Exit) the moment its first replay
+// request arrives — mid-sweep, after accepting its uploads. The
+// coordinator must drop the dead worker, re-plan its shards onto the
+// two survivors (re-uploading the traces they lack), and still produce
+// results identical to the local sweep.
+func TestDistributedSweepSurvivesKilledWorkerProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	urls := []string{
+		spawnWorker(t, "DIST_TEST_DIE_ON_REPLAY=1"),
+		spawnWorker(t),
+		spawnWorker(t),
+	}
+	coord := &Coordinator{Workers: urls}
+	wl := harness.Workload{W: 160, H: 128, Frames: 2}
+	l1s, l2Sizes := sweepAxes()
+
+	distPoints, stats, err := coord.GeometrySweepWithStats(context.Background(), wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadWorkers != 1 || stats.Failovers == 0 {
+		t.Errorf("expected one dead worker and re-planned shards, got stats %+v", stats)
+	}
+	localPoints, err := harness.RunGeometrySweep(wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(distPoints, localPoints) {
+		t.Fatalf("failover sweep differs from local\ndist  %+v\nlocal %+v", distPoints, localPoints)
 	}
 }
 

@@ -2,19 +2,36 @@
 //
 // The paper's methodology — simulate one workload on many machines —
 // distributes along its natural seam: a workload is encoded ONCE by
-// the coordinator, the captured reference stream is serialized in the
-// portable trace wire format (internal/trace), shipped to each worker
-// over HTTP, and every (L1, L2) cache configuration becomes an
+// the coordinator and every (L1, L2) cache configuration becomes an
 // independent replay job on whichever worker its shard landed on.
-// Workers execute shards through the same farm.Run engine local sweeps
-// use, so a distributed sweep is the local sweep with the replay loop
-// stretched across processes; results merge in deterministic shard
-// order and are identical to harness.RunGeometrySweep (asserted
-// end-to-end by the tests, across real worker subprocesses).
+// Because every shard of one L1 row shares that L1, the coordinator
+// does not ship the full capture: it replays the capture through the
+// L1 filter once per L1 configuration and uploads the ~40× smaller
+// L2-bound M4L2 trace each row actually needs (the full M4TR capture
+// remains available via Coordinator.ShipFullTrace, as the baseline).
+// Workers execute shards through the same farm.Run engine and the same
+// harness seams local sweeps use, so a distributed sweep is the local
+// sweep with the replay loop stretched across processes; results merge
+// in deterministic shard order and are identical to
+// harness.RunGeometrySweep (asserted end-to-end by the tests, across
+// real worker subprocesses).
+//
+// The coordinator is failover-aware: uploads happen lazily per
+// (worker, trace) when the first shard batch needing the trace is
+// dispatched, every upload and replay attempt runs under its own
+// deadline, and when a worker fails or times out its shard batches are
+// re-planned onto the surviving workers — re-uploading the needed
+// trace where absent — under a bounded per-batch attempt budget. Only
+// when every worker is lost, or one batch exhausts its budget, does
+// the sweep fail.
 //
 // Protocol (worker side, all JSON unless noted):
 //
 //	POST   /v1/traces        body = trace wire format → TraceInfo
+//	                         Content-Type selects the kind:
+//	                           application/x-m4l2: L1-filtered L2 trace
+//	                           anything else (x-m4tr, octet-stream, a
+//	                           plain curl): full trace, as before PR 4
 //	DELETE /v1/traces/{id}
 //	POST   /v1/replay        ReplayRequest → ReplayResponse
 //	GET    /v1/healthz
@@ -22,7 +39,10 @@
 // Every geometry in a ReplayRequest arrives from the network and is
 // validated through cache.TryNew before simulation; a bad shard is a
 // 400 response, never a worker crash. Trace uploads are decoded with
-// the fuzz-hardened wire reader, so a corrupt body is a 400 too.
+// the fuzz-hardened wire reader, so a corrupt body is a 400 too. A
+// shard replayed against an M4L2 trace must name the trace's embedded
+// L1 — any other L1 would silently simulate the wrong hierarchy, so
+// the mismatch is a 400.
 package dist
 
 import (
@@ -30,9 +50,26 @@ import (
 	"repro/internal/harness"
 )
 
-// TraceInfo describes an uploaded trace.
+// Content types selecting the upload kind on POST /v1/traces. Only
+// ContentTypeL2Trace switches decoders; every other type means a full
+// trace, so pre-L2 clients (which sent octet-stream or nothing) keep
+// working unchanged.
+const (
+	ContentTypeTrace   = "application/x-m4tr"
+	ContentTypeL2Trace = "application/x-m4l2"
+)
+
+// Trace kinds reported in TraceInfo.Kind.
+const (
+	KindTrace   = "m4tr"
+	KindL2Trace = "m4l2"
+)
+
+// TraceInfo describes an uploaded trace. Records counts full-trace
+// records for KindTrace and L2-bound events for KindL2Trace.
 type TraceInfo struct {
 	ID      string `json:"id"`
+	Kind    string `json:"kind"`
 	Records int    `json:"records"`
 	Bytes   int64  `json:"bytes"` // wire size as received
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 
 	"repro/internal/cache"
@@ -27,6 +28,13 @@ type WorkerConfig struct {
 	MaxTraceBytes int64
 }
 
+// storedTrace is one resident upload of either kind: exactly one of
+// full/l2 is non-nil.
+type storedTrace struct {
+	full *trace.Trace
+	l2   *trace.L2Trace
+}
+
 // Worker executes replay shards against uploaded traces. Mount its
 // Handler on any HTTP server (cmd/mp4worker is the standalone binary).
 type Worker struct {
@@ -34,7 +42,7 @@ type Worker struct {
 	pool *farm.Pool
 
 	mu     sync.Mutex
-	traces map[string]*trace.Trace
+	traces map[string]storedTrace
 	nextID int
 }
 
@@ -49,7 +57,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	return &Worker{
 		cfg:    cfg,
 		pool:   farm.New(farm.Config{Workers: cfg.Workers}),
-		traces: map[string]*trace.Trace{},
+		traces: map[string]storedTrace{},
 	}
 }
 
@@ -69,9 +77,26 @@ func (w *Worker) writeError(rw http.ResponseWriter, code int, format string, arg
 	json.NewEncoder(rw).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleUpload decodes a wire-format trace body and stores it for
-// replay. The decoder validates everything; corrupt input is a 400.
+// uploadKind maps the request Content-Type to a trace kind: exactly
+// application/x-m4l2 selects the L1-filtered decoder, every other type
+// (x-m4tr, octet-stream, whatever a plain curl sends) means a full
+// trace — the pre-L2 protocol, so old clients keep working unchanged.
+// The wire magic still validates either way: M4L2 bytes under a
+// full-trace type are a 400 ("not a trace file"), never a misfiled
+// trace.
+func uploadKind(contentType string) string {
+	ct, _, _ := strings.Cut(contentType, ";")
+	if strings.EqualFold(strings.TrimSpace(ct), ContentTypeL2Trace) { // MIME types are case-insensitive
+		return KindL2Trace
+	}
+	return KindTrace
+}
+
+// handleUpload decodes a wire-format trace body — full M4TR or
+// L1-filtered M4L2, selected by Content-Type — and stores it for
+// replay. The decoders validate everything; corrupt input is a 400.
 func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
+	kind := uploadKind(r.Header.Get("Content-Type"))
 	w.mu.Lock()
 	full := len(w.traces) >= w.cfg.MaxTraces
 	w.mu.Unlock()
@@ -80,8 +105,19 @@ func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := io.LimitReader(r.Body, w.cfg.MaxTraceBytes+1)
-	var tr trace.Trace
-	n, err := tr.ReadFrom(body)
+	var st storedTrace
+	var err error
+	var n int64
+	var records int
+	if kind == KindL2Trace {
+		lt := &trace.L2Trace{}
+		n, err = lt.ReadFrom(body)
+		st.l2, records = lt, lt.Events()
+	} else {
+		tr := &trace.Trace{}
+		n, err = tr.ReadFrom(body)
+		st.full, records = tr, tr.Records()
+	}
 	if err != nil {
 		if errors.Is(err, trace.ErrBadFormat) {
 			w.writeError(rw, http.StatusBadRequest, "trace upload: %v", err)
@@ -106,12 +142,12 @@ func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.nextID++
 	id := fmt.Sprintf("trace-%04d", w.nextID)
-	w.traces[id] = &tr
+	w.traces[id] = st
 	w.mu.Unlock()
 
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(http.StatusCreated)
-	json.NewEncoder(rw).Encode(TraceInfo{ID: id, Records: tr.Records(), Bytes: n})
+	json.NewEncoder(rw).Encode(TraceInfo{ID: id, Kind: kind, Records: records, Bytes: n})
 }
 
 func (w *Worker) handleDelete(rw http.ResponseWriter, r *http.Request) {
@@ -150,11 +186,24 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.mu.Lock()
-	tr := w.traces[req.TraceID]
+	st, ok := w.traces[req.TraceID]
 	w.mu.Unlock()
-	if tr == nil {
+	if !ok {
 		w.writeError(rw, http.StatusNotFound, "no trace %q", req.TraceID)
 		return
+	}
+	if st.l2 != nil {
+		// An M4L2 trace is the L2-bound stream behind ONE specific L1;
+		// replaying it under any other L1 would silently simulate a
+		// hierarchy that never existed.
+		for _, sh := range req.Shards {
+			if sh.L1 != st.l2.L1 {
+				w.writeError(rw, http.StatusBadRequest,
+					"shard %d: L1 %+v does not match the L1 %+v embedded in l2 trace %q",
+					sh.Index, sh.L1, st.l2.L1, req.TraceID)
+				return
+			}
+		}
 	}
 
 	study := harness.NewStudy(true)
@@ -164,7 +213,13 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 			return fmt.Sprintf("shard%d/l1=%dK-%dw", sh.Index, sh.L1.SizeBytes>>10, sh.L1.Ways)
 		},
 		func(ctx context.Context, env farm.Env, sh Shard) (ShardResult, error) {
-			points, err := harness.RunGeometrySweepFromTrace(ctx, farm.Serial(), tr, []cache.Config{sh.L1}, sh.L2Sizes)
+			var points []harness.GeometryPoint
+			var err error
+			if st.l2 != nil {
+				points, err = harness.GeometryRowFromL2Trace(ctx, st.l2, sh.L2Sizes)
+			} else {
+				points, err = harness.RunGeometrySweepFromTrace(ctx, farm.Serial(), st.full, []cache.Config{sh.L1}, sh.L2Sizes)
+			}
 			if err != nil {
 				return ShardResult{}, err
 			}

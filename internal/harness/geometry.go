@@ -117,24 +117,8 @@ func RunGeometrySweepFromTrace(ctx context.Context, p *farm.Pool, tr *trace.Trac
 			return fmt.Sprintf("geometry/l1=%dK-%dw", l1.SizeBytes>>10, l1.Ways)
 		},
 		func(ctx context.Context, env farm.Env, l1 cache.Config) ([]GeometryPoint, error) {
-			s := StudyFrom(ctx)
-			f := trace.NewL2Filter(l1)
-			tr.Replay(f, nil)
-			lt := f.Trace()
-			s.noteL2Trace(lt)
-			points := make([]GeometryPoint, len(l2Sizes))
-			for i, size := range l2Sizes {
-				m := geometryMachine(l1, size)
-				whole, _ := lt.Replay(m.L2)
-				s.noteReplay()
-				points[i] = GeometryPoint{
-					Label:  geometryLabel(l1, size),
-					L1:     l1,
-					L2:     m.L2,
-					Encode: perf.Compute(m, whole),
-				}
-			}
-			return points, nil
+			lt := FilterGeometryL1(ctx, tr, l1)
+			return GeometryRowFromL2Trace(ctx, lt, l2Sizes)
 		})
 	if err != nil {
 		return nil, err
@@ -144,6 +128,53 @@ func RunGeometrySweepFromTrace(ctx context.Context, p *farm.Pool, tr *trace.Trac
 		out = append(out, r...)
 	}
 	return out, nil
+}
+
+// FilterGeometryL1 replays a full capture through one L1 configuration
+// of the geometry sweep and returns the surviving L2-bound stream — the
+// per-L1 half of the sweep, accounted to the context's Study. The
+// caller must have validated l1 (it is the seam the local sweep and the
+// distributed coordinator share; both validate their axes at ingress).
+func FilterGeometryL1(ctx context.Context, tr *trace.Trace, l1 cache.Config) *trace.L2Trace {
+	f := trace.NewL2Filter(l1)
+	tr.Replay(f, nil)
+	lt := f.Trace()
+	StudyFrom(ctx).noteL2Trace(lt)
+	return lt
+}
+
+// GeometryRowFromL2Trace simulates one L1 row of the geometry sweep
+// from an L1-filtered capture: one replay per L2 size against the
+// trace's embedded L1, in axis order — the per-L2 half of the sweep,
+// shared by the local sweep and the distributed worker's M4L2 path so
+// the two cannot drift apart. Nil/empty l2Sizes use the defaults; the
+// sizes are validated before simulation (they may arrive over the
+// network).
+func GeometryRowFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes []int) ([]GeometryPoint, error) {
+	if len(l2Sizes) == 0 {
+		l2Sizes = GeometryL2Sizes()
+	}
+	for _, size := range l2Sizes {
+		l2 := geometryMachine(GeometryL1Configs()[0], size).L2
+		if err := l2.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := StudyFrom(ctx)
+	l1 := lt.L1
+	points := make([]GeometryPoint, len(l2Sizes))
+	for i, size := range l2Sizes {
+		m := geometryMachine(l1, size)
+		whole, _ := lt.Replay(m.L2)
+		s.noteReplay()
+		points[i] = GeometryPoint{
+			Label:  geometryLabel(l1, size),
+			L1:     l1,
+			L2:     m.L2,
+			Encode: perf.Compute(m, whole),
+		}
+	}
+	return points, nil
 }
 
 // RunGeometrySweepLive is the re-encode baseline: every configuration

@@ -2,7 +2,7 @@
 # Runs the top-level benchmarks once each (-benchtime=1x) and records
 # the results as JSON, seeding the repository's perf trajectory.
 #
-#   scripts/bench.sh                         # full suite -> BENCH_pr3.json
+#   scripts/bench.sh                         # full suite -> BENCH_pr4.json
 #   BENCH='ReplaySweep|Record' scripts/bench.sh   # filtered
 #   OUT=/tmp/bench.json scripts/bench.sh     # alternate output path
 #
@@ -11,7 +11,7 @@
 set -eu
 
 BENCH="${BENCH:-.}"
-OUT="${OUT:-BENCH_pr3.json}"
+OUT="${OUT:-BENCH_pr4.json}"
 
 cd "$(dirname "$0")/.."
 
