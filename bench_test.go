@@ -20,6 +20,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/dist"
 	"repro/internal/farm"
 	"repro/internal/harness"
@@ -334,6 +335,40 @@ func BenchmarkDistributedSweep(b *testing.B) {
 	}
 	b.Run("distributed-2workers", distributed(false))
 	b.Run("distributed-2workers-fulltrace", distributed(true))
+}
+
+// BenchmarkPolicySweep measures the replacement-policy axis: one
+// capture, each policy's full row (L1 filter replay + 6 L2-size
+// replays) per iteration. The lru sub-benchmark is the fast-path
+// regression guard — it exercises exactly the pre-policy replay path,
+// so its ns/op is directly comparable to BenchmarkReplaySweep/replay
+// in BENCH_pr2.json (divided by that benchmark's three L1 rows). The
+// reported l2miss% of the 1MB point shows the axis measuring real
+// policy deltas from identical input bytes.
+func BenchmarkPolicySweep(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	capture, err := harness.RecordEncodeIn(simmem.NewSpace(0), wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []cache.Policy{cache.PolicyLRU, cache.PolicyPLRU, cache.PolicyFIFO, cache.PolicyRandom, cache.PolicyVictim} {
+		b.Run(string(p), func(b *testing.B) {
+			l1s := harness.PolicyAxisConfigs([]cache.Policy{p})
+			var points []harness.GeometryPoint
+			for i := 0; i < b.N; i++ {
+				points, err = harness.RunGeometrySweepFromTrace(context.Background(), benchPool, capture.Enc, l1s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(points)), "configs")
+			for _, pt := range points {
+				if pt.L2.SizeBytes == 1<<20 {
+					b.ReportMetric(pt.Encode.L2MissRate*100, "l2miss%@1MB")
+				}
+			}
+		})
+	}
 }
 
 func seriesString(s perf.Series) string {

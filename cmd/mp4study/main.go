@@ -18,6 +18,9 @@
 //	mp4study -sweep geometry -trace-in enc.m4tr    # sweep a shipped capture
 //	mp4study -sweep geometry -workers http://a:8375,http://b:8375
 //	                              # ... sharded across an mp4worker fleet
+//	mp4study -sweep policy        # encode once, replay every replacement policy
+//	mp4study -sweep policy -policy lru,fifo        # ... a chosen subset
+//	mp4study -sweep geometry -policy plru          # geometry sweep under PLRU
 //	mp4study -cpuprofile p.out    # write pprof profiles
 //
 // Experiments run on the internal/farm worker pool; -parallel sets the
@@ -42,7 +45,17 @@
 // encode a workload and any number of machines (or mp4worker
 // processes, see internal/dist) can sweep it.
 //
-// -workers runs the geometry sweep on an mp4worker fleet: the
+// -sweep policy compares replacement policies (LRU, tree-PLRU, FIFO,
+// seeded random, LRU+victim buffer) from one capture: the reference
+// stream is recorded before any cache, so every policy replays the
+// same bytes and the Stats deltas are attributable to the policy
+// alone. -policy narrows (or, with -sweep geometry, applies) the
+// policy axis; both sweeps compose with -trace-in/-trace-out and
+// -workers. At the paper's 2-way geometry the plru row must equal the
+// lru row exactly (a 2-way PLRU tree IS true LRU) — a built-in
+// cross-check of the policy machinery.
+//
+// -workers runs the geometry or policy sweep on an mp4worker fleet: the
 // coordinator encodes once, filters the capture per L1 configuration,
 // ships each L1 row's small L2-bound trace to the workers, and merges
 // the sharded results — identical output to the local sweep, with
@@ -96,6 +109,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	frames := flag.Int("frames", 0, "sequence length in frames (0 = default)")
 	sweep := flag.String("sweep", "", "extra experiment: "+strings.Join(harness.Sweeps, " | "))
+	policy := flag.String("policy", "", "comma-separated replacement-policy axis (lru|plru|fifo|random|victim); with -sweep geometry or -sweep policy")
 	manifest := flag.String("manifest", "", "batch-manifest file (JSON); runs its experiment list")
 	parallel := flag.Int("parallel", 0, "farm worker count (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report job completions to stderr")
@@ -157,15 +171,27 @@ func main() {
 	if modes > 1 {
 		fatal(fmt.Errorf("choose exactly one of -all, -table, -figure, -sweep, -manifest"))
 	}
-	if (*traceOut != "" || *traceIn != "") && *sweep != "geometry" {
-		fatal(fmt.Errorf("-trace-out/-trace-in require -sweep geometry"))
+	replaySweep := *sweep == "geometry" || *sweep == "policy"
+	if (*traceOut != "" || *traceIn != "") && !replaySweep {
+		fatal(fmt.Errorf("-trace-out/-trace-in require -sweep geometry or -sweep policy"))
+	}
+	if *policy != "" && !replaySweep {
+		fatal(fmt.Errorf("-policy requires -sweep geometry or -sweep policy"))
 	}
 	if *workers != "" {
-		if *sweep != "geometry" {
-			fatal(fmt.Errorf("-workers requires -sweep geometry"))
+		if !replaySweep {
+			fatal(fmt.Errorf("-workers requires -sweep geometry or -sweep policy"))
 		}
 		if *traceOut != "" || *traceIn != "" {
 			fatal(fmt.Errorf("-workers is incompatible with -trace-out/-trace-in (the coordinator captures and ships per-L1 filtered traces itself)"))
+		}
+	}
+	// The sweep spec carries the policy axis; validating it up front
+	// turns a typo'd -policy into a flag error, not a mid-sweep one.
+	sweepSpec := harness.ExperimentSpec{Sweep: *sweep, Policies: splitList(*policy)}
+	if *sweep != "" {
+		if err := sweepSpec.Validate(); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -191,16 +217,16 @@ func main() {
 		if err := printExperiment(ctx, pool, harness.ExperimentSpec{Figure: *figure}, *frames); err != nil {
 			fatal(err)
 		}
-	case *sweep == "geometry" && *workers != "":
-		if err := runGeometryFleet(ctx, *frames, *workers); err != nil {
+	case replaySweep && *workers != "":
+		if err := runGeometryFleet(ctx, *frames, *workers, sweepSpec); err != nil {
 			fatal(err)
 		}
-	case *sweep == "geometry" && (*traceOut != "" || *traceIn != ""):
-		if err := runGeometryTraceIO(ctx, pool, *frames, *traceIn, *traceOut); err != nil {
+	case replaySweep && (*traceOut != "" || *traceIn != ""):
+		if err := runGeometryTraceIO(ctx, pool, *frames, *traceIn, *traceOut, sweepSpec); err != nil {
 			fatal(err)
 		}
 	case *sweep != "":
-		if err := printExperiment(ctx, pool, harness.ExperimentSpec{Sweep: *sweep}, *frames); err != nil {
+		if err := printExperiment(ctx, pool, sweepSpec, *frames); err != nil {
 			fatal(err)
 		}
 	}
@@ -225,12 +251,25 @@ func reportTraceUsage() {
 		u.L2Traces, u.L2Events, float64(u.L2Bytes)/(1<<20), u.Replays)
 }
 
-// runGeometryTraceIO is the portable-capture path of the geometry
-// sweep: the capture comes from a trace file (-trace-in) or from one
-// local encode, is optionally written out (-trace-out), and the sweep
-// replays it. The sweep output is identical to `-sweep geometry`
-// without the flags.
-func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceIn, traceOut string) error {
+// splitList parses a comma-separated flag value, dropping empty
+// entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// runGeometryTraceIO is the portable-capture path of the geometry and
+// policy sweeps: the capture comes from a trace file (-trace-in) or
+// from one local encode, is optionally written out (-trace-out), and
+// the sweep replays it — a full capture is policy-agnostic, so one
+// shipped file answers every policy. The sweep output is identical to
+// the same sweep without the flags.
+func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceIn, traceOut string, spec harness.ExperimentSpec) error {
 	var tr *trace.Trace
 	if traceIn != "" {
 		f, err := os.Open(traceIn)
@@ -266,32 +305,35 @@ func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceI
 		fmt.Fprintf(os.Stderr, "wrote capture %s: %s as %.1f MB on the wire\n",
 			traceOut, tr, float64(n)/(1<<20))
 	}
-	points, err := harness.RunGeometrySweepFromTrace(ctx, pool, tr, nil, nil)
+	l1s, l2Sizes, err := spec.SweepAxes()
 	if err != nil {
 		return err
 	}
-	fmt.Print(harness.GeometrySweepReport(
-		"cache geometry sweep (encode, one trace replayed per config)", points))
+	points, err := harness.RunGeometrySweepFromTrace(ctx, pool, tr, l1s, l2Sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.GeometrySweepReport(harness.SweepTitle(spec.Sweep, true), points))
 	return nil
 }
 
-// runGeometryFleet is the distributed-fleet path of the geometry
-// sweep: one mp4study process coordinates, the named mp4worker
-// processes simulate. The printed sweep is identical to the local
-// `-sweep geometry`; the fleet accounting goes to stderr.
-func runGeometryFleet(ctx context.Context, frames int, workers string) error {
-	var urls []string
-	for _, u := range strings.Split(workers, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
-		}
-	}
+// runGeometryFleet is the distributed-fleet path of the geometry and
+// policy sweeps: one mp4study process coordinates, the named mp4worker
+// processes simulate (the policy axis rides inside each shard's L1
+// config). The printed sweep is identical to the local one; the fleet
+// accounting goes to stderr.
+func runGeometryFleet(ctx context.Context, frames int, workers string, spec harness.ExperimentSpec) error {
+	urls := splitList(workers)
 	if len(urls) == 0 {
 		return fmt.Errorf("-workers: no worker URLs")
 	}
 	coord := &dist.Coordinator{Workers: urls}
 	wl := harness.Workload{W: 352, H: 288, Frames: frames}
-	points, stats, err := coord.GeometrySweepWithStats(ctx, wl, nil, nil)
+	l1s, l2Sizes, err := spec.SweepAxes()
+	if err != nil {
+		return err
+	}
+	points, stats, err := coord.GeometrySweepWithStats(ctx, wl, l1s, l2Sizes)
 	if err != nil {
 		return err
 	}
@@ -306,8 +348,7 @@ func runGeometryFleet(ctx context.Context, frames int, workers string) error {
 	for _, f := range stats.WorkerFailures {
 		fmt.Fprintf(os.Stderr, "fleet: lost %s\n", f)
 	}
-	fmt.Print(harness.GeometrySweepReport(
-		"cache geometry sweep (encode, one trace replayed per config)", points))
+	fmt.Print(harness.GeometrySweepReport(harness.SweepTitle(spec.Sweep, true), points))
 	return nil
 }
 

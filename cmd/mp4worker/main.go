@@ -4,9 +4,14 @@
 // M4L2 traces, selected by upload Content-Type) and replays (L1, L2)
 // cache-configuration shards against them on a local experiment farm.
 // A dist.Coordinator (see internal/dist, examples/distributed, and
-// `mp4study -sweep geometry -workers ...`) encodes a workload once and
-// fans the simulation grid across any number of these processes,
-// re-planning shards onto the surviving workers when one fails.
+// `mp4study -sweep geometry|policy -workers ...`) encodes a workload
+// once and fans the simulation grid across any number of these
+// processes, re-planning shards onto the surviving workers when one
+// fails. Shards may name a replacement policy inside their L1 config
+// (cache.Config.Policy — the L2 inherits it); unknown policy names,
+// like any invalid geometry, are rejected with a 400, and shards whose
+// L1 (policy included) mismatches an uploaded M4L2 trace's embedded L1
+// are refused rather than silently mis-simulated.
 //
 // Usage:
 //

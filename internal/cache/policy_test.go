@@ -1,0 +1,510 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential tests: every policy runs against a trivially-correct
+// reference model (the refLRUSet pattern of cache_test.go), over random
+// access/write streams and several geometries, comparing every Result
+// and the invariant after the run.
+
+// refFIFOSet models FIFO replacement as the literal spec: a queue of
+// way indices in installation order; the victim is the front.
+type refFIFOSet struct {
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	queue []int
+}
+
+func newRefFIFOSet(ways int) *refFIFOSet {
+	return &refFIFOSet{tags: make([]uint64, ways), valid: make([]bool, ways), dirty: make([]bool, ways)}
+}
+
+func (s *refFIFOSet) access(tag uint64, write bool) Result {
+	for w := range s.tags {
+		if s.valid[w] && s.tags[w] == tag {
+			s.dirty[w] = s.dirty[w] || write
+			return Result{Hit: true} // hits do not refresh FIFO order
+		}
+	}
+	w := -1
+	for j := range s.valid {
+		if !s.valid[j] {
+			w = j
+			break
+		}
+	}
+	res := Result{}
+	if w < 0 {
+		w = s.queue[0]
+		s.queue = s.queue[1:]
+		res.Evicted = true
+		res.EvictedLine = s.tags[w]
+		res.EvictedDirty = s.dirty[w]
+	}
+	s.queue = append(s.queue, w)
+	s.tags[w], s.valid[w], s.dirty[w] = tag, true, write
+	return res
+}
+
+// refPLRUSet models tree-PLRU with an explicit recursive tree walk
+// over heap-numbered node bits (true = victim in the right subtree).
+type refPLRUSet struct {
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	bits  []bool
+}
+
+func newRefPLRUSet(ways int) *refPLRUSet {
+	return &refPLRUSet{
+		tags: make([]uint64, ways), valid: make([]bool, ways),
+		dirty: make([]bool, ways), bits: make([]bool, ways), // heap nodes 1..ways-1
+	}
+}
+
+func (s *refPLRUSet) victimIn(node, lo, span int) int {
+	if span == 1 {
+		return lo
+	}
+	half := span / 2
+	if s.bits[node-1] {
+		return s.victimIn(2*node+1, lo+half, half)
+	}
+	return s.victimIn(2*node, lo, half)
+}
+
+func (s *refPLRUSet) touch(node, lo, span, w int) {
+	if span == 1 {
+		return
+	}
+	half := span / 2
+	if w < lo+half {
+		s.bits[node-1] = true
+		s.touch(2*node, lo, half, w)
+	} else {
+		s.bits[node-1] = false
+		s.touch(2*node+1, lo+half, half, w)
+	}
+}
+
+func (s *refPLRUSet) access(tag uint64, write bool) Result {
+	ways := len(s.tags)
+	for w := range s.tags {
+		if s.valid[w] && s.tags[w] == tag {
+			s.dirty[w] = s.dirty[w] || write
+			s.touch(1, 0, ways, w)
+			return Result{Hit: true}
+		}
+	}
+	w := -1
+	for j := range s.valid {
+		if !s.valid[j] {
+			w = j
+			break
+		}
+	}
+	res := Result{}
+	if w < 0 {
+		w = s.victimIn(1, 0, ways)
+		res.Evicted = true
+		res.EvictedLine = s.tags[w]
+		res.EvictedDirty = s.dirty[w]
+	}
+	s.tags[w], s.valid[w], s.dirty[w] = tag, true, write
+	s.touch(1, 0, ways, w)
+	return res
+}
+
+// refXorshift mirrors the PolicyRandom stream so the random reference
+// model draws the same victims as the cache under test.
+type refXorshift uint64
+
+func (r *refXorshift) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = refXorshift(x)
+	return x
+}
+
+// refRandomCache models the whole cache (the PRNG stream is shared
+// across sets, so per-set models cannot reproduce it).
+type refRandomCache struct {
+	sets []struct {
+		tags  []uint64
+		valid []bool
+		dirty []bool
+	}
+	ways int
+	rng  refXorshift
+}
+
+func newRefRandomCache(sets, ways int, seed uint64) *refRandomCache {
+	c := &refRandomCache{ways: ways, rng: refXorshift(seed)}
+	c.sets = make([]struct {
+		tags  []uint64
+		valid []bool
+		dirty []bool
+	}, sets)
+	for i := range c.sets {
+		c.sets[i].tags = make([]uint64, ways)
+		c.sets[i].valid = make([]bool, ways)
+		c.sets[i].dirty = make([]bool, ways)
+	}
+	return c
+}
+
+func (c *refRandomCache) access(set int, tag uint64, write bool) Result {
+	s := &c.sets[set]
+	for w := range s.tags {
+		if s.valid[w] && s.tags[w] == tag {
+			s.dirty[w] = s.dirty[w] || write
+			return Result{Hit: true}
+		}
+	}
+	w := -1
+	for j := range s.valid {
+		if !s.valid[j] {
+			w = j
+			break
+		}
+	}
+	res := Result{}
+	if w < 0 {
+		w = int(c.rng.next() % uint64(c.ways))
+		res.Evicted = true
+		res.EvictedLine = s.tags[w]
+		res.EvictedDirty = s.dirty[w]
+	}
+	s.tags[w], s.valid[w], s.dirty[w] = tag, true, write
+	return res
+}
+
+// refVictimCache models PolicyVictim: per-set reference LRU plus one
+// shared fully associative LRU victim list of VictimLines entries.
+type refVictimCache struct {
+	sets   []*refLRUSet
+	victim []struct {
+		tag   uint64
+		dirty bool
+	}
+	setMask uint64
+}
+
+func (c *refVictimCache) access(set int, tag uint64, write bool) Result {
+	s := c.sets[set]
+	for _, l := range s.lines {
+		if l.tag == tag {
+			return s.access(tag, write) // plain LRU hit
+		}
+	}
+	// Victim probe.
+	for i, v := range c.victim {
+		if v.tag != tag {
+			continue
+		}
+		c.victim = append(c.victim[:i], c.victim[i+1:]...)
+		inner := s.access(tag, write || v.dirty)
+		if inner.Evicted {
+			c.victim = append([]struct {
+				tag   uint64
+				dirty bool
+			}{{inner.EvictedLine, inner.EvictedDirty}}, c.victim...)
+		}
+		return Result{Hit: true}
+	}
+	inner := s.access(tag, write)
+	res := Result{}
+	if inner.Evicted {
+		if len(c.victim) == VictimLines {
+			last := c.victim[len(c.victim)-1]
+			c.victim = c.victim[:len(c.victim)-1]
+			res.Evicted, res.EvictedLine, res.EvictedDirty = true, last.tag, last.dirty
+		}
+		c.victim = append([]struct {
+			tag   uint64
+			dirty bool
+		}{{inner.EvictedLine, inner.EvictedDirty}}, c.victim...)
+	}
+	return res
+}
+
+// diffGeometries are the set-array shapes every differential test
+// sweeps: 4 sets of 32-byte lines at several associativities.
+func diffConfig(ways int, p Policy) Config {
+	return Config{Name: "diff", SizeBytes: 32 * 4 * ways, LineBytes: 32, Ways: ways, Policy: p}
+}
+
+func TestAccessMatchesReferenceFIFO(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8} {
+		c := New(diffConfig(ways, PolicyFIFO))
+		refs := make([]*refFIFOSet, 4)
+		for i := range refs {
+			refs[i] = newRefFIFOSet(ways)
+		}
+		rng := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 20000; i++ {
+			addr := uint64(rng.Intn(64)) * 32
+			write := rng.Intn(3) == 0
+			got := c.Access(addr, write)
+			ln := addr >> 5
+			want := refs[ln&3].access(ln, write)
+			if got != want {
+				t.Fatalf("ways=%d step %d addr %#x write=%v: got %+v want %+v", ways, i, addr, write, got, want)
+			}
+		}
+		if err := c.CheckInvariant(); err != nil {
+			t.Fatalf("ways=%d: %v", ways, err)
+		}
+	}
+}
+
+func TestAccessMatchesReferencePLRU(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8} {
+		c := New(diffConfig(ways, PolicyPLRU))
+		refs := make([]*refPLRUSet, 4)
+		for i := range refs {
+			refs[i] = newRefPLRUSet(ways)
+		}
+		rng := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 20000; i++ {
+			addr := uint64(rng.Intn(64)) * 32
+			write := rng.Intn(3) == 0
+			got := c.Access(addr, write)
+			ln := addr >> 5
+			want := refs[ln&3].access(ln, write)
+			if got != want {
+				t.Fatalf("ways=%d step %d addr %#x write=%v: got %+v want %+v", ways, i, addr, write, got, want)
+			}
+		}
+		if err := c.CheckInvariant(); err != nil {
+			t.Fatalf("ways=%d: %v", ways, err)
+		}
+	}
+}
+
+func TestAccessMatchesReferenceRandom(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 0xDEADBEEF} {
+		for _, ways := range []int{1, 2, 4} {
+			cfg := diffConfig(ways, PolicyRandom)
+			cfg.Seed = seed
+			c := New(cfg)
+			effective := seed
+			if effective == 0 {
+				effective = defaultSeed
+			}
+			ref := newRefRandomCache(4, ways, effective)
+			rng := rand.New(rand.NewSource(int64(ways)))
+			for i := 0; i < 20000; i++ {
+				addr := uint64(rng.Intn(64)) * 32
+				write := rng.Intn(3) == 0
+				got := c.Access(addr, write)
+				ln := addr >> 5
+				want := ref.access(int(ln&3), ln, write)
+				if got != want {
+					t.Fatalf("seed=%d ways=%d step %d: got %+v want %+v", seed, ways, i, got, want)
+				}
+			}
+			if err := c.CheckInvariant(); err != nil {
+				t.Fatalf("seed=%d ways=%d: %v", seed, ways, err)
+			}
+		}
+	}
+}
+
+func TestAccessMatchesReferenceVictim(t *testing.T) {
+	for _, ways := range []int{1, 2, 4} {
+		c := New(diffConfig(ways, PolicyVictim))
+		ref := &refVictimCache{sets: make([]*refLRUSet, 4), setMask: 3}
+		for i := range ref.sets {
+			ref.sets[i] = &refLRUSet{ways: ways}
+		}
+		rng := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 20000; i++ {
+			addr := uint64(rng.Intn(64)) * 32
+			write := rng.Intn(3) == 0
+			got := c.Access(addr, write)
+			ln := addr >> 5
+			want := ref.access(int(ln&3), ln, write)
+			if got != want {
+				t.Fatalf("ways=%d step %d addr %#x write=%v: got %+v want %+v", ways, i, addr, write, got, want)
+			}
+		}
+		if err := c.CheckInvariant(); err != nil {
+			t.Fatalf("ways=%d: %v", ways, err)
+		}
+	}
+}
+
+// TestPLRUMatchesLRUTwoWay: for 2-way sets the pseudo-LRU tree IS true
+// LRU, so the two policies must agree access for access — a strong
+// cross-check between the recency-ordered and fixed-way code paths.
+func TestPLRUMatchesLRUTwoWay(t *testing.T) {
+	lru := New(diffConfig(2, PolicyLRU))
+	plru := New(diffConfig(2, PolicyPLRU))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30000; i++ {
+		addr := uint64(rng.Intn(64)) * 32
+		write := rng.Intn(3) == 0
+		a, b := lru.Access(addr, write), plru.Access(addr, write)
+		if a != b {
+			t.Fatalf("step %d addr %#x: lru %+v plru %+v", i, addr, a, b)
+		}
+	}
+	if lru.Misses != plru.Misses || lru.Writebacks != plru.Writebacks {
+		t.Fatalf("counters diverged: lru %d/%d plru %d/%d",
+			lru.Misses, lru.Writebacks, plru.Misses, plru.Writebacks)
+	}
+}
+
+// TestPLRUDivergesFromLRUFourWay pins the classic divergence: after
+// touching ways 0,1,2,3,0 of a full 4-way set, true LRU evicts the
+// line in way 1 but the PLRU tree points at way 2.
+func TestPLRUDivergesFromLRUFourWay(t *testing.T) {
+	cfg := Config{Name: "t", SizeBytes: 32 * 4, LineBytes: 32, Ways: 4, Policy: PolicyPLRU}
+	c := New(cfg) // one set
+	for _, ln := range []uint64{0, 1, 2, 3, 0} {
+		c.Access(ln*32, false)
+	}
+	r := c.Access(4*32, false)
+	if !r.Evicted || r.EvictedLine != 2 {
+		t.Fatalf("PLRU should evict line 2, got %+v", r)
+	}
+}
+
+// TestFIFOIgnoresHits pins the defining FIFO property: re-referencing
+// the oldest line does not save it.
+func TestFIFOIgnoresHits(t *testing.T) {
+	cfg := Config{Name: "t", SizeBytes: 32 * 2, LineBytes: 32, Ways: 2, Policy: PolicyFIFO}
+	c := New(cfg) // one set, 2 ways
+	c.Access(0*32, false)
+	c.Access(1*32, false)
+	c.Access(0*32, false) // hit; FIFO order unchanged
+	r := c.Access(2*32, false)
+	if !r.Evicted || r.EvictedLine != 0 {
+		t.Fatalf("FIFO should evict line 0 despite its recent hit, got %+v", r)
+	}
+}
+
+// TestVictimBufferCatchesConflicts: ping-ponging N+1 lines through one
+// set thrashes a bare LRU cache but mostly hits the victim buffer.
+func TestVictimBufferCatchesConflicts(t *testing.T) {
+	base := Config{Name: "t", SizeBytes: 32 * 2, LineBytes: 32, Ways: 2}
+	lru := New(base)
+	vcfg := base
+	vcfg.Policy = PolicyVictim
+	vc := New(vcfg)
+	// 3 lines over a 2-way single set: LRU misses every access after
+	// warmup; the victim buffer holds the displaced third line.
+	for i := 0; i < 300; i++ {
+		ln := uint64(i % 3)
+		lru.Access(ln*32, false)
+		vc.Access(ln*32, false)
+	}
+	if vc.Misses >= lru.Misses {
+		t.Fatalf("victim cache did not reduce misses: %d vs %d", vc.Misses, lru.Misses)
+	}
+	if vc.VictimHits == 0 {
+		t.Fatal("no victim hits recorded")
+	}
+	if vc.Misses+vc.VictimHits+3 < lru.Misses { // sanity: hits moved, not vanished
+		t.Fatalf("miss accounting inconsistent: vc %d+%d vs lru %d", vc.Misses, vc.VictimHits, lru.Misses)
+	}
+}
+
+// TestRandomPolicyDeterminism: same seed, same stream, identical
+// counters; different seeds diverge (on a stream long enough to make
+// coincidence implausible).
+func TestRandomPolicyDeterminism(t *testing.T) {
+	run := func(seed uint64) (uint64, uint64) {
+		cfg := diffConfig(2, PolicyRandom)
+		cfg.Seed = seed
+		c := New(cfg)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 20000; i++ {
+			c.Access(uint64(rng.Intn(4096)), rng.Intn(2) == 0)
+		}
+		return c.Misses, c.Writebacks
+	}
+	m1, w1 := run(42)
+	m2, w2 := run(42)
+	if m1 != m2 || w1 != w2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", m1, w1, m2, w2)
+	}
+	m3, _ := run(43)
+	if m1 == m3 {
+		t.Fatalf("different seeds produced identical miss counts (%d) — stream likely ignored", m1)
+	}
+}
+
+// TestResetRewindsPolicyState: a reset cache must replay a stream
+// exactly as a fresh one, for every policy.
+func TestResetRewindsPolicyState(t *testing.T) {
+	for _, p := range Policies() {
+		c := New(diffConfig(4, p))
+		stream := func(c *Cache) (uint64, uint64, uint64) {
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 5000; i++ {
+				c.Access(uint64(rng.Intn(4096)), rng.Intn(2) == 0)
+			}
+			return c.Misses, c.Writebacks, c.VictimHits
+		}
+		m1, w1, v1 := stream(c)
+		c.Reset()
+		m2, w2, v2 := stream(c)
+		if m1 != m2 || w1 != w2 || v1 != v2 {
+			t.Fatalf("policy %s: reset diverged: %d/%d/%d vs %d/%d/%d", p, m1, w1, v1, m2, w2, v2)
+		}
+	}
+}
+
+// TestQuickPolicyInvariants runs the per-policy invariant checker over
+// random streams for every policy and several associativities.
+func TestQuickPolicyInvariants(t *testing.T) {
+	for _, p := range Policies() {
+		p := p
+		f := func(seed int64, n uint16) bool {
+			rng := rand.New(rand.NewSource(seed))
+			c := New(Config{Name: "q", SizeBytes: 1024, LineBytes: 32, Ways: 4, Policy: p})
+			for i := 0; i < int(n)%2000; i++ {
+				c.Access(uint64(rng.Intn(8192)), rng.Intn(2) == 0)
+			}
+			return c.CheckInvariant() == nil &&
+				c.Misses <= c.Accesses && c.Writebacks <= c.Misses
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("policy %s: %v", p, err)
+		}
+	}
+}
+
+// TestPolicyValidation: unknown names and impossible PLRU geometries
+// are errors from TryNew — the ingress constructor — never panics.
+func TestPolicyValidation(t *testing.T) {
+	if _, err := TryNew(Config{Name: "bad", SizeBytes: 256, LineBytes: 32, Ways: 2, Policy: "mru"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := TryNew(Config{Name: "bad", SizeBytes: 96 << 5, LineBytes: 32, Ways: 3, Policy: PolicyPLRU}); err == nil {
+		t.Error("plru with non-power-of-two ways accepted")
+	}
+	for _, p := range Policies() {
+		if _, err := TryNew(diffConfig(2, p)); err != nil {
+			t.Errorf("policy %s rejected: %v", p, err)
+		}
+	}
+	if _, err := ParsePolicy(""); err != nil {
+		t.Errorf("empty policy should parse as LRU: %v", err)
+	}
+	if p, _ := ParsePolicy("plru"); p != PolicyPLRU {
+		t.Errorf("ParsePolicy(plru) = %q", p)
+	}
+	if PolicyVictim.ForL2() != PolicyLRU || PolicyPLRU.ForL2() != PolicyPLRU {
+		t.Error("ForL2 mapping wrong")
+	}
+}

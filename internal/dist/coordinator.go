@@ -253,16 +253,16 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 	// — nor masquerade as fleet-wide worker failure when every worker
 	// rejects the same invalid shard.
 	for _, l1 := range l1s {
-		if _, err := cache.TryNew(l1); err != nil {
+		if err := l1.Validate(); err != nil {
 			return nil, stats, fmt.Errorf("dist: l1 axis: %w", err)
 		}
-	}
-	baseL2 := perf.O2R12K1MB().L2
-	for _, size := range l2Sizes {
-		l2 := baseL2
-		l2.SizeBytes = size
-		if _, err := cache.TryNew(l2); err != nil {
-			return nil, stats, fmt.Errorf("dist: l2 axis: %w", err)
+		// Validate the exact L2 each (L1, size) pair will simulate —
+		// harness.GeometryL2For is the same rule the replay executes
+		// (allocation-free: axes may be hostile network data).
+		for _, size := range l2Sizes {
+			if err := harness.GeometryL2For(l1, size).Validate(); err != nil {
+				return nil, stats, fmt.Errorf("dist: l2 axis: %w", err)
+			}
 		}
 	}
 
@@ -373,8 +373,12 @@ func (c *Coordinator) buildPayloads(ctx context.Context, capture *harness.Captur
 				errs[li] = fmt.Errorf("dist: serialize l2 trace %d: %w", li, err)
 				return
 			}
+			key := fmt.Sprintf("l2/l1=%dK-%dw", l1.SizeBytes>>10, l1.Ways)
+			if l1.Policy != "" && l1.Policy != cache.PolicyLRU {
+				key += "-" + string(l1.Policy)
+			}
 			payloads[li] = &payload{
-				key:         fmt.Sprintf("l2/l1=%dK-%dw#%d", l1.SizeBytes>>10, l1.Ways, li),
+				key:         fmt.Sprintf("%s#%d", key, li),
 				contentType: ContentTypeL2Trace,
 				wire:        wire.Bytes(),
 			}

@@ -172,6 +172,134 @@ func TestDistributedSweepMatchesLocalAcrossProcesses(t *testing.T) {
 	}
 }
 
+// TestDistributedPolicySweepMatchesLocal is the policy-axis
+// acceptance test: a replacement-policy sweep — the policy riding
+// inside each shard's L1 config, no new trace kinds — sharded across
+// two real worker processes returns results identical to the local
+// sweep, and the policies measurably diverge (one capture, differing
+// Stats per policy).
+func TestDistributedPolicySweepMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	urls := spawnWorkers(t, 2)
+	coord := &Coordinator{Workers: urls}
+	wl := harness.Workload{W: 160, H: 128, Frames: 2}
+	l1s := harness.PolicyAxisConfigs([]cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyRandom})
+	l2Sizes := []int{512 << 10, 1 << 20}
+
+	distPoints, stats, err := coord.GeometrySweepWithStats(context.Background(), wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.L2Shipped || stats.Uploads == 0 {
+		t.Errorf("expected per-policy L2-filtered uploads, got stats %+v", stats)
+	}
+	localPoints, err := harness.RunGeometrySweep(wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(distPoints, localPoints) {
+		t.Fatalf("policy sweep differs from local\ndist  %+v\nlocal %+v", distPoints, localPoints)
+	}
+	// The axis must measure something: same capture, same geometry,
+	// different replacement policy, different counters.
+	byPolicy := map[cache.Policy]cache.Stats{}
+	for _, pt := range distPoints {
+		if pt.L2.SizeBytes == 512<<10 {
+			byPolicy[pt.L1.Policy] = pt.Encode.Raw
+		}
+	}
+	if len(byPolicy) != 3 {
+		t.Fatalf("expected 3 policy rows at 512KB, got %d", len(byPolicy))
+	}
+	if byPolicy[cache.PolicyFIFO] == byPolicy[cache.PolicyLRU] {
+		t.Error("fifo stats identical to lru — policy did not reach the workers")
+	}
+	if byPolicy[cache.PolicyRandom] == byPolicy[cache.PolicyLRU] {
+		t.Error("random stats identical to lru — policy did not reach the workers")
+	}
+}
+
+// TestWorkerPolicyIngress: unknown policy names in a shard are a 400,
+// and a shard whose L1 policy differs from the one embedded in an
+// M4L2 upload is a 400 — the L2-bound stream is a pure function of the
+// whole L1 configuration, policy included.
+func TestWorkerPolicyIngress(t *testing.T) {
+	srv := httptest.NewServer(NewWorker(WorkerConfig{Workers: 1}).Handler())
+	defer srv.Close()
+
+	fifoL1 := perf.O2R12K1MB().L1
+	fifoL1.Policy = cache.PolicyFIFO
+	f := trace.NewL2Filter(fifoL1)
+	f.Run(0, 4096, 1, 0)
+	var wire bytes.Buffer
+	if _, err := f.Trace().WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/traces", ContentTypeL2Trace, bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TraceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: HTTP %d", resp.StatusCode)
+	}
+
+	post := func(rr ReplayRequest) int {
+		body, _ := json.Marshal(rr)
+		resp, err := http.Post(srv.URL+"/v1/replay", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	badPolicy := fifoL1
+	badPolicy.Policy = "mru"
+	if code := post(ReplayRequest{TraceID: info.ID, Shards: []Shard{{L1: badPolicy, L2Sizes: []int{1 << 20}}}}); code != http.StatusBadRequest {
+		t.Errorf("unknown policy shard: HTTP %d, want 400", code)
+	}
+	lruL1 := fifoL1
+	lruL1.Policy = cache.PolicyLRU
+	if code := post(ReplayRequest{TraceID: info.ID, Shards: []Shard{{L1: lruL1, L2Sizes: []int{1 << 20}}}}); code != http.StatusBadRequest {
+		t.Errorf("policy-mismatched shard against fifo-filtered trace: HTTP %d, want 400", code)
+	}
+	if code := post(ReplayRequest{TraceID: info.ID, Shards: []Shard{{L1: fifoL1, L2Sizes: []int{1 << 20}}}}); code != http.StatusOK {
+		t.Errorf("matching policy shard: HTTP %d, want 200", code)
+	}
+
+	// "" and "lru" are two spellings of the same cache: a shard naming
+	// lru explicitly must match a trace filtered under the default.
+	defL1 := perf.O2R12K1MB().L1
+	fd := trace.NewL2Filter(defL1)
+	fd.Run(0, 4096, 1, 0)
+	var defWire bytes.Buffer
+	if _, err := fd.Trace().WriteTo(&defWire); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/v1/traces", ContentTypeL2Trace, bytes.NewReader(defWire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defInfo TraceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&defInfo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	explicitLRU := defL1
+	explicitLRU.Policy = cache.PolicyLRU
+	if code := post(ReplayRequest{TraceID: defInfo.ID, Shards: []Shard{{L1: explicitLRU, L2Sizes: []int{1 << 20}}}}); code != http.StatusOK {
+		t.Errorf("explicit-lru shard against default-policy trace: HTTP %d, want 200", code)
+	}
+}
+
 // TestDistributedSweepSurvivesKilledWorkerProcess is the failover
 // acceptance test at full fidelity: three real worker OS processes,
 // one of which kills itself (os.Exit) the moment its first replay

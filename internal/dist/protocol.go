@@ -38,11 +38,13 @@
 //
 // Every geometry in a ReplayRequest arrives from the network and is
 // validated through cache.TryNew before simulation; a bad shard is a
-// 400 response, never a worker crash. Trace uploads are decoded with
-// the fuzz-hardened wire reader, so a corrupt body is a 400 too. A
-// shard replayed against an M4L2 trace must name the trace's embedded
-// L1 — any other L1 would silently simulate the wrong hierarchy, so
-// the mismatch is a 400.
+// 400 response, never a worker crash (unknown replacement-policy names
+// included — the policy axis is part of the shard's L1 config). Trace
+// uploads are decoded with the fuzz-hardened wire reader, so a corrupt
+// body is a 400 too. A shard replayed against an M4L2 trace must name
+// the trace's embedded L1 — any other L1 (or L1 policy: the L2-bound
+// stream is a pure function of the whole L1 configuration) would
+// silently simulate the wrong hierarchy, so the mismatch is a 400.
 package dist
 
 import (
@@ -75,9 +77,12 @@ type TraceInfo struct {
 }
 
 // Shard is one replay job: a single L1 configuration with a contiguous
-// chunk of the L2-size axis. Index is the shard's position in the
-// coordinator's deterministic plan (see planShards); results are
-// merged by it, never by arrival order.
+// chunk of the L2-size axis. The replacement-policy axis rides inside
+// the L1 config (cache.Config.Policy; the simulated L2 inherits it,
+// see harness.geometryMachine) — no extra protocol field or trace kind
+// is needed, and pre-policy shards decode with the LRU default. Index
+// is the shard's position in the coordinator's deterministic plan (see
+// planShards); results are merged by it, never by arrival order.
 type Shard struct {
 	Index   int          `json:"index"`
 	L1      cache.Config `json:"l1"`

@@ -13,7 +13,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/farm"
 	"repro/internal/harness"
-	"repro/internal/perf"
 	"repro/internal/trace"
 )
 
@@ -194,10 +193,12 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 	}
 	if st.l2 != nil {
 		// An M4L2 trace is the L2-bound stream behind ONE specific L1;
-		// replaying it under any other L1 would silently simulate a
-		// hierarchy that never existed.
+		// replaying it under any other L1 (policy included) would
+		// silently simulate a hierarchy that never existed. Compare
+		// canonicalized configs so the two spellings of LRU ("" and
+		// "lru") — both legal on the wire — name the same cache.
 		for _, sh := range req.Shards {
-			if sh.L1 != st.l2.L1 {
+			if sh.L1.Canonical() != st.l2.L1.Canonical() {
 				w.writeError(rw, http.StatusBadRequest,
 					"shard %d: L1 %+v does not match the L1 %+v embedded in l2 trace %q",
 					sh.Index, sh.L1, st.l2.L1, req.TraceID)
@@ -233,24 +234,23 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(rw).Encode(ReplayResponse{Results: results, Usage: study.Usage()})
 }
 
-// validateShard builds every geometry the shard names through
-// cache.TryNew — the error-returning ingress constructor — so invalid
-// requests stop here.
+// validateShard checks every geometry the shard names with
+// Config.Validate — the exact precondition of cache.TryNew, without
+// allocating the cache arrays for what is pure request validation —
+// so invalid requests stop here.
 func validateShard(sh Shard) error {
-	if _, err := cache.TryNew(sh.L1); err != nil {
+	if err := sh.L1.Validate(); err != nil {
 		return fmt.Errorf("l1: %w", err)
 	}
 	if len(sh.L2Sizes) == 0 {
 		return errors.New("no l2 sizes")
 	}
-	// Validate against the same base L2 geometry the sweep will
-	// actually simulate (geometryMachine swaps only the size into the
-	// O2's L2), so ingress validation cannot drift from execution.
-	base := perf.O2R12K1MB().L2
+	// Validate the exact L2 geometry each size will simulate —
+	// harness.GeometryL2For is the same rule the replay executes
+	// (size swapped into the O2's L2, shard L1's policy inherited), so
+	// ingress validation cannot drift from execution.
 	for _, size := range sh.L2Sizes {
-		l2 := base
-		l2.SizeBytes = size
-		if _, err := cache.TryNew(l2); err != nil {
+		if err := harness.GeometryL2For(sh.L1, size).Validate(); err != nil {
 			return fmt.Errorf("l2 size %d: %w", size, err)
 		}
 	}

@@ -28,10 +28,17 @@ type ExperimentSpec struct {
 	// GeometryL1Configs / GeometryL2Sizes.
 	L1s  []cache.Config `json:"l1,omitempty"`
 	L2KB []int          `json:"l2_kb,omitempty"`
+
+	// Policies is the replacement-policy axis, valid with sweep
+	// "geometry" (crossed with the L1 axis) and sweep "policy" (the
+	// dedicated policy comparison; empty means every implemented
+	// policy). Names are data from manifests, requests and flags;
+	// Validate parses each through cache.ParsePolicy.
+	Policies []string `json:"policies,omitempty"`
 }
 
 // Sweeps lists the valid Sweep values.
-var Sweeps = []string{"ratio", "geometry", "search", "prefetch", "staging", "coloring"}
+var Sweeps = []string{"ratio", "geometry", "policy", "search", "prefetch", "staging", "coloring"}
 
 // Label names the experiment for progress reporting and error
 // attribution.
@@ -59,6 +66,82 @@ func (e ExperimentSpec) GeometryAxes() (l1s []cache.Config, l2Sizes []int) {
 		l2Sizes = append(l2Sizes, kb<<10)
 	}
 	return l1s, l2Sizes
+}
+
+// PolicyAxis parses the spec's policy names. The caller is expected to
+// have validated the spec; unknown names still return an error, never
+// a panic.
+func (e ExperimentSpec) PolicyAxis() ([]cache.Policy, error) {
+	var out []cache.Policy
+	for _, s := range e.Policies {
+		p, err := cache.ParsePolicy(s)
+		if err != nil {
+			return nil, fmt.Errorf("policy axis: %w", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SweepAxes resolves the spec's L1/L2/policy axes into the concrete L1
+// axis and L2 size list the geometry or policy sweep will simulate —
+// the single source of truth shared by Validate (which TryNews every
+// resolved entry) and renderSweep (which simulates them), so ingress
+// validation cannot drift from execution. For sweep "geometry" the
+// policy axis crosses the L1 axis (empty = LRU only, the pre-policy
+// sweep); for sweep "policy" an empty policy list means every
+// implemented policy, over the base L1 unless an explicit L1 axis is
+// given. A policies list cannot be combined with L1 entries that name
+// their own policy — the expansion would silently override them, so
+// the conflict is an error instead.
+func (e ExperimentSpec) SweepAxes() ([]cache.Config, []int, error) {
+	policies, err := e.PolicyAxis()
+	if err != nil {
+		return nil, nil, err
+	}
+	l1s, l2Sizes := e.GeometryAxes()
+	if len(policies) > 0 {
+		// The policies axis stamps its policy onto every L1 entry; an
+		// entry carrying its own explicit policy would be silently
+		// overridden, so the combination is rejected rather than
+		// guessed at.
+		for _, l1 := range l1s {
+			if l1.Policy != "" {
+				return nil, nil, fmt.Errorf(
+					"l1 axis entry %s names policy %q while a policies axis is also given — use one or the other",
+					l1.Name, l1.Policy)
+			}
+		}
+	}
+	switch e.Sweep {
+	case "policy":
+		switch {
+		case len(l1s) == 0:
+			l1s = PolicyAxisConfigs(policies)
+		case len(policies) > 0:
+			// No entry carries its own policy (guarded above).
+			l1s = ExpandPolicyAxis(l1s, policies)
+		default:
+			// Explicit L1 axis, no policies list: entries naming their
+			// own policy are the axis as given; all-unlabelled entries
+			// expand over every implemented policy.
+			explicit := false
+			for _, l1 := range l1s {
+				if l1.Policy != "" {
+					explicit = true
+					break
+				}
+			}
+			if !explicit {
+				l1s = ExpandPolicyAxis(l1s, cache.Policies())
+			}
+		}
+	case "geometry":
+		if len(policies) > 0 {
+			l1s = ExpandPolicyAxis(l1s, policies)
+		}
+	}
+	return l1s, l2Sizes, nil
 }
 
 // Validate checks the spec without running anything: exactly one
@@ -102,10 +185,16 @@ func (e ExperimentSpec) Validate() error {
 			return fmt.Errorf("unknown sweep %q (have %s)", e.Sweep, strings.Join(Sweeps, ", "))
 		}
 	}
+	sweepWithAxes := e.Sweep == "geometry" || e.Sweep == "policy"
 	if len(e.L1s) > 0 || len(e.L2KB) > 0 {
-		if e.Sweep != "geometry" {
-			return fmt.Errorf("geometry axes are only valid with sweep \"geometry\"")
+		if !sweepWithAxes {
+			return fmt.Errorf("geometry axes are only valid with sweep \"geometry\" or \"policy\"")
 		}
+	}
+	if len(e.Policies) > 0 && !sweepWithAxes {
+		return fmt.Errorf("a policy axis is only valid with sweep \"geometry\" or \"policy\"")
+	}
+	if sweepWithAxes {
 		// Bound the KB values before the <<10 conversion so an absurd
 		// request cannot overflow int into a nonsense (or accidentally
 		// plausible) byte count.
@@ -114,22 +203,50 @@ func (e ExperimentSpec) Validate() error {
 				return fmt.Errorf("l2 axis: %d KB out of range (1..%d)", kb, cache.MaxSizeBytes>>10)
 			}
 		}
-		l1s, l2Sizes := e.GeometryAxes()
+		// Check every configuration the sweep will actually simulate —
+		// the policy axis crossed with the L1 axis, and the base L2
+		// under each inherited policy — so policy/geometry interactions
+		// (e.g. tree-PLRU on a non-power-of-two axis entry) are
+		// rejected here and not inside a farm job. Config.Validate is
+		// the exact precondition of cache.TryNew without its array
+		// allocations: axes arrive from the network, and a hostile
+		// near-MaxSizeBytes grid must not cost gigabytes of transient
+		// backing arrays just to be validated.
+		l1s, l2Sizes, err := e.SweepAxes()
+		if err != nil {
+			return err
+		}
 		for _, l1 := range l1s {
-			if _, err := cache.TryNew(l1); err != nil {
+			if err := l1.Validate(); err != nil {
 				return fmt.Errorf("l1 axis: %w", err)
 			}
-		}
-		base := perf.O2R12K1MB().L2
-		for _, size := range l2Sizes {
-			l2 := base
-			l2.SizeBytes = size
-			if _, err := cache.TryNew(l2); err != nil {
-				return fmt.Errorf("l2 axis: %w", err)
+			sizes := l2Sizes
+			if len(sizes) == 0 {
+				sizes = GeometryL2Sizes() // the defaults the sweep will use
+			}
+			for _, size := range sizes {
+				if err := GeometryL2For(l1, size).Validate(); err != nil {
+					return fmt.Errorf("l2 axis: %w", err)
+				}
 			}
 		}
 	}
 	return nil
+}
+
+// SweepTitle names the geometry/policy sweep report for the given
+// simulation strategy. It is shared by renderSweep and cmd/mp4study's
+// trace-file and fleet paths, whose outputs are documented as
+// identical to the plain sweep — one source keeps them so.
+func SweepTitle(sweep string, replayed bool) string {
+	kind := "cache geometry"
+	if sweep == "policy" {
+		kind = "replacement policy"
+	}
+	if replayed {
+		return kind + " sweep (encode, one trace replayed per config)"
+	}
+	return kind + " sweep (encode, re-encoded live per config)"
 }
 
 // RenderExperiment produces the text of one experiment, running its
@@ -212,25 +329,27 @@ func writeSeries(sb *strings.Builder, series []perf.Series) {
 func renderSweep(ctx context.Context, pool *farm.Pool, e ExperimentSpec, frames int) (string, error) {
 	wl := Workload{W: 352, H: 288, Frames: frames}
 	switch e.Sweep {
-	case "geometry":
-		// The geometry sweep is a replay experiment by nature: its whole
-		// point is simulating every configuration from one capture. The
-		// live variant survives only as the re-encode baseline for a
-		// study that explicitly disables replay.
-		l1s, l2Sizes := e.GeometryAxes()
+	case "geometry", "policy":
+		// The geometry and policy sweeps are replay experiments by
+		// nature: their whole point is simulating every configuration
+		// (every replacement policy) from one capture. The live variant
+		// survives only as the re-encode baseline for a study that
+		// explicitly disables replay.
+		l1s, l2Sizes, err := e.SweepAxes()
+		if err != nil {
+			return "", err
+		}
 		var points []GeometryPoint
-		var err error
-		title := "cache geometry sweep (encode, one trace replayed per config)"
-		if StudyFrom(ctx).ReplayEnabled() {
+		replayed := StudyFrom(ctx).ReplayEnabled()
+		if replayed {
 			points, err = RunGeometrySweepPool(ctx, pool, wl, l1s, l2Sizes)
 		} else {
-			title = "cache geometry sweep (encode, re-encoded live per config)"
 			points, err = RunGeometrySweepLive(ctx, pool, wl, l1s, l2Sizes)
 		}
 		if err != nil {
 			return "", err
 		}
-		return GeometrySweepReport(title, points), nil
+		return GeometrySweepReport(SweepTitle(e.Sweep, replayed), points), nil
 	case "ratio":
 		points, err := RunRatioSweepPool(ctx, pool, wl, nil)
 		if err != nil {

@@ -47,17 +47,81 @@ func GeometryL2Sizes() []int {
 }
 
 // geometryMachine builds the timing model for one configuration: the
-// O2's clocks and penalties with the caches swapped.
+// O2's clocks and penalties with the caches swapped. The sweep's
+// policy axis is hierarchy-wide: the L2 inherits the L1 entry's
+// replacement policy (with the victim wrapper mapped back to LRU — it
+// is an L1 structure), so one axis entry names one consistently
+// configured machine.
 func geometryMachine(l1 cache.Config, l2Size int) perf.Machine {
 	m := perf.O2R12K1MB()
 	m.Name = fmt.Sprintf("geom L1:%dK/%dw L2:%dM", l1.SizeBytes>>10, l1.Ways, l2Size>>20)
 	m.L1 = l1
 	m.L2.SizeBytes = l2Size
+	m.L2.Policy = l1.Policy.ForL2()
+	m.L2.Seed = l1.Seed
 	return m
 }
 
+// GeometryL2For returns the exact L2 configuration the sweep
+// simulates for one (L1 entry, L2 size) pair — the O2's L2 with the
+// size swapped in and the L1's replacement policy inherited. It is the
+// single source of the inheritance rule, shared by the sweep itself
+// (via geometryMachine) and every ingress validator (ExperimentSpec,
+// the dist coordinator and worker), so validation cannot drift from
+// execution.
+func GeometryL2For(l1 cache.Config, l2Size int) cache.Config {
+	return geometryMachine(l1, l2Size).L2
+}
+
 func geometryLabel(l1 cache.Config, l2Size int) string {
-	return fmt.Sprintf("L1 %dKB/%d-way, L2 %s", l1.SizeBytes>>10, l1.Ways, humanBytes(l2Size))
+	base := fmt.Sprintf("L1 %dKB/%d-way, L2 %s", l1.SizeBytes>>10, l1.Ways, humanBytes(l2Size))
+	if suffix := policySuffix(l1.Policy); suffix != "" {
+		return base + ", " + suffix
+	}
+	return base
+}
+
+// policySuffix names a non-default policy in labels; the LRU default
+// stays unnamed so every pre-policy output remains byte-identical.
+func policySuffix(p cache.Policy) string {
+	if p == "" || p == cache.PolicyLRU {
+		return ""
+	}
+	return string(p)
+}
+
+// ExpandPolicyAxis crosses an L1 axis with a policy axis: for each
+// policy (outer), each L1 entry (inner) reappears under that policy.
+// Nil/empty axes use the defaults (GeometryL1Configs, LRU only), so
+// expanding with a nil policy list is the identity on the default
+// sweep.
+func ExpandPolicyAxis(l1s []cache.Config, policies []cache.Policy) []cache.Config {
+	if len(l1s) == 0 {
+		l1s = GeometryL1Configs()
+	}
+	if len(policies) == 0 {
+		return l1s
+	}
+	out := make([]cache.Config, 0, len(l1s)*len(policies))
+	for _, p := range policies {
+		for _, l1 := range l1s {
+			l1.Policy = p
+			out = append(out, l1)
+		}
+	}
+	return out
+}
+
+// PolicyAxisConfigs returns the policy sweep's L1 axis: the paper's
+// base 32 KB 2-way L1 under each named policy (nil means every
+// implemented policy). The geometry is held fixed on purpose — the
+// sweep isolates the replacement policy as the only moving part, all
+// replayed from one capture.
+func PolicyAxisConfigs(policies []cache.Policy) []cache.Config {
+	if len(policies) == 0 {
+		policies = cache.Policies()
+	}
+	return ExpandPolicyAxis([]cache.Config{perf.O2R12K1MB().L1}, policies)
 }
 
 func humanBytes(b int) string {
@@ -101,20 +165,26 @@ func RunGeometrySweepFromTrace(ctx context.Context, p *farm.Pool, tr *trace.Trac
 	if len(l2Sizes) == 0 {
 		l2Sizes = GeometryL2Sizes()
 	}
+	// Validate the exact configurations the sweep will simulate: the
+	// L2 geometry derives from both the size axis and the L1 entry's
+	// policy (geometryMachine), so each (L1, size) pair is checked.
 	for _, l1 := range l1s {
 		if err := l1.Validate(); err != nil {
 			return nil, err
 		}
-	}
-	for _, size := range l2Sizes {
-		l2 := geometryMachine(GeometryL1Configs()[0], size).L2
-		if err := l2.Validate(); err != nil {
-			return nil, err
+		for _, size := range l2Sizes {
+			if err := geometryMachine(l1, size).L2.Validate(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	rows, err := farm.MapLabeled(ctx, p, l1s,
 		func(i int, l1 cache.Config) string {
-			return fmt.Sprintf("geometry/l1=%dK-%dw", l1.SizeBytes>>10, l1.Ways)
+			label := fmt.Sprintf("geometry/l1=%dK-%dw", l1.SizeBytes>>10, l1.Ways)
+			if suffix := policySuffix(l1.Policy); suffix != "" {
+				label += "-" + suffix
+			}
+			return label
 		},
 		func(ctx context.Context, env farm.Env, l1 cache.Config) ([]GeometryPoint, error) {
 			lt := FilterGeometryL1(ctx, tr, l1)
@@ -155,7 +225,9 @@ func GeometryRowFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes []in
 		l2Sizes = GeometryL2Sizes()
 	}
 	for _, size := range l2Sizes {
-		l2 := geometryMachine(GeometryL1Configs()[0], size).L2
+		// Validate the exact L2 the row will simulate — including the
+		// policy it inherits from the trace's embedded L1.
+		l2 := geometryMachine(lt.L1, size).L2
 		if err := l2.Validate(); err != nil {
 			return nil, err
 		}
@@ -224,8 +296,12 @@ func GeometrySweepSeries(points []GeometryPoint) []perf.Series {
 	var curL1 cache.Config
 	for _, p := range points {
 		if len(out) == 0 || p.L1 != curL1 {
+			label := fmt.Sprintf("L2C miss rate vs L2 size (encode, L1 %dKB/%d-way)", p.L1.SizeBytes>>10, p.L1.Ways)
+			if suffix := policySuffix(p.L1.Policy); suffix != "" {
+				label = fmt.Sprintf("L2C miss rate vs L2 size (encode, L1 %dKB/%d-way, %s)", p.L1.SizeBytes>>10, p.L1.Ways, suffix)
+			}
 			out = append(out, perf.Series{
-				Label: fmt.Sprintf("L2C miss rate vs L2 size (encode, L1 %dKB/%d-way)", p.L1.SizeBytes>>10, p.L1.Ways),
+				Label: label,
 				YUnit: "%",
 			})
 			curL1 = p.L1
@@ -249,13 +325,22 @@ func GeometrySweepReport(title string, points []GeometryPoint) string {
 	return sb.String()
 }
 
-// FormatGeometrySweep renders the sweep as an aligned text block.
+// FormatGeometrySweep renders the sweep as an aligned text block. The
+// config column widens only when a label (e.g. with a policy suffix)
+// overflows the historical 28 characters, so pre-policy sweeps render
+// byte-identically.
 func FormatGeometrySweep(title string, points []GeometryPoint) string {
-	out := title + "\n"
-	out += fmt.Sprintf("  %-28s %9s %9s %10s %12s\n", "config", "L1miss%", "L2miss%", "DRAM%", "L2DRAM MB/s")
+	width := 28
 	for _, p := range points {
-		out += fmt.Sprintf("  %-28s %8.3f%% %8.2f%% %9.2f%% %12.1f\n",
-			p.Label, p.Encode.L1MissRate*100, p.Encode.L2MissRate*100,
+		if len(p.Label) > width {
+			width = len(p.Label)
+		}
+	}
+	out := title + "\n"
+	out += fmt.Sprintf("  %-*s %9s %9s %10s %12s\n", width, "config", "L1miss%", "L2miss%", "DRAM%", "L2DRAM MB/s")
+	for _, p := range points {
+		out += fmt.Sprintf("  %-*s %8.3f%% %8.2f%% %9.2f%% %12.1f\n",
+			width, p.Label, p.Encode.L1MissRate*100, p.Encode.L2MissRate*100,
 			p.Encode.DRAMTimeFrac*100, p.Encode.L2DRAMMBps)
 	}
 	return out

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/perf"
+	"repro/internal/simmem"
+)
+
+// policyMachine is the O2 with every cache level under policy p (the
+// same hierarchy-wide rule the geometry sweep's policy axis applies).
+func policyMachine(p cache.Policy) perf.Machine {
+	m := perf.O2R12K1MB()
+	m.L1.Policy = p
+	m.L2.Policy = p.ForL2()
+	return m
+}
+
+// TestReplayPolicyAgnostic is the proof the policy axis rests on: a
+// full capture records the codec's reference stream BEFORE any cache —
+// it is a pure function of the workload — so one capture replayed
+// through a policy-configured hierarchy is counter-identical to
+// re-running the codec live against that hierarchy, for every policy.
+// (The L1-filtered L2Trace is policy-dependent by design: it embeds
+// the L1, policy included, and is only replayed behind that exact L1.)
+func TestReplayPolicyAgnostic(t *testing.T) {
+	wl := Workload{W: 160, H: 128, Frames: 4}
+	capture, err := RecordEncodeIn(simmem.NewSpace(0), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cache.Policies() {
+		m := policyMachine(p)
+		liveRes, _, err := RunEncodeLiveIn(simmem.NewSpace(0), []perf.Machine{m}, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed := ReplayOn(m, capture.Enc, capture.SS.TotalBytes())
+		requireIdentical(t, "policy "+string(p), []Result{{
+			Machine: m, Whole: liveRes[0].Whole, Phases: liveRes[0].Phases, Bytes: replayed.Bytes,
+		}}, []Result{replayed})
+	}
+}
+
+// TestGeometrySweepPolicyMatchesLive: the replayed policy sweep (L1
+// filter per policy row + L2 replay per size) equals the re-encode
+// baseline configuration for configuration — the filtered half of the
+// policy-agnosticism proof.
+func TestGeometrySweepPolicyMatchesLive(t *testing.T) {
+	wl := Workload{W: 160, H: 128, Frames: 3}
+	l1s := PolicyAxisConfigs([]cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyVictim})
+	l2Sizes := []int{512 << 10, 1 << 20}
+	replayed, err := RunGeometrySweep(wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := RunGeometrySweepLive(context.Background(), nil, wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(live) || len(replayed) != len(l1s)*len(l2Sizes) {
+		t.Fatalf("point counts: %d replayed, %d live", len(replayed), len(live))
+	}
+	for i := range replayed {
+		if replayed[i].Label != live[i].Label {
+			t.Fatalf("point %d label %q != %q", i, replayed[i].Label, live[i].Label)
+		}
+		if replayed[i].Encode.Raw != live[i].Encode.Raw {
+			t.Errorf("point %s: replayed stats differ from live\nreplay %+v\nlive   %+v",
+				replayed[i].Label, replayed[i].Encode.Raw, live[i].Encode.Raw)
+		}
+	}
+}
+
+// TestPolicySweepDiffersAcrossPolicies: one capture, every policy —
+// the sweep must actually measure something. FIFO, random and the
+// victim wrapper must diverge from LRU; tree-PLRU must match LRU
+// EXACTLY at the paper's 2-way geometry (a 2-way PLRU tree is true
+// LRU), which doubles as an end-to-end cross-check of the two access
+// paths.
+func TestPolicySweepDiffersAcrossPolicies(t *testing.T) {
+	wl := Workload{W: 160, H: 128, Frames: 3}
+	l2Sizes := []int{512 << 10}
+	points, err := RunGeometrySweep(wl, PolicyAxisConfigs(nil), l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[cache.Policy]GeometryPoint{}
+	for _, pt := range points {
+		p, _ := cache.ParsePolicy(string(pt.L1.Policy))
+		byPolicy[p] = pt
+	}
+	if len(byPolicy) != len(cache.Policies()) {
+		t.Fatalf("got %d policy rows, want %d", len(byPolicy), len(cache.Policies()))
+	}
+	lru := byPolicy[cache.PolicyLRU].Encode.Raw
+	if plru := byPolicy[cache.PolicyPLRU].Encode.Raw; plru != lru {
+		t.Errorf("plru must equal lru at 2-way geometry\nlru  %+v\nplru %+v", lru, plru)
+	}
+	for _, p := range []cache.Policy{cache.PolicyFIFO, cache.PolicyRandom, cache.PolicyVictim} {
+		if got := byPolicy[p].Encode.Raw; got == lru {
+			t.Errorf("policy %s produced stats identical to lru — axis not wired through? %+v", p, got)
+		}
+	}
+}
+
+// TestPolicySpecValidation: the experiment schema rejects unknown
+// policy names and impossible policy/geometry combinations with
+// errors (the ingress contract the service and manifests rely on).
+func TestPolicySpecValidation(t *testing.T) {
+	bad := []ExperimentSpec{
+		{Sweep: "policy", Policies: []string{"mru"}},
+		{Sweep: "geometry", Policies: []string{"plru", "bogus"}},
+		{Sweep: "ratio", Policies: []string{"lru"}}, // axis on a sweep without one
+		{Table: 2, Policies: []string{"lru"}},
+		// tree-PLRU over a 3-way L1 axis entry is impossible.
+		{Sweep: "geometry", Policies: []string{"plru"},
+			L1s: []cache.Config{{SizeBytes: 96 << 10, LineBytes: 32, Ways: 3}}},
+		// A policies list combined with an entry naming its own policy
+		// would silently override the entry — rejected instead.
+		{Sweep: "geometry", Policies: []string{"fifo"},
+			L1s: []cache.Config{{SizeBytes: 32 << 10, LineBytes: 32, Ways: 2, Policy: cache.PolicyPLRU}}},
+		{Sweep: "policy", Policies: []string{"fifo"},
+			L1s: []cache.Config{{SizeBytes: 32 << 10, LineBytes: 32, Ways: 2, Policy: cache.PolicyLRU}}},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("spec %+v validated", e)
+		}
+	}
+	good := []ExperimentSpec{
+		{Sweep: "policy"},
+		{Sweep: "policy", Policies: []string{"lru", "random"}, L2KB: []int{512}},
+		{Sweep: "geometry", Policies: []string{"fifo"}},
+		// Per-entry policies without a policies list are the axis as
+		// given.
+		{Sweep: "policy", L1s: []cache.Config{
+			{SizeBytes: 32 << 10, LineBytes: 32, Ways: 2, Policy: cache.PolicyFIFO},
+			{SizeBytes: 32 << 10, LineBytes: 32, Ways: 2, Policy: cache.PolicyRandom},
+		}},
+	}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("spec %+v rejected: %v", e, err)
+		}
+	}
+	// Per-entry policies are honoured, not expanded or overridden.
+	l1s, _, err := good[3].SweepAxes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1s) != 2 || l1s[0].Policy != cache.PolicyFIFO || l1s[1].Policy != cache.PolicyRandom {
+		t.Errorf("explicit per-entry policy axis mangled: %+v", l1s)
+	}
+}
+
+// TestSameL1IgnoresNameAndPolicySpelling: the shared-L1 filtered
+// replay must survive cosmetic config differences (display name, ""
+// vs "lru") but not a real policy difference.
+func TestSameL1IgnoresNameAndPolicySpelling(t *testing.T) {
+	a := perf.O2R12K1MB()
+	b := perf.O2R12K1MB()
+	b.L1.Name = "L1"
+	b.L1.Policy = cache.PolicyLRU // explicit spelling of a's "" default
+	if !sameL1([]perf.Machine{a, b}) {
+		t.Error("name/spelling differences broke the shared-L1 path")
+	}
+	c := perf.O2R12K1MB()
+	c.L1.Policy = cache.PolicyFIFO
+	if sameL1([]perf.Machine{a, c}) {
+		t.Error("differing L1 policies must not share one filter")
+	}
+}
+
+// TestRenderPolicySweep drives the full rendering path (the one the
+// CLI, manifests and the service share) and checks the policy rows
+// appear labelled in the report.
+func TestRenderPolicySweep(t *testing.T) {
+	out, err := RenderExperiment(context.Background(), nil,
+		ExperimentSpec{Sweep: "policy", Policies: []string{"lru", "fifo"}, L2KB: []int{512}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "replacement policy sweep") {
+		t.Errorf("missing title in:\n%s", out)
+	}
+	if !strings.Contains(out, "fifo") {
+		t.Errorf("missing fifo row in:\n%s", out)
+	}
+	if strings.Contains(out, "lru,") || strings.Contains(out, ", lru") {
+		t.Errorf("lru rows must stay unlabelled (pre-policy output shape):\n%s", out)
+	}
+}

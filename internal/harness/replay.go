@@ -222,13 +222,23 @@ func ReplayOnCtx(ctx context.Context, m perf.Machine, tr *trace.Trace, bytes int
 	return makeResult(m, h, pt, bytes)
 }
 
-// sameL1 reports whether all machines share one L1 geometry, making the
-// L1-filtered replay path valid for the set.
+// sameL1 reports whether all machines share one L1 configuration,
+// making the L1-filtered replay path valid for the set. The
+// replacement policy (and its seed) is part of the configuration: the
+// L2-bound stream is a pure function of the whole L1, so machines
+// differing only in L1 policy must fall back to full-trace replay.
+// The display name is not: configs differing only in Name (or in the
+// "" vs "lru" spelling of the default policy) simulate identically
+// and keep the shared filter.
 func sameL1(machines []perf.Machine) bool {
+	key := func(c cache.Config) cache.Config {
+		c = c.Canonical()
+		c.Name = ""
+		return c
+	}
+	first := key(machines[0].L1)
 	for _, m := range machines[1:] {
-		if m.L1.SizeBytes != machines[0].L1.SizeBytes ||
-			m.L1.LineBytes != machines[0].L1.LineBytes ||
-			m.L1.Ways != machines[0].L1.Ways {
+		if key(m.L1) != first {
 			return false
 		}
 	}

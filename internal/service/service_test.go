@@ -157,6 +157,14 @@ func TestServiceValidatesSubmissions(t *testing.T) {
 		"huge l2 size":       `{"experiments": [{"sweep": "geometry", "l2_kb": [34359738368]}]}`,
 		"huge l1 geometry":   `{"experiments": [{"sweep": "geometry", "l1": [{"size": 35184372088832, "line": 128, "ways": 2}]}]}`,
 		"zero ways geometry": `{"experiments": [{"sweep": "geometry", "l1": [{"size": 32768, "line": 32, "ways": 0}]}]}`,
+		// Replacement-policy ingress: unknown names and impossible
+		// policy/geometry combinations must be 400s, mirroring the
+		// cache.TryNew geometry-bounds treatment — never a panic.
+		"unknown policy sweep":  `{"experiments": [{"sweep": "policy", "policies": ["mru"]}]}`,
+		"unknown policy axis":   `{"experiments": [{"sweep": "geometry", "policies": ["lru", "bogus"]}]}`,
+		"unknown policy in l1":  `{"experiments": [{"sweep": "geometry", "l1": [{"size": 32768, "line": 32, "ways": 2, "policy": "mru"}]}]}`,
+		"policy on non-sweep":   `{"experiments": [{"table": 2, "policies": ["lru"]}]}`,
+		"plru non-pow2 l1 axis": `{"experiments": [{"sweep": "geometry", "policies": ["plru"], "l1": [{"size": 98304, "line": 32, "ways": 3}]}]}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/studies", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -175,6 +183,27 @@ func TestServiceValidatesSubmissions(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("unknown id: status %d (want 404)", resp.StatusCode)
 		}
+	}
+}
+
+// TestServicePolicySweep: a policy-sweep study submitted over HTTP —
+// the policy axis arriving as manifest data — runs to completion and
+// streams exactly the local render of the same spec.
+func TestServicePolicySweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := harness.ExperimentSpec{Sweep: "policy", Policies: []string{"lru", "fifo"}, L2KB: []int{512}}
+	st := submit(t, ts, `{"frames": 2, "experiments": [{"sweep": "policy", "policies": ["lru", "fifo"], "l2_kb": [512]}]}`)
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("policy study ended %s: %s", fin.State, fin.Error)
+	}
+	got := result(t, ts, st.ID)
+	want, err := harness.RenderExperiment(context.Background(), nil, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("service policy sweep differs from local render\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

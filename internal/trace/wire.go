@@ -24,7 +24,8 @@
 //	                phase:   name index
 //
 //	L2Trace file: "M4L2" version
-//	              L1 geometry: name length+bytes, size, line, ways
+//	              L1 geometry: name length+bytes, size, line, ways,
+//	                [version >= 2: policy length+bytes, seed]
 //	              base Stats (12 counters)
 //	              phase-name table (as above)
 //	              event count, then per event: zigzag delta of the
@@ -34,7 +35,10 @@
 //
 // Versioning rule: readers accept exactly the versions they know;
 // anything else is an error (no silent best-effort decoding). Additive
-// changes bump the version and readers grow a case for the old one.
+// changes bump the version and readers grow a case for the old one —
+// version 2 added the L1 replacement policy and random-victim seed to
+// the M4L2 header (a version-1 file decodes as LRU, which is what
+// every version-1 writer simulated).
 package trace
 
 import (
@@ -47,8 +51,15 @@ import (
 	"repro/internal/cache"
 )
 
-// WireVersion is the current trace file format version.
-const WireVersion = 1
+// The formats are versioned independently so a change to one does not
+// orphan readers of the other: version 2 touched only the M4L2 header
+// (L1 policy + seed), so M4TR files keep writing version 1 and stay
+// readable by every deployed pre-policy binary. M4L2 readers accept
+// version 1 too, decoded with the LRU defaults its writers simulated.
+const (
+	TraceWireVersion = 1 // M4TR
+	L2WireVersion    = 2 // M4L2; v2 added the L1 policy and seed
+)
 
 var (
 	traceMagic = [4]byte{'M', '4', 'T', 'R'}
@@ -188,22 +199,22 @@ func (r *wireReader) uint32Field(what string) (uint32, error) {
 	return uint32(v), nil
 }
 
-func (r *wireReader) header(magic [4]byte, kind string) error {
+func (r *wireReader) header(magic [4]byte, kind string, maxVersion uint64) (int, error) {
 	var got [4]byte
 	if err := r.full(got[:]); err != nil {
-		return err
+		return 0, err
 	}
 	if got != magic {
-		return badf("not a %s file (magic %q)", kind, got)
+		return 0, badf("not a %s file (magic %q)", kind, got)
 	}
 	v, err := r.uvarint("version")
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if v != WireVersion {
-		return badf("unsupported %s version %d (reader speaks %d)", kind, v, WireVersion)
+	if v < 1 || v > maxVersion {
+		return 0, badf("unsupported %s version %d (reader speaks 1..%d)", kind, v, maxVersion)
 	}
-	return nil
+	return int(v), nil
 }
 
 func (r *wireReader) nameTable() ([]string, error) {
@@ -248,7 +259,7 @@ var _ io.ReaderFrom = (*Trace)(nil)
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	ww := newWireWriter(w)
 	ww.write(traceMagic[:])
-	ww.uvarint(WireVersion)
+	ww.uvarint(TraceWireVersion)
 	writeNameTable(ww, t.phaseNames)
 	ww.uvarint(uint64(t.records))
 	prevAddr := uint64(0)
@@ -302,7 +313,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 }
 
 func readTrace(r *wireReader) (*Trace, error) {
-	if err := r.header(traceMagic, "trace"); err != nil {
+	if _, err := r.header(traceMagic, "trace", TraceWireVersion); err != nil {
 		return nil, err
 	}
 	names, err := r.nameTable()
@@ -434,11 +445,13 @@ func readStatsDelta(r *wireReader, prev cache.Stats) (cache.Stats, error) {
 func (t *L2Trace) WriteTo(w io.Writer) (int64, error) {
 	ww := newWireWriter(w)
 	ww.write(l2Magic[:])
-	ww.uvarint(WireVersion)
+	ww.uvarint(L2WireVersion)
 	ww.string(t.L1.Name)
 	ww.uvarint(uint64(t.L1.SizeBytes))
 	ww.uvarint(uint64(t.L1.LineBytes))
 	ww.uvarint(uint64(t.L1.Ways))
+	ww.string(string(t.L1.Policy))
+	ww.uvarint(t.L1.Seed)
 	writeStatsDelta(ww, t.base, cache.Stats{})
 	writeNameTable(ww, t.names)
 	ww.uvarint(uint64(len(t.events)))
@@ -489,7 +502,8 @@ func ReadL2Trace(r io.Reader) (*L2Trace, error) {
 }
 
 func readL2Trace(r *wireReader) (*L2Trace, error) {
-	if err := r.header(l2Magic, "l2trace"); err != nil {
+	ver, err := r.header(l2Magic, "l2trace", L2WireVersion)
+	if err != nil {
 		return nil, err
 	}
 	nameLen, err := r.uvarint("L1 name length")
@@ -520,6 +534,26 @@ func readL2Trace(r *wireReader) (*L2Trace, error) {
 			return nil, badf("%s %d out of range", f.what, v)
 		}
 		*f.dst = int(v)
+	}
+	if ver >= 2 {
+		// Version 2 header: replacement policy + random-victim seed. A
+		// version-1 file leaves both zero — the LRU default its writer
+		// simulated under.
+		polLen, err := r.uvarint("L1 policy length")
+		if err != nil {
+			return nil, err
+		}
+		if polLen > maxWireNameLen {
+			return nil, badf("L1 policy length %d exceeds limit", polLen)
+		}
+		polBuf := make([]byte, polLen)
+		if err := r.full(polBuf); err != nil {
+			return nil, err
+		}
+		t.L1.Policy = cache.Policy(polBuf)
+		if t.L1.Seed, err = r.uvarint("L1 seed"); err != nil {
+			return nil, err
+		}
 	}
 	if err := t.L1.Validate(); err != nil {
 		return nil, badf("L1 geometry: %v", err)

@@ -2,16 +2,20 @@
 # Runs the top-level benchmarks once each (-benchtime=1x) and records
 # the results as JSON, seeding the repository's perf trajectory.
 #
-#   scripts/bench.sh                         # full suite -> BENCH_pr4.json
+#   scripts/bench.sh                         # full suite -> BENCH_pr5.json
 #   BENCH='ReplaySweep|Record' scripts/bench.sh   # filtered
 #   OUT=/tmp/bench.json scripts/bench.sh     # alternate output path
 #
 # The raw `go test` output is kept next to the JSON (same path, .txt)
-# so b.Log tables remain inspectable.
+# so b.Log tables remain inspectable. BENCH_pr5.json adds
+# BenchmarkPolicySweep (per-policy replay throughput and miss-rate
+# deltas from one capture); its lru sub-benchmark and the unchanged
+# BenchmarkReplaySweep/replay are the LRU fast-path regression guards
+# against BENCH_pr2.json.
 set -eu
 
 BENCH="${BENCH:-.}"
-OUT="${OUT:-BENCH_pr4.json}"
+OUT="${OUT:-BENCH_pr5.json}"
 
 cd "$(dirname "$0")/.."
 
