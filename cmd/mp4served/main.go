@@ -10,6 +10,12 @@
 //	mp4served -addr 127.0.0.1:0    # ephemeral port (printed on stdout)
 //	mp4served -workers 8           # farm worker count (default GOMAXPROCS)
 //	mp4served -max-studies 4       # concurrent studies (default 2)
+//	mp4served -log-level debug     # structured-log threshold (default info)
+//	mp4served -pprof               # mount net/http/pprof at /debug/pprof/
+//
+// Observability: GET /v1/metrics serves the process metrics registry
+// (Prometheus text, or JSON with Accept: application/json), GET
+// /v1/version the build identity. See README "Observability".
 //
 // Example session:
 //
@@ -36,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -45,14 +52,23 @@ func main() {
 	maxStudies := flag.Int("max-studies", 2, "studies simulating concurrently")
 	maxQueued := flag.Int("max-queued", 64, "accepted-but-unfinished studies before 429")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running studies")
+	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp4served:", err)
+		os.Exit(2)
+	}
+	obs.SetLogLevel(lvl)
 
 	svc := service.New(service.Config{
 		Workers:       *workers,
 		MaxConcurrent: *maxStudies,
 		MaxQueued:     *maxQueued,
 	})
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: obs.WithPprof(svc.Handler(), *enablePprof)}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

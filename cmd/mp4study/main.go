@@ -22,6 +22,8 @@
 //	mp4study -sweep policy -policy lru,fifo        # ... a chosen subset
 //	mp4study -sweep geometry -policy plru          # geometry sweep under PLRU
 //	mp4study -cpuprofile p.out    # write pprof profiles
+//	mp4study -metrics-out m.json  # dump the metrics registry after the run
+//	mp4study -log-level info      # structured-log threshold (default warn)
 //
 // Experiments run on the internal/farm worker pool; -parallel sets the
 // worker count (default GOMAXPROCS). Output is deterministic: the same
@@ -99,6 +101,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/farm"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/simmem"
 	"repro/internal/trace"
 )
@@ -119,7 +122,14 @@ func main() {
 	workers := flag.String("workers", "", "with -sweep geometry: comma-separated mp4worker base URLs; shards the sweep across the fleet")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
+	logLevel := flag.String("log-level", "warn", "structured-log threshold: debug, info, warn, error")
 	flag.Parse()
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	obs.SetLogLevel(lvl)
 	replayFlagSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "replay" {
@@ -231,8 +241,14 @@ func main() {
 		}
 	}
 	reportTraceUsage()
-	fmt.Fprintf(os.Stderr, "total time: %v (%d workers)\n",
+	statusf("total time: %v (%d workers)\n",
 		time.Since(start).Round(time.Millisecond), pool.Workers())
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut); err != nil {
+			fatal(err)
+		}
+		statusf("wrote metrics snapshot %s\n", *metricsOut)
+	}
 }
 
 // reportTraceUsage summarises the capture/replay traffic of the run:
@@ -245,7 +261,7 @@ func reportTraceUsage() {
 	if u.Zero() {
 		return
 	}
-	fmt.Fprintf(os.Stderr,
+	statusf(
 		"traces: %d full (%d records, %.1f MB), %d L1-filtered (%d events, %.1f MB); %d replays\n",
 		u.Traces, u.TraceRecords, float64(u.TraceBytes)/(1<<20),
 		u.L2Traces, u.L2Events, float64(u.L2Bytes)/(1<<20), u.Replays)
@@ -281,7 +297,7 @@ func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceI
 		if err != nil {
 			return fmt.Errorf("%s: %w", traceIn, err)
 		}
-		fmt.Fprintf(os.Stderr, "replaying capture %s: %s\n", traceIn, tr)
+		statusf("replaying capture %s: %s\n", traceIn, tr)
 	} else {
 		wl := harness.Workload{W: 352, H: 288, Frames: frames}
 		capture, err := harness.RecordEncodeCtx(ctx, simmem.NewSpace(0), wl)
@@ -302,7 +318,7 @@ func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceI
 		if err != nil {
 			return fmt.Errorf("%s: %w", traceOut, err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote capture %s: %s as %.1f MB on the wire\n",
+		statusf("wrote capture %s: %s as %.1f MB on the wire\n",
 			traceOut, tr, float64(n)/(1<<20))
 	}
 	l1s, l2Sizes, err := spec.SweepAxes()
@@ -341,12 +357,12 @@ func runGeometryFleet(ctx context.Context, frames int, workers string, spec harn
 	if stats.L2Shipped {
 		shipped = "L1-filtered traces"
 	}
-	fmt.Fprintf(os.Stderr,
+	statusf(
 		"fleet: %d workers, %d uploads of %s (%.1f MB), %d replay calls, %d failovers, %d workers lost\n",
 		len(urls), stats.Uploads, shipped, float64(stats.UploadBytes)/(1<<20),
 		stats.Replays, stats.Failovers, stats.DeadWorkers)
 	for _, f := range stats.WorkerFailures {
-		fmt.Fprintf(os.Stderr, "fleet: lost %s\n", f)
+		statusf("fleet: lost %s\n", f)
 	}
 	fmt.Print(harness.GeometrySweepReport(harness.SweepTitle(spec.Sweep, true), points))
 	return nil
@@ -396,7 +412,7 @@ func newPool(workers int, progress bool) *farm.Pool {
 			if ev.Err != nil {
 				status = "FAIL: " + ev.Err.Error()
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", ev.Done, ev.Total, ev.Label, status)
+			statusf("[%d/%d] %s %s\n", ev.Done, ev.Total, ev.Label, status)
 		}
 	}
 	return farm.New(cfg)

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// statusW is the single destination of mp4study's status stream: the
+// -progress job completions, the capture/replay usage summary, the
+// fleet accounting, the trace-file messages, and the total-time line.
+// Everything that is commentary about the run — as opposed to the
+// experiment output on stdout or a fatal error — goes through statusf,
+// so tests (and embedders) can capture or silence the stream by
+// swapping one writer instead of chasing scattered os.Stderr writes.
+var statusW io.Writer = os.Stderr
+
+// statusf writes one status message to the status stream.
+func statusf(format string, args ...any) {
+	fmt.Fprintf(statusW, format, args...)
+}
+
+// writeMetricsSnapshot dumps the process metrics registry as indented
+// JSON to path — the -metrics-out flag, turning any mp4study run into
+// an offline-inspectable metrics record (replay throughput, farm
+// latencies, sweep sizes) without standing up a server.
+func writeMetricsSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.Default().WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -19,6 +19,12 @@
 //	mp4worker -addr 127.0.0.1:0   # ephemeral port (printed on stdout)
 //	mp4worker -workers 8          # farm worker count (default GOMAXPROCS)
 //	mp4worker -max-traces 4       # resident uploaded traces
+//	mp4worker -log-level debug    # structured-log threshold (default info)
+//	mp4worker -pprof              # mount net/http/pprof at /debug/pprof/
+//
+// Observability: GET /v1/metrics serves the process metrics registry
+// (Prometheus text, or JSON with Accept: application/json), GET
+// /v1/version the build identity. See README "Observability".
 //
 // The listen address is printed as "mp4worker listening on <addr>" so
 // orchestration scripts can scrape ephemeral ports.
@@ -36,16 +42,26 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8375", "listen address")
 	workers := flag.Int("workers", 0, "farm worker count (0 = GOMAXPROCS)")
 	maxTraces := flag.Int("max-traces", 8, "resident uploaded traces")
+	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mp4worker:", err)
+		os.Exit(2)
+	}
+	obs.SetLogLevel(lvl)
+
 	w := dist.NewWorker(dist.WorkerConfig{Workers: *workers, MaxTraces: *maxTraces})
-	httpSrv := &http.Server{Handler: w.Handler()}
+	httpSrv := &http.Server{Handler: obs.WithPprof(w.Handler(), *enablePprof)}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

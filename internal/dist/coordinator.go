@@ -14,9 +14,34 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/simmem"
 )
+
+// Fleet metrics: the live counterparts of SweepStats. SweepStats stays
+// the per-sweep return value; these accumulate process-wide and move
+// WHILE a sweep runs, so /v1/metrics (or mp4study -metrics-out) shows
+// a hung fleet as a stalled dist_replays_total and a dying one as a
+// falling dist_workers_alive. Gauges are maintained with deltas only,
+// so concurrent sweeps in one process compose instead of clobbering.
+var (
+	mUploads       = obs.Default().Counter("dist_uploads_total")
+	mUploadBytes   = obs.Default().Counter("dist_upload_bytes_total")
+	mUploadSecs    = obs.Default().Histogram("dist_upload_seconds", nil)
+	mBatchReplays  = obs.Default().Counter("dist_replays_total")
+	mReplayShards  = obs.Default().Counter("dist_replay_shards_total")
+	mReplaySecs    = obs.Default().Histogram("dist_replay_batch_seconds", nil)
+	mFailovers     = obs.Default().Counter("dist_failovers_total")
+	mWorkerDeaths  = obs.Default().Counter("dist_worker_failures_total")
+	mWorkersAlive  = obs.Default().Gauge("dist_workers_alive")
+	mBatchesPend   = obs.Default().Gauge("dist_batches_pending")
+	mSweepsStarted = obs.Default().Counter("dist_sweeps_total")
+)
+
+// distLog carries the coordinator's worker-health and transport
+// events; mp4study surfaces them at -log-level info/debug.
+var distLog = obs.Logger("dist")
 
 // Coordinator drives a distributed geometry sweep: capture once
 // locally, filter the capture down to the per-L1 L2-bound traces,
@@ -312,6 +337,12 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 	// partially failed sweep must still release the traces that did
 	// land, or repeated failures would fill the surviving workers'
 	// stores.
+	mSweepsStarted.Inc()
+	mWorkersAlive.Add(int64(s.aliveN))
+	mBatchesPend.Add(int64(s.pendingN))
+	distLog.Info("sweep started",
+		"workers", len(c.Workers), "shards", len(shards),
+		"batches", s.pendingN, "l2_shipped", !c.ShipFullTrace)
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s.cancel = cancel
@@ -324,6 +355,14 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 		}(wi)
 	}
 	wg.Wait()
+	// Return the gauges' contributions (survivors, and any batches a
+	// fatal error left undone) so they read zero once no sweep runs.
+	mWorkersAlive.Add(-int64(s.aliveN))
+	mBatchesPend.Add(-int64(s.pendingN))
+	distLog.Info("sweep finished",
+		"replays", s.stats.Replays, "uploads", s.stats.Uploads,
+		"upload_bytes", s.stats.UploadBytes, "failovers", s.stats.Failovers,
+		"dead_workers", s.stats.DeadWorkers, "fatal", s.fatal != nil)
 	defer c.deleteAll(s.uploaded)
 
 	s.stats.L2Shipped = stats.L2Shipped
@@ -484,6 +523,7 @@ func (s *sweepState) runWorker(ctx context.Context, wi int) {
 		}
 		s.pendingN--
 		s.stats.Replays++
+		mBatchesPend.Dec()
 		s.mu.Unlock()
 		s.cond.Broadcast()
 	}
@@ -501,9 +541,14 @@ func (s *sweepState) failWorker(wi int, cur *batch, err error) {
 	s.alive[wi] = false
 	s.aliveN--
 	s.stats.DeadWorkers++
+	mWorkerDeaths.Inc()
+	mWorkersAlive.Dec()
 	cur.attempts++
 	cur.lastErr = fmt.Errorf("worker %s: %w", s.c.Workers[wi], err)
 	s.stats.WorkerFailures = append(s.stats.WorkerFailures, cur.lastErr.Error())
+	distLog.Warn("worker dropped from sweep",
+		"worker", s.c.Workers[wi], "batch", cur.label(),
+		"attempts", cur.attempts, "survivors", s.aliveN, "err", err)
 	orphans := append([]*batch{cur}, s.queues[wi]...)
 	s.queues[wi] = nil
 	for _, b := range orphans {
@@ -534,6 +579,9 @@ func (s *sweepState) failWorker(wi int, cur *batch, err error) {
 		}
 		s.queues[target] = append(s.queues[target], b)
 		s.stats.Failovers++
+		mFailovers.Inc()
+		distLog.Info("batch re-planned onto survivor",
+			"batch", b.label(), "target", s.c.Workers[target], "attempts", b.attempts)
 	}
 }
 
@@ -559,7 +607,12 @@ func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
 		upload := func() (*TraceInfo, error) {
 			uctx, cancel := context.WithTimeout(ctx, s.c.uploadTimeout())
 			defer cancel()
-			return s.c.upload(uctx, base, b.payload)
+			start := time.Now()
+			info, err := s.c.upload(uctx, base, b.payload)
+			if err == nil {
+				mUploadSecs.ObserveSince(start)
+			}
+			return info, err
 		}
 		info, err := upload()
 		var he *httpError
@@ -582,14 +635,25 @@ func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
 		s.stats.Uploads++
 		s.stats.UploadBytes += int64(len(b.payload.wire))
 		s.mu.Unlock()
+		mUploads.Inc()
+		mUploadBytes.Add(uint64(len(b.payload.wire)))
+		distLog.Debug("trace uploaded",
+			"worker", base, "key", b.payload.key, "id", id, "bytes", len(b.payload.wire))
 	}
 
 	rctx, cancel := context.WithTimeout(ctx, s.c.replayTimeout())
+	replayStart := time.Now()
 	resp, err := s.c.replay(rctx, base, ReplayRequest{TraceID: id, Shards: b.shards})
 	cancel()
 	if err != nil {
 		return fmt.Errorf("replay %s: %w", b.label(), err)
 	}
+	mReplaySecs.ObserveSince(replayStart)
+	mBatchReplays.Inc()
+	mReplayShards.Add(uint64(len(b.shards)))
+	distLog.Debug("batch replayed",
+		"worker", base, "batch", b.label(), "shards", len(b.shards),
+		"duration", time.Since(replayStart).Round(time.Millisecond).String())
 
 	// Only indices this batch carries may be written: the results
 	// slice is shared across workers, so an index echoed back wrong

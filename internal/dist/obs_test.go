@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// TestWorkerObservabilityEndpoints checks the worker's introspection
+// surface: /v1/metrics (Prometheus text and JSON by negotiation),
+// /v1/version, and the build identity riding in the health payload.
+func TestWorkerObservabilityEndpoints(t *testing.T) {
+	srv := httptest.NewServer(NewWorker(WorkerConfig{Workers: 1}).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q, want text/plain...", ct)
+	}
+	if !strings.Contains(string(body), "# TYPE") {
+		t.Errorf("prometheus scrape has no TYPE lines:\n%.400s", body)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("JSON metrics invalid: %v", err)
+	}
+	// The middleware counted the first scrape by its matched route.
+	name := obs.Label(obs.Label("worker_http_requests_total", "route", "GET /v1/metrics"), "code", "200")
+	if snap.Counters[name] == 0 {
+		t.Errorf("first scrape not counted (%s)", name)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bi obs.BuildInfo
+	err = json.NewDecoder(resp.Body).Decode(&bi)
+	resp.Body.Close()
+	if err != nil || bi.GoVersion == "" {
+		t.Errorf("version = %+v, %v", bi, err)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK      bool           `json:"ok"`
+		Version *obs.BuildInfo `json:"version"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil || !health.OK || health.Version == nil || health.Version.GoVersion == "" {
+		t.Errorf("health = %+v, %v; want ok with embedded version", health, err)
+	}
+}
+
+// TestFleetMetricsAccounting runs one fleet sweep against in-process
+// workers (so both coordinator and worker metrics land in this
+// process's registry) and checks the accounting: uploads and replays
+// counted on both sides, the alive/pending gauges drained back to
+// zero, and the workers' resident trace count back to zero after
+// coordinator cleanup.
+func TestFleetMetricsAccounting(t *testing.T) {
+	reg := obs.Default()
+	before := reg.Snapshot()
+
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(NewWorker(WorkerConfig{Workers: 1}).Handler())
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	coord := &Coordinator{Workers: urls}
+	wl := harness.Workload{W: 160, H: 128, Frames: 1}
+	l1s, l2Sizes := sweepAxes()
+	points, stats, err := coord.GeometrySweepWithStats(context.Background(), wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("fleet sweep returned no points")
+	}
+
+	after := reg.Snapshot()
+	delta := func(name string) uint64 { return after.Counters[name] - before.Counters[name] }
+	if got := delta("dist_uploads_total"); got != uint64(stats.Uploads) {
+		t.Errorf("uploads counter delta = %d, want %d (SweepStats)", got, stats.Uploads)
+	}
+	if got := delta("dist_upload_bytes_total"); got != uint64(stats.UploadBytes) {
+		t.Errorf("upload bytes delta = %d, want %d (SweepStats)", got, stats.UploadBytes)
+	}
+	if got := delta("dist_replays_total"); got != uint64(stats.Replays) {
+		t.Errorf("replay batches delta = %d, want %d (SweepStats)", got, stats.Replays)
+	}
+	if delta("dist_sweeps_total") != 1 {
+		t.Errorf("sweeps delta = %d, want 1", delta("dist_sweeps_total"))
+	}
+	if delta("worker_replay_calls_total") == 0 {
+		t.Error("workers served no replay calls")
+	}
+	if delta("worker_shards_replayed_total") == 0 {
+		t.Error("workers served no shards")
+	}
+	// Deltas, not absolutes: the gauges are process-wide, and earlier
+	// tests' workers may legitimately still hold traces.
+	for _, gauge := range []string{"dist_workers_alive", "dist_batches_pending", "worker_traces_resident"} {
+		if got := after.Gauges[gauge] - before.Gauges[gauge]; got != 0 {
+			t.Errorf("%s delta across sweep = %+d, want 0", gauge, got)
+		}
+	}
+}

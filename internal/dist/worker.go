@@ -9,12 +9,26 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/farm"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// Worker-side metrics: resident-store pressure and the replay work a
+// worker actually serves. The HTTP layer (request counts, per-route
+// latency, in-flight) comes from the obs middleware the Handler mounts.
+var (
+	mTracesResident = obs.Default().Gauge("worker_traces_resident")
+	mShardsServed   = obs.Default().Counter("worker_shards_replayed_total")
+	mReplayCalls    = obs.Default().Counter("worker_replay_calls_total")
+	mWorkerReplayS  = obs.Default().Histogram("worker_replay_seconds", nil)
+)
+
+var workerLog = obs.Logger("worker")
 
 // WorkerConfig parameterizes a Worker.
 type WorkerConfig struct {
@@ -60,14 +74,23 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 }
 
-// Handler returns the worker protocol handler.
+// Handler returns the worker protocol handler, wrapped in the obs
+// middleware chain (request logging, in-flight gauge, per-route
+// latency) and exposing the process metrics registry at /v1/metrics
+// (Prometheus text, or JSON by content negotiation) plus the build
+// identity at /v1/version.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/traces", w.handleUpload)
 	mux.HandleFunc("DELETE /v1/traces/{id}", w.handleDelete)
 	mux.HandleFunc("POST /v1/replay", w.handleReplay)
 	mux.HandleFunc("GET /v1/healthz", w.handleHealth)
-	return mux
+	mux.Handle("GET /v1/metrics", obs.Default().Handler())
+	mux.Handle("GET /v1/version", obs.VersionHandler())
+	return obs.Chain(mux,
+		obs.RequestLog(workerLog),
+		obs.HTTPMetrics("worker", nil),
+	)
 }
 
 func (w *Worker) writeError(rw http.ResponseWriter, code int, format string, args ...any) {
@@ -142,7 +165,9 @@ func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 	w.nextID++
 	id := fmt.Sprintf("trace-%04d", w.nextID)
 	w.traces[id] = st
+	mTracesResident.Inc()
 	w.mu.Unlock()
+	workerLog.Debug("trace stored", "id", id, "kind", kind, "records", records, "bytes", n)
 
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(http.StatusCreated)
@@ -154,6 +179,11 @@ func (w *Worker) handleDelete(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
 	_, ok := w.traces[id]
 	delete(w.traces, id)
+	if ok {
+		// Delta, not Set: several Worker instances can share one process
+		// (tests, embedded workers), and deltas compose across them.
+		mTracesResident.Dec()
+	}
 	w.mu.Unlock()
 	if !ok {
 		w.writeError(rw, http.StatusNotFound, "no trace %q", id)
@@ -207,6 +237,8 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	mReplayCalls.Inc()
+	replayStart := time.Now()
 	study := harness.NewStudy(true)
 	ctx := harness.WithStudy(r.Context(), study)
 	results, err := farm.MapLabeled(ctx, w.pool, req.Shards,
@@ -230,6 +262,11 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 		w.writeError(rw, http.StatusInternalServerError, "replay: %v", err)
 		return
 	}
+	mWorkerReplayS.ObserveSince(replayStart)
+	mShardsServed.Add(uint64(len(req.Shards)))
+	workerLog.Debug("replay served",
+		"trace", req.TraceID, "shards", len(req.Shards),
+		"elapsed", time.Since(replayStart))
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(ReplayResponse{Results: results, Usage: study.Usage()})
 }
@@ -262,5 +299,10 @@ func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
 	n := len(w.traces)
 	w.mu.Unlock()
 	rw.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(rw).Encode(map[string]any{"ok": true, "traces": n, "workers": w.pool.Workers()})
+	json.NewEncoder(rw).Encode(map[string]any{
+		"ok":      true,
+		"traces":  n,
+		"workers": w.pool.Workers(),
+		"version": obs.Version(),
+	})
 }

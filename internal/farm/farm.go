@@ -31,8 +31,24 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simmem"
+)
+
+// Farm metrics (process-wide, see internal/obs): queue depth counts
+// jobs enqueued but not yet picked up by a worker, in-flight counts
+// jobs mid-simulation, and the latency histogram times each job.
+// Concurrent Run calls share them — the gauges are deltas, so the
+// totals stay correct.
+var (
+	mQueueDepth = obs.Default().Gauge("farm_queue_depth")
+	mInflight   = obs.Default().Gauge("farm_jobs_inflight")
+	mCompleted  = obs.Default().Counter("farm_jobs_completed_total")
+	mFailed     = obs.Default().Counter("farm_jobs_failed_total")
+	mSkipped    = obs.Default().Counter("farm_jobs_skipped_total")
+	mJobSeconds = obs.Default().Histogram("farm_job_seconds", nil)
 )
 
 // Env is the deterministic per-job environment. Seeds and spaces are
@@ -231,6 +247,7 @@ func Run[T any](ctx context.Context, p *Pool, jobs []Job[T]) ([]T, error) {
 			// forever on the bounded queue and Run always sees
 			// exactly n outcomes.
 			for idx := range queue {
+				mQueueDepth.Dec()
 				var err error
 				if runCtx.Err() != nil {
 					err = errSkipped
@@ -240,7 +257,11 @@ func Run[T any](ctx context.Context, p *Pool, jobs []Job[T]) ([]T, error) {
 						Seed:  DeriveSeed(p.baseSeed, idx),
 						Space: simmem.NewSpace(0),
 					}
+					mInflight.Inc()
+					start := time.Now()
 					results[idx], err = runJob(runCtx, jobs[idx], env)
+					mJobSeconds.ObserveSince(start)
+					mInflight.Dec()
 				}
 				done <- outcome{index: idx, err: err}
 			}
@@ -249,6 +270,10 @@ func Run[T any](ctx context.Context, p *Pool, jobs []Job[T]) ([]T, error) {
 
 	go func() {
 		for i := range jobs {
+			// Inc before the (possibly blocking) send: the gauge counts
+			// "queued or being enqueued", so a full queue reads as deep,
+			// not empty.
+			mQueueDepth.Inc()
 			queue <- i
 		}
 		close(queue)
@@ -259,6 +284,14 @@ func Run[T any](ctx context.Context, p *Pool, jobs []Job[T]) ([]T, error) {
 	for completed := 1; completed <= n; completed++ {
 		oc := <-done
 		errs[oc.index] = oc.err
+		switch {
+		case oc.err == nil:
+			mCompleted.Inc()
+		case errors.Is(oc.err, errSkipped):
+			mSkipped.Inc()
+		default:
+			mFailed.Inc()
+		}
 		if oc.err != nil && !failed && !p.collectAll {
 			failed = true
 			cancel()

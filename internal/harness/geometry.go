@@ -7,9 +7,20 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/farm"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/simmem"
 	"repro/internal/trace"
+)
+
+// Sweep metrics: every geometry/policy sweep — local, trace-file or
+// the shard replays a distributed worker runs — passes through
+// RunGeometrySweepFromTrace or GeometryRowFromL2Trace, so these two
+// counters plus the harness_geometry_sweep span (see obs.Span) give
+// points/sec for the whole fleet's rows.
+var (
+	mSweepPoints = obs.Default().Counter("harness_sweep_points_total")
+	mSweepRows   = obs.Default().Counter("harness_sweep_rows_total")
 )
 
 // The cache-geometry sweep is the purest form of the record/replay
@@ -159,6 +170,7 @@ func RunGeometrySweepPool(ctx context.Context, p *farm.Pool, wl Workload, l1s []
 // axes use the defaults; every geometry is validated before simulation
 // (traces and axes may arrive over the network).
 func RunGeometrySweepFromTrace(ctx context.Context, p *farm.Pool, tr *trace.Trace, l1s []cache.Config, l2Sizes []int) ([]GeometryPoint, error) {
+	defer obs.Span("harness.geometry_sweep")()
 	if len(l1s) == 0 {
 		l1s = GeometryL1Configs()
 	}
@@ -246,6 +258,8 @@ func GeometryRowFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes []in
 			Encode: perf.Compute(m, whole),
 		}
 	}
+	mSweepRows.Inc()
+	mSweepPoints.Add(uint64(len(points)))
 	return points, nil
 }
 

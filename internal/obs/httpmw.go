@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Middleware wraps an http.Handler. The service and worker APIs are
+// assembled as Chain(mux, RequestLog(...), HTTPMetrics(...)).
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares around h, first argument outermost:
+// Chain(h, a, b) serves a(b(h)).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// statusWriter records the response status and body size while passing
+// everything through — including Flush, which the service's streaming
+// result endpoint depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it can flush, so
+// wrapping never breaks chunked streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// routeOf labels a request by its matched ServeMux pattern. The mux
+// sets Pattern on the request itself, so middleware reads it after the
+// inner handler ran; unmatched requests fall back to the method alone
+// (never the raw path — client-chosen strings must not mint unbounded
+// metric names).
+func routeOf(req *http.Request) string {
+	if req.Pattern != "" {
+		return req.Pattern
+	}
+	return req.Method + " unmatched"
+}
+
+// HTTPMetrics is the measuring middleware: an in-flight gauge
+// ("<component>_http_inflight"), a per-route/status request counter
+// ("<component>_http_requests_total{route=...,code=...}") and a
+// per-route latency histogram
+// ("<component>_http_request_seconds{route=...}"), all in r (nil means
+// Default()).
+func HTTPMetrics(component string, r *Registry) Middleware {
+	if r == nil {
+		r = Default()
+	}
+	inflight := r.Gauge(component + "_http_inflight")
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			inflight.Inc()
+			defer inflight.Dec()
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, req)
+			route := routeOf(req)
+			r.Counter(Label(Label(component+"_http_requests_total", "route", route),
+				"code", strconv.Itoa(sw.code()))).Inc()
+			r.Histogram(Label(component+"_http_request_seconds", "route", route), nil).
+				ObserveSince(start)
+		})
+	}
+}
+
+// RequestLog logs one Info record per completed request: method,
+// matched route, status, response bytes and duration. At the default
+// Warn level these are suppressed; servers opt in with -log-level
+// info.
+func RequestLog(logger *slog.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, req)
+			logger.Info("http request",
+				"method", req.Method,
+				"path", req.URL.Path,
+				"route", routeOf(req),
+				"status", sw.code(),
+				"bytes", sw.bytes,
+				"duration", time.Since(start).Round(time.Microsecond).String(),
+			)
+		})
+	}
+}

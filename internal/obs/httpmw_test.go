@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// tag is a Middleware that appends its name on the way in, so chain
+// order is observable.
+func tag(name string, order *[]string) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			*order = append(*order, name)
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), tag("outer", &order), tag("inner", &order))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if got := strings.Join(order, ","); got != "outer,inner,handler" {
+		t.Errorf("chain order = %s, want outer,inner,handler", got)
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	reg := NewRegistry()
+	inflightDuring := int64(-1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/things/{id}", func(w http.ResponseWriter, r *http.Request) {
+		inflightDuring = reg.Gauge("t_http_inflight").Value()
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "short and stout")
+	})
+	h := Chain(mux, HTTPMetrics("t", reg))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/things/42", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if inflightDuring != 1 {
+		t.Errorf("in-flight gauge during handler = %d, want 1", inflightDuring)
+	}
+	if got := reg.Gauge("t_http_inflight").Value(); got != 0 {
+		t.Errorf("in-flight gauge after request = %d, want 0", got)
+	}
+	// Route label is the matched pattern, not the raw path; code label
+	// is the written status.
+	name := Label(Label("t_http_requests_total", "route", "GET /v1/things/{id}"), "code", "418")
+	if got := reg.Counter(name).Value(); got != 1 {
+		t.Errorf("counter %s = %d, want 1", name, got)
+	}
+	if got := reg.Histogram(Label("t_http_request_seconds", "route", "GET /v1/things/{id}"), nil).Count(); got != 1 {
+		t.Errorf("latency histogram count = %d, want 1", got)
+	}
+
+	// Unmatched request: method fallback, never the client's path.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope/unbounded-client-string", nil))
+	name = Label(Label("t_http_requests_total", "route", "GET unmatched"), "code", "404")
+	if got := reg.Counter(name).Value(); got != 1 {
+		t.Errorf("unmatched counter = %d, want 1", got)
+	}
+	for metric := range reg.Snapshot().Counters {
+		if strings.Contains(metric, "unbounded-client-string") {
+			t.Errorf("client path leaked into metric name: %s", metric)
+		}
+	}
+}
+
+func TestHTTPMetricsImplicit200(t *testing.T) {
+	reg := NewRegistry()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok") // no explicit WriteHeader
+	}), HTTPMetrics("t", reg))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	name := Label(Label("t_http_requests_total", "route", "GET unmatched"), "code", "200")
+	if got := reg.Counter(name).Value(); got != 1 {
+		t.Errorf("implicit 200 counter = %d, want 1", got)
+	}
+}
+
+// flushRecorder counts Flush calls so the streaming passthrough is
+// observable through the middleware stack.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+func TestStatusWriterFlushPassthrough(t *testing.T) {
+	rec := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "chunk")
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware hid http.Flusher from the handler")
+		}
+		f.Flush()
+	}), HTTPMetrics("t", NewRegistry()), RequestLog(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.flushes == 0 {
+		t.Error("Flush did not reach the underlying writer")
+	}
+}
+
+func TestRequestLog(t *testing.T) {
+	var mu sync.Mutex
+	var sb strings.Builder
+	SetLogOutput(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	}))
+	SetLogLevel(slog.LevelInfo)
+	defer func() {
+		SetLogOutput(os.Stderr)
+		SetLogLevel(slog.LevelWarn)
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	h := Chain(mux, RequestLog(Logger("test")))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/ping", nil))
+
+	mu.Lock()
+	out := sb.String()
+	mu.Unlock()
+	for _, want := range []string{"component=test", "method=GET", `route="GET /v1/ping"`, "status=200", "bytes=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("request log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) did not fail")
+	}
+}
+
+func TestVersionHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	VersionHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/version", nil))
+	var bi BuildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &bi); err != nil {
+		t.Fatalf("version body invalid: %v", err)
+	}
+	if bi.GoVersion == "" {
+		t.Error("version missing go_version")
+	}
+}
+
+func TestWithPprof(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "app")
+	})
+	// Disabled: identity, pprof paths fall through to the app.
+	if h := WithPprof(inner, false); h == nil {
+		t.Fatal("nil handler")
+	} else {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+		if rec.Body.String() != "app" {
+			t.Errorf("disabled pprof intercepted the request: %q", rec.Body.String())
+		}
+	}
+	// Enabled: pprof index served, app still reachable.
+	h := WithPprof(inner, true)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "pprof") {
+		t.Errorf("pprof index = %d %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/anything", nil))
+	if rec.Body.String() != "app" {
+		t.Errorf("app not reachable behind pprof mux: %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// The logging side of obs: one process-wide slog root with a dynamic
+// level and a swappable output writer, and per-component child loggers
+// carrying a `component` attribute. The default level is Warn so the
+// short-lived CLIs stay quiet; the long-running servers raise it to
+// Info via their -log-level flag.
+
+var (
+	logLevel  = newLevelVar()
+	logOutput atomic.Pointer[io.Writer]
+	root      *slog.Logger
+)
+
+func newLevelVar() *slog.LevelVar {
+	v := new(slog.LevelVar)
+	v.Set(slog.LevelWarn)
+	return v
+}
+
+func init() {
+	var w io.Writer = os.Stderr
+	logOutput.Store(&w)
+	root = slog.New(slog.NewTextHandler(swappableWriter{}, &slog.HandlerOptions{Level: logLevel}))
+}
+
+// swappableWriter forwards to the current SetLogOutput target. slog's
+// TextHandler serializes its Write calls, so the forwarded writer sees
+// whole records.
+type swappableWriter struct{}
+
+func (swappableWriter) Write(p []byte) (int, error) { return (*logOutput.Load()).Write(p) }
+
+// Logger returns the structured logger for one component
+// ("farm", "dist", "service", ...). Children share the root's level
+// and output, so SetLogLevel/SetLogOutput affect every component at
+// once.
+func Logger(component string) *slog.Logger {
+	return root.With("component", component)
+}
+
+// SetLogLevel sets the process log level (default Warn).
+func SetLogLevel(l slog.Level) { logLevel.Set(l) }
+
+// SetLogOutput redirects all obs logging (default os.Stderr). Tests
+// point it at a buffer.
+func SetLogOutput(w io.Writer) { logOutput.Store(&w) }
+
+// ParseLevel maps the usual level names (debug, info, warn, error —
+// case-insensitive) to slog levels; the -log-level flags go through
+// it.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}

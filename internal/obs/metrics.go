@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use, but counters normally come from Registry.Counter so
+// they appear in snapshots and exports.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (queue depths, in-flight
+// counts, last-observed rates). All operations are single atomics.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative deltas subtract). Concurrent sweeps sharing
+// one gauge must use Add, not Set, so their contributions compose.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default histogram bounds: latency-shaped,
+// exponential from 0.5ms to 60s. They suit everything the repo times —
+// per-job farm latencies, HTTP requests, shard replays.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram counts observations into fixed cumulative-exportable
+// buckets. Observe is lock-free: a binary search over the bounds, one
+// atomic bucket add, one atomic count add and one CAS-loop float add
+// for the sum.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v: standard le (less-or-equal) bucket semantics.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// atomicFloat is a float64 with atomic add, stored as bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Registry holds a process's metrics by name. Lookup (Counter, Gauge,
+// Histogram) is get-or-create under an RWMutex; instrumented code
+// resolves its metrics once into package variables, so the map is
+// never on a hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry. Tests that need isolation
+// from the process-wide Default build their own.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry — the one the instrumented
+// packages write to and /v1/metrics serves.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use (nil means DefBuckets). Later
+// callers get the existing histogram whatever bounds they pass — the
+// first registration wins, as with every get-or-create here.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Label appends one label dimension to a metric name, Prometheus
+// style: Label("x_total", "route", "GET /v1/studies") is
+// `x_total{route="GET /v1/studies"}`. Applied to a name that already
+// carries labels it appends inside the existing braces. Backslashes
+// and quotes in the value are escaped.
+func Label(name, key, value string) string {
+	value = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + key + "=\"" + value + "\"}"
+	}
+	return name + "{" + key + "=\"" + value + "\"}"
+}
+
+// HistogramSnapshot is one histogram's state in a Snapshot.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket: the count of
+// observations <= LE ("+Inf" for the overflow bucket). LE is a string
+// because +Inf has no JSON number representation.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-marshalable —
+// the payload of /v1/metrics (JSON mode) and mp4study -metrics-out.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. Counters and gauges
+// are read atomically per metric; the snapshot as a whole is not a
+// consistent cut (it never needs to be — these are monitoring data).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Buckets: make([]BucketCount, 0, len(h.buckets)),
+		}
+		cum := uint64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{LE: le, Count: cum})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSON writes the snapshot as indented JSON (expvar-style).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// splitLabels cuts a metric name into its family and the inner label
+// list: `a{b="c"}` → ("a", `b="c"`); an unlabeled name returns itself
+// and "".
+func splitLabels(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (text/plain; version=0.0.4): counters, gauges,
+// then histograms with cumulative le buckets, _sum and _count. Names
+// sort so scrapes diff cleanly; the # TYPE line is emitted once per
+// family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	bw := &errWriter{w: w}
+	typed := map[string]bool{}
+	typeLine := func(family, kind string) {
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", family, kind)
+		}
+	}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		family, _ := splitLabels(name)
+		typeLine(family, "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		family, _ := splitLabels(name)
+		typeLine(family, "gauge")
+		fmt.Fprintf(bw, "%s %d\n", name, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		family, labels := splitLabels(name)
+		typeLine(family, "histogram")
+		h := snap.Histograms[name]
+		for _, b := range h.Buckets {
+			sep := ""
+			if labels != "" {
+				sep = ","
+			}
+			fmt.Fprintf(bw, "%s_bucket{%s%sle=%q} %d\n", family, labels, sep, b.LE, b.Count)
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", family, suffix, formatFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", family, suffix, h.Count)
+	}
+	return bw.err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// errWriter latches the first write error so the format loops stay
+// uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
+// Handler serves the registry over HTTP with content negotiation:
+// an Accept header naming application/json (or ?format=json) gets the
+// JSON snapshot; everything else gets the Prometheus text format —
+// what a scraper or plain curl sees.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}

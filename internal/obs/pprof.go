@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ in
+// front of next when enabled; otherwise it returns next unchanged. The
+// profiling endpoints are opt-in (a -pprof flag on the server binaries)
+// because they expose process internals and an unauthenticated CPU
+// profile is a free denial-of-service lever.
+//
+// The handlers are mounted explicitly rather than through
+// http.DefaultServeMux, so a binary that serves its own mux never
+// exposes them by accident.
+func WithPprof(next http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return next
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}

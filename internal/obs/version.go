@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies a running binary: the /v1/version payload of
+// mp4served and mp4worker, and part of their health output. Fields
+// come from runtime/debug.ReadBuildInfo; VCS fields are empty when the
+// binary was built outside a checkout (go test binaries, plain go run).
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+var readVersion = sync.OnceValue(func() BuildInfo {
+	info := BuildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.BuildTime = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Version returns the running binary's build identity (cached after
+// the first call).
+func Version() BuildInfo { return readVersion() }
+
+// VersionHandler serves Version() as JSON — the GET /v1/version
+// endpoint.
+func VersionHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Version())
+	})
+}

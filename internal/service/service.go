@@ -32,7 +32,25 @@ import (
 
 	"repro/internal/farm"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
+
+// Study lifecycle metrics. The queued/running gauges move by deltas so
+// several Servers in one process (tests, embedded services) compose;
+// the outcome counter is one family split by a label, so the terminal
+// states sum to submissions that have finished.
+var (
+	mStudiesSubmitted = obs.Default().Counter("service_studies_submitted_total")
+	mStudiesQueued    = obs.Default().Gauge("service_studies_queued")
+	mStudiesRunning   = obs.Default().Gauge("service_studies_running")
+	mStudiesDone      = obs.Default().Counter(obs.Label("service_studies_finished_total", "outcome", "done"))
+	mStudiesFailed    = obs.Default().Counter(obs.Label("service_studies_finished_total", "outcome", "failed"))
+	mStudiesCancelled = obs.Default().Counter(obs.Label("service_studies_finished_total", "outcome", "cancelled"))
+	mExperimentsDone  = obs.Default().Counter("service_experiments_rendered_total")
+	mStudySeconds     = obs.Default().Histogram("service_study_seconds", nil)
+)
+
+var serviceLog = obs.Logger("service")
 
 // StudySpec is one submission: an experiment list plus run settings.
 // It is a superset of mp4study's manifest schema, so a manifest file
@@ -223,7 +241,11 @@ func New(cfg Config) *Server {
 	}
 }
 
-// Handler returns the HTTP handler for the service API.
+// Handler returns the HTTP handler for the service API, wrapped in the
+// obs middleware chain (request logging, in-flight gauge, per-route
+// request counts and latency) and exposing the process metrics registry
+// at /v1/metrics (Prometheus text, or JSON by content negotiation) plus
+// the build identity at /v1/version.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/studies", s.handleSubmit)
@@ -232,7 +254,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/studies/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/studies/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
-	return mux
+	mux.Handle("GET /v1/metrics", obs.Default().Handler())
+	mux.Handle("GET /v1/version", obs.VersionHandler())
+	return obs.Chain(mux,
+		obs.RequestLog(serviceLog),
+		obs.HTTPMetrics("service", nil),
+	)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -298,6 +325,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	mStudiesSubmitted.Inc()
+	mStudiesQueued.Inc()
+	serviceLog.Info("study submitted",
+		"id", j.id, "experiments", len(spec.Experiments), "frames", spec.Frames)
 	go s.run(jobCtx, j)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
@@ -312,23 +343,38 @@ func (s *Server) run(ctx context.Context, j *job) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		mStudiesQueued.Dec()
+		mStudiesCancelled.Inc()
 		j.fail(fmt.Errorf("cancelled while queued"))
 		return
 	}
+	mStudiesQueued.Dec()
+	mStudiesRunning.Inc()
+	defer mStudiesRunning.Dec()
+	start := time.Now()
 	j.setState(StateRunning)
+	serviceLog.Info("study started", "id", j.id, "experiments", len(j.spec.Experiments))
 	ctx = harness.WithStudy(ctx, j.study)
 	for i, e := range j.spec.Experiments {
 		out, err := harness.RenderExperiment(ctx, s.pool, e, j.spec.Frames)
 		if err != nil {
 			if ctx.Err() != nil {
+				mStudiesCancelled.Inc()
+				serviceLog.Info("study cancelled", "id", j.id, "during", e.Label())
 				j.fail(fmt.Errorf("cancelled during %s", e.Label()))
 			} else {
+				mStudiesFailed.Inc()
+				serviceLog.Warn("study failed", "id", j.id, "experiment", e.Label(), "err", err)
 				j.fail(fmt.Errorf("%s: %w", e.Label(), err))
 			}
 			return
 		}
+		mExperimentsDone.Inc()
 		j.setOutput(i, out)
 	}
+	mStudiesDone.Inc()
+	mStudySeconds.ObserveSince(start)
+	serviceLog.Info("study done", "id", j.id, "elapsed", time.Since(start))
 	j.setState(StateDone)
 }
 
@@ -470,6 +516,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"running":  running,
 		"workers":  s.pool.Workers(),
 		"shutdown": closed,
+		"version":  obs.Version(),
 	})
 }
 

@@ -12,8 +12,10 @@ package trace
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/simmem"
 )
 
@@ -203,6 +205,9 @@ func (t *L2Trace) String() string {
 // counter-identical to running the full workload live against a
 // cache.Hierarchy{L1: t.L1, L2: l2}.
 func (t *L2Trace) Replay(l2 cache.Config) (cache.Stats, map[string]cache.Stats) {
+	if obs.Enabled() {
+		defer noteL2Replay(time.Now(), len(t.events))
+	}
 	c := cache.New(l2)
 	var l2Accesses, l2Misses, l2Writebacks uint64
 

@@ -28,9 +28,52 @@ package trace
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simmem"
 )
+
+// Replay-throughput metrics. The replay loops are the hottest code in
+// the repository, so instrumentation is strictly per *call*: two
+// time.Now reads and a handful of atomics per replay of millions of
+// records, and nothing at all when obs is disabled (BenchmarkObsOverhead
+// proves both halves). The *_per_sec gauges hold the last completed
+// replay's throughput — the live number a dashboard wants mid-sweep;
+// the counter/histogram pairs give the cumulative rate
+// (records_total / seconds sum).
+var (
+	mReplays         = obs.Default().Counter("trace_replay_total")
+	mReplayRecords   = obs.Default().Counter("trace_replay_records_total")
+	mReplaySeconds   = obs.Default().Histogram("trace_replay_seconds", nil)
+	mReplayRate      = obs.Default().Gauge("trace_replay_records_per_sec")
+	mL2Replays       = obs.Default().Counter("trace_replay_l2_total")
+	mL2ReplayEvents  = obs.Default().Counter("trace_replay_l2_events_total")
+	mL2ReplaySeconds = obs.Default().Histogram("trace_replay_l2_seconds", nil)
+	mL2ReplayRate    = obs.Default().Gauge("trace_replay_l2_events_per_sec")
+)
+
+// noteReplay records one finished full-trace replay of n records.
+func noteReplay(start time.Time, n int) {
+	elapsed := time.Since(start).Seconds()
+	mReplaySeconds.Observe(elapsed)
+	mReplays.Inc()
+	mReplayRecords.Add(uint64(n))
+	if elapsed > 0 {
+		mReplayRate.Set(int64(float64(n) / elapsed))
+	}
+}
+
+// noteL2Replay records one finished L2-trace replay of n events.
+func noteL2Replay(start time.Time, n int) {
+	elapsed := time.Since(start).Seconds()
+	mL2ReplaySeconds.Observe(elapsed)
+	mL2Replays.Inc()
+	mL2ReplayEvents.Add(uint64(n))
+	if elapsed > 0 {
+		mL2ReplayRate.Set(int64(float64(n) / elapsed))
+	}
+}
 
 // Record opcodes. Loads/stores/prefetches appear both as single
 // accesses (opAccess*) and as strided runs (opRun*, rows == 1 for flat
@@ -106,6 +149,9 @@ type PhaseSink interface {
 // cache.Hierarchy ends in a state and Stats identical to live tracing —
 // for any geometry, not just the one the trace was recorded against.
 func (t *Trace) Replay(tr simmem.Tracer, ph PhaseSink) {
+	if obs.Enabled() {
+		defer noteReplay(time.Now(), t.records)
+	}
 	st, strided := tr.(simmem.StridedTracer)
 	for _, ch := range t.chunks {
 		for i := range ch {

@@ -2,24 +2,32 @@
 # Runs the top-level benchmarks once each (-benchtime=1x) and records
 # the results as JSON, seeding the repository's perf trajectory.
 #
-#   scripts/bench.sh                         # full suite -> BENCH_pr5.json
+#   scripts/bench.sh                         # full suite -> BENCH_pr6.json
 #   BENCH='ReplaySweep|Record' scripts/bench.sh   # filtered
 #   OUT=/tmp/bench.json scripts/bench.sh     # alternate output path
 #
 # The raw `go test` output is kept next to the JSON (same path, .txt)
-# so b.Log tables remain inspectable. BENCH_pr5.json adds
-# BenchmarkPolicySweep (per-policy replay throughput and miss-rate
-# deltas from one capture); its lru sub-benchmark and the unchanged
-# BenchmarkReplaySweep/replay are the LRU fast-path regression guards
-# against BENCH_pr2.json.
+# so b.Log tables remain inspectable. BENCH_pr6.json adds
+# BenchmarkObsOverhead: the BenchmarkReplaySweep/replay sweep with
+# instrumentation on vs obs.SetEnabled(false) — both halves must stay
+# within 2% of BENCH_pr5.json's BenchmarkReplaySweep/replay, the proof
+# that the observability layer costs nothing on the replay hot path.
+# That 2% bound is tighter than single-iteration machine noise, so
+# ObsOverhead alone is recorded in a second pass at 10 iterations per
+# half; its 1x lines from the main pass are dropped from the record.
 set -eu
 
 BENCH="${BENCH:-.}"
-OUT="${OUT:-BENCH_pr5.json}"
+OUT="${OUT:-BENCH_pr6.json}"
 
 cd "$(dirname "$0")/.."
 
 raw="${OUT%.json}.txt"
-go test -run '^$' -bench "$BENCH" -benchtime=1x -timeout 60m . | tee "$raw"
+go test -run '^$' -bench "$BENCH" -benchtime=1x -timeout 60m . \
+  | grep -v '^BenchmarkObsOverhead' | tee "$raw"
+if printf 'BenchmarkObsOverhead/instrumented' | grep -Eq "$BENCH"; then
+  go test -run '^$' -bench 'BenchmarkObsOverhead' -benchtime=10x -timeout 60m . \
+    | grep '^BenchmarkObsOverhead' | tee -a "$raw"
+fi
 go run ./cmd/benchjson < "$raw" > "$OUT"
 echo "wrote $OUT (raw log in $raw)" >&2
