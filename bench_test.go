@@ -375,6 +375,44 @@ func BenchmarkDistributedSweep(b *testing.B) {
 	b.Run("distributed-2workers-fulltrace", distributed(true))
 }
 
+// BenchmarkFailoverOverhead prices the self-healing layer on the happy
+// path: the same two-worker distributed sweep with the full resilient
+// scheduler (classification, breakers, background health prober) vs
+// the prober disabled. On a healthy fleet the two must be
+// indistinguishable — the fault machinery may only cost when faults
+// happen (retry backoff, probes of dead workers), never per shard.
+func BenchmarkFailoverOverhead(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	nConfigs := len(harness.GeometryL1Configs()) * len(harness.GeometryL2Sizes())
+	run := func(disableReadmission bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			var urls []string
+			for i := 0; i < 2; i++ {
+				srv := httptest.NewServer(dist.NewWorker(dist.WorkerConfig{}).Handler())
+				defer srv.Close()
+				urls = append(urls, srv.URL)
+			}
+			coord := &dist.Coordinator{Workers: urls, DisableReadmission: disableReadmission}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts, st, err := coord.GeometrySweepWithStats(context.Background(), wl, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pts) != nConfigs {
+					b.Fatalf("got %d points", len(pts))
+				}
+				if st.Retries != 0 || st.DeadWorkers != 0 {
+					b.Fatalf("healthy fleet hit the fault path: %+v", st)
+				}
+			}
+			b.ReportMetric(float64(nConfigs), "configs")
+		}
+	}
+	b.Run("resilient", run(false))
+	b.Run("no-readmission", run(true))
+}
+
 // BenchmarkPolicySweep measures the replacement-policy axis: one
 // capture, each policy's full row (L1 filter replay + 6 L2-size
 // replays) per iteration. The lru sub-benchmark is the fast-path

@@ -61,9 +61,14 @@
 // coordinator encodes once, filters the capture per L1 configuration,
 // ships each L1 row's small L2-bound trace to the workers, and merges
 // the sharded results — identical output to the local sweep, with
-// worker failures absorbed by re-planning shards onto the survivors
-// (see internal/dist). A fleet summary (uploads, bytes shipped,
-// failovers) goes to stderr.
+// worker failures absorbed by the self-healing scheduler: transient
+// errors retry under backoff, repeat offenders are breaker-dropped and
+// their shards re-planned onto the survivors, and recovered workers
+// are re-admitted mid-sweep by the health prober (see internal/dist).
+// -max-attempts bounds the per-batch attempt budget and
+// -fallback-local replays undelivered shards locally if the whole
+// fleet is lost. A fleet summary (uploads, bytes shipped, failovers,
+// retries, breaker trips, readmissions) goes to stderr.
 //
 // Batch-manifest mode runs an arbitrary experiment list concurrently
 // and prints the outputs in manifest order. The manifest is JSON (the
@@ -120,6 +125,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "with -sweep geometry: write the encode capture to this file (portable wire format)")
 	traceIn := flag.String("trace-in", "", "with -sweep geometry: replay this capture file instead of encoding")
 	workers := flag.String("workers", "", "with -sweep geometry: comma-separated mp4worker base URLs; shards the sweep across the fleet")
+	maxAttempts := flag.Int("max-attempts", 0, "with -workers: per-shard-batch attempt budget, counting retries and failovers (0 = coordinator default)")
+	fallbackLocal := flag.Bool("fallback-local", false, "with -workers: replay undelivered shards locally if the whole fleet is lost, instead of failing the sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
@@ -196,6 +203,9 @@ func main() {
 			fatal(fmt.Errorf("-workers is incompatible with -trace-out/-trace-in (the coordinator captures and ships per-L1 filtered traces itself)"))
 		}
 	}
+	if (*maxAttempts != 0 || *fallbackLocal) && *workers == "" {
+		fatal(fmt.Errorf("-max-attempts/-fallback-local require -workers"))
+	}
 	// The sweep spec carries the policy axis; validating it up front
 	// turns a typo'd -policy into a flag error, not a mid-sweep one.
 	sweepSpec := harness.ExperimentSpec{Sweep: *sweep, Policies: splitList(*policy)}
@@ -228,7 +238,7 @@ func main() {
 			fatal(err)
 		}
 	case replaySweep && *workers != "":
-		if err := runGeometryFleet(ctx, *frames, *workers, sweepSpec); err != nil {
+		if err := runGeometryFleet(ctx, *frames, *workers, *maxAttempts, *fallbackLocal, sweepSpec); err != nil {
 			fatal(err)
 		}
 	case replaySweep && (*traceOut != "" || *traceIn != ""):
@@ -338,12 +348,16 @@ func runGeometryTraceIO(ctx context.Context, pool *farm.Pool, frames int, traceI
 // processes simulate (the policy axis rides inside each shard's L1
 // config). The printed sweep is identical to the local one; the fleet
 // accounting goes to stderr.
-func runGeometryFleet(ctx context.Context, frames int, workers string, spec harness.ExperimentSpec) error {
+func runGeometryFleet(ctx context.Context, frames int, workers string, maxAttempts int, fallbackLocal bool, spec harness.ExperimentSpec) error {
 	urls := splitList(workers)
 	if len(urls) == 0 {
 		return fmt.Errorf("-workers: no worker URLs")
 	}
-	coord := &dist.Coordinator{Workers: urls}
+	coord := &dist.Coordinator{
+		Workers:       urls,
+		MaxAttempts:   maxAttempts,
+		FallbackLocal: fallbackLocal,
+	}
 	wl := harness.Workload{W: 352, H: 288, Frames: frames}
 	l1s, l2Sizes, err := spec.SweepAxes()
 	if err != nil {
@@ -361,6 +375,12 @@ func runGeometryFleet(ctx context.Context, frames int, workers string, spec harn
 		"fleet: %d workers, %d uploads of %s (%.1f MB), %d replay calls, %d failovers, %d workers lost\n",
 		len(urls), stats.Uploads, shipped, float64(stats.UploadBytes)/(1<<20),
 		stats.Replays, stats.Failovers, stats.DeadWorkers)
+	statusf(
+		"fleet: %d retries, %d breaker trips, %d health probes, %d readmissions\n",
+		stats.Retries, stats.BreakerTrips, stats.Probes, stats.Readmissions)
+	if stats.FallbackShards > 0 {
+		statusf("fleet: %d shards replayed through the local fallback\n", stats.FallbackShards)
+	}
 	for _, f := range stats.WorkerFailures {
 		statusf("fleet: lost %s\n", f)
 	}

@@ -71,9 +71,42 @@ type Coordinator struct {
 	// 10m. Raise it (and supply a Client whose transport allows it)
 	// for very long traces.
 	ReplayTimeout time.Duration
-	// MaxAttempts bounds how many workers may try one shard batch
-	// before the sweep fails. <= 0 means 3.
+	// MaxAttempts bounds how many attempts one shard batch may consume
+	// — retries on the same worker and failovers onto others both
+	// count — before the sweep fails. <= 0 means 3.
 	MaxAttempts int
+
+	// RetryBaseDelay is the backoff before the first retry of a
+	// transient failure; it doubles per retry up to RetryMaxDelay, with
+	// seeded jitter in [0.5, 1)×. <= 0 means 100ms / 2s.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerThreshold is how many consecutive transient failures open
+	// a worker's circuit breaker (dropping the worker into the
+	// prober's care instead of burning the batch budget on it).
+	// <= 0 means 2.
+	BreakerThreshold int
+	// BreakerCooldown is how long a dropped worker stays unprobed; it
+	// doubles with every re-open of the same worker's breaker.
+	// <= 0 means 500ms.
+	BreakerCooldown time.Duration
+	// ProbeInterval and ProbeTimeout pace the health prober that
+	// re-admits recovered workers mid-sweep. <= 0 means 250ms / 2s.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// DisableReadmission turns the health prober off: a dropped worker
+	// stays dropped for the sweep's lifetime (the pre-self-healing
+	// behavior, and the baseline of BenchmarkFailoverOverhead).
+	DisableReadmission bool
+	// FallbackLocal replays whatever shards the fleet could not
+	// deliver through the local harness path instead of failing the
+	// sweep — byte-identical output, degraded wall-clock. Caller
+	// cancellation is never rescued.
+	FallbackLocal bool
+	// Seed drives the backoff jitter. 0 means 1 (deterministic
+	// default), so two identically-seeded sweeps retry on the same
+	// schedule.
+	Seed uint64
 }
 
 // defaultClient is used when Coordinator.Client is nil. It bounds
@@ -149,6 +182,24 @@ type SweepStats struct {
 	// in failure order — a sweep that survived failovers should still
 	// say what went wrong.
 	WorkerFailures []string
+	// Retries counts transient batch failures retried on the same
+	// worker after backoff (failovers onto another worker are counted
+	// separately, in Failovers).
+	Retries int
+	// BreakerTrips counts circuit breakers opened (a worker can trip
+	// more than once if it is re-admitted and fails again).
+	BreakerTrips int
+	// Probes and Readmissions count the health prober's work: probes
+	// sent to dropped workers, and workers brought back mid-sweep.
+	Probes       int
+	Readmissions int
+	// FallbackShards counts shards replayed through the local fallback
+	// path because the fleet could not deliver them.
+	FallbackShards int
+	// ShardsByWorker counts successfully replayed shards per worker
+	// URL — the direct record of who actually served what (a
+	// re-admitted worker shows up here with its post-restart shards).
+	ShardsByWorker map[string]int
 }
 
 // planShards cuts the (L1 × L2 size) grid into shards: per L1, the L2
@@ -346,27 +397,56 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s.cancel = cancel
-	var wg sync.WaitGroup
+	s.ctx = sctx
+	s.running = len(c.Workers)
 	for wi := range c.Workers {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			s.runWorker(sctx, wi)
-		}(wi)
+		go s.runWorker(sctx, wi)
 	}
-	wg.Wait()
-	// Return the gauges' contributions (survivors, and any batches a
-	// fatal error left undone) so they read zero once no sweep runs.
+	if c.DisableReadmission {
+		close(s.proberDone)
+	} else {
+		go s.runProber(sctx)
+	}
+	// Join on the goroutine counter, not a WaitGroup: re-admission
+	// spawns fresh runWorker goroutines mid-sweep, which a WaitGroup
+	// whose Wait already began cannot absorb.
+	s.mu.Lock()
+	for s.running > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	// All work is decided (done or fatal); cancel the sweep context so
+	// an in-flight health probe aborts instead of delaying the join.
+	cancel()
+	<-s.proberDone
+	// Return the gauges' contributions (survivors, open breakers, and
+	// any batches a fatal error left undone) so they read zero once no
+	// sweep runs.
 	mWorkersAlive.Add(-int64(s.aliveN))
 	mBatchesPend.Add(-int64(s.pendingN))
+	mBreakersOpen.Add(-int64(s.openN))
 	distLog.Info("sweep finished",
 		"replays", s.stats.Replays, "uploads", s.stats.Uploads,
 		"upload_bytes", s.stats.UploadBytes, "failovers", s.stats.Failovers,
+		"retries", s.stats.Retries, "readmissions", s.stats.Readmissions,
 		"dead_workers", s.stats.DeadWorkers, "fatal", s.fatal != nil)
 	defer c.deleteAll(s.uploaded)
 
 	s.stats.L2Shipped = stats.L2Shipped
 	if s.fatal != nil {
+		// Graceful degradation: with FallbackLocal, a fleet-fatal sweep
+		// replays its undelivered shards through the local harness path —
+		// byte-identical output, degraded wall-clock. Caller cancellation
+		// is never rescued: the caller asked the whole sweep to stop.
+		if c.FallbackLocal && ctx.Err() == nil {
+			n, ferr := s.fallbackLocal(ctx, capture, shards)
+			if ferr != nil {
+				return nil, s.stats, fmt.Errorf("%w (local fallback failed after %d shards: %v)", s.fatal, n, ferr)
+			}
+			distLog.Warn("sweep completed via local fallback",
+				"shards", n, "fleet_error", s.fatal)
+			return s.results, s.stats, nil
+		}
 		return nil, s.stats, s.fatal
 	}
 	for i, pts := range s.results {
@@ -446,16 +526,34 @@ func (c *Coordinator) buildPayloads(ctx context.Context, capture *harness.Captur
 type sweepState struct {
 	c      *Coordinator
 	cancel context.CancelFunc
+	// ctx is the sweep context, kept so the prober can hand it to the
+	// runWorker goroutines it spawns on re-admission.
+	ctx context.Context
+	// proberDone closes when the prober loop exits (immediately if
+	// re-admission is disabled); the sweep joins on it after the worker
+	// goroutines so nothing touches shared state during cleanup.
+	proberDone chan struct{}
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queues   [][]*batch
 	pendingN int // batches not yet completed (queued + running)
-	alive    []bool
-	aliveN   int
-	busy     []bool // worker is mid-batch (its queue length alone lies)
-	fatal    error
-	stats    SweepStats
+	running  int // live runWorker goroutines (a WaitGroup cannot re-Add
+	// after Wait began, and re-admission does exactly that)
+	alive  []bool
+	aliveN int
+	busy   []bool // worker is mid-batch (its queue length alone lies)
+	// breakers, downSince and noReadmit are the self-healing state:
+	// per-worker circuit breakers, when each dropped worker went down
+	// (for the prober's cooldown), and the workers barred from
+	// re-admission (protocol violators).
+	breakers  []breaker
+	downSince []time.Time
+	noReadmit []bool
+	openN     int    // breakers currently open, for the gauge drain
+	rng       uint64 // seeded jitter state (mu-guarded)
+	fatal     error
+	stats     SweepStats
 
 	// results is indexed by shard index; each element is written by
 	// exactly one in-flight batch at a time.
@@ -467,15 +565,25 @@ type sweepState struct {
 }
 
 func newSweepState(c *Coordinator, nShards int) *sweepState {
-	s := &sweepState{
-		c:        c,
-		queues:   make([][]*batch, len(c.Workers)),
-		alive:    make([]bool, len(c.Workers)),
-		aliveN:   len(c.Workers),
-		busy:     make([]bool, len(c.Workers)),
-		results:  make([][]harness.GeometryPoint, nShards),
-		uploaded: make([]map[string]string, len(c.Workers)),
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
 	}
+	s := &sweepState{
+		c:          c,
+		proberDone: make(chan struct{}),
+		queues:     make([][]*batch, len(c.Workers)),
+		alive:      make([]bool, len(c.Workers)),
+		aliveN:     len(c.Workers),
+		busy:       make([]bool, len(c.Workers)),
+		breakers:   make([]breaker, len(c.Workers)),
+		downSince:  make([]time.Time, len(c.Workers)),
+		noReadmit:  make([]bool, len(c.Workers)),
+		rng:        seed,
+		results:    make([][]harness.GeometryPoint, nShards),
+		uploaded:   make([]map[string]string, len(c.Workers)),
+	}
+	s.stats.ShardsByWorker = map[string]int{}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.alive {
 		s.alive[i] = true
@@ -485,9 +593,19 @@ func newSweepState(c *Coordinator, nShards int) *sweepState {
 }
 
 // runWorker drains worker wi's queue until the sweep completes, the
-// sweep aborts, or the worker itself fails (at which point its work is
-// re-planned and the goroutine exits).
+// sweep aborts, or the worker itself is dropped (at which point its
+// work is re-planned, the goroutine exits, and — unless the worker
+// violated the protocol — the prober may later re-admit it with a
+// fresh goroutine). Transient failures retry on the same worker under
+// exponential backoff while the batch budget and the worker's breaker
+// allow; permanent failures abort the sweep fast.
 func (s *sweepState) runWorker(ctx context.Context, wi int) {
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}()
 	for {
 		s.mu.Lock()
 		for s.fatal == nil && s.pendingN > 0 && len(s.queues[wi]) == 0 {
@@ -506,45 +624,111 @@ func (s *sweepState) runWorker(ctx context.Context, wi int) {
 
 		s.mu.Lock()
 		s.busy[wi] = false
-		if err != nil {
-			if ctx.Err() != nil {
-				// The sweep's context died (caller cancellation, or the
-				// abort broadcast of an earlier fatal error) — the worker
-				// did not fail, so no death, no re-plan, no attempt
-				// burned. setFatal is a no-op if a real fatal error (or
-				// the cancellation) is already recorded.
-				s.setFatal(fmt.Errorf("dist: sweep cancelled: %w", ctx.Err()))
-			} else {
-				s.failWorker(wi, b, err)
-			}
+		if err == nil {
+			s.breakers[wi].fails = 0
+			s.breakers[wi].halfOpen = false
+			s.pendingN--
+			s.stats.Replays++
+			s.stats.ShardsByWorker[s.c.Workers[wi]] += len(b.shards)
+			mBatchesPend.Dec()
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			continue
+		}
+		if ctx.Err() != nil {
+			// The sweep's context died (caller cancellation, or the
+			// abort broadcast of an earlier fatal error) — the worker
+			// did not fail, so no death, no re-plan, no attempt
+			// burned. setFatal is a no-op if a real fatal error (or
+			// the cancellation) is already recorded.
+			s.setFatal(fmt.Errorf("dist: sweep cancelled: %w", ctx.Err()))
 			s.mu.Unlock()
 			s.cond.Broadcast()
 			return
 		}
-		s.pendingN--
-		s.stats.Replays++
-		mBatchesPend.Dec()
+		b.attempts++
+		b.lastErr = fmt.Errorf("worker %s: %w", s.c.Workers[wi], err)
+		switch class := classify(err); class {
+		case classViolation:
+			// The worker is up but wrong: drop it now and bar it from
+			// re-admission for the rest of the sweep.
+			s.noReadmit[wi] = true
+			s.failWorker(wi, b, err)
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		case classPermanent:
+			// 4xx: every worker would answer the same; retrying anywhere
+			// burns budget to learn nothing.
+			s.setFatal(fmt.Errorf("dist: %s on worker %s: permanent error: %w",
+				b.label(), s.c.Workers[wi], err))
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		}
+		// Transient. A replay 404 means the worker restarted and lost
+		// its store — every upload ID cached for it is stale, so forget
+		// them all and let the retry re-upload.
+		if isStatus(err, http.StatusNotFound) {
+			s.uploaded[wi] = map[string]string{}
+		}
+		if b.attempts >= s.c.maxAttempts() {
+			s.setFatal(fmt.Errorf("dist: %s failed after %d attempts (attempt budget %d): %w",
+				b.label(), b.attempts, s.c.maxAttempts(), b.lastErr))
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		}
+		s.breakers[wi].fails++
+		if s.breakers[wi].halfOpen || s.breakers[wi].fails >= s.c.breakerThreshold() {
+			// Consecutive failures (or any failure while half-open):
+			// open the breaker and drop the worker — its batches fail
+			// over now, and the prober decides when it may return.
+			s.tripBreakerLocked(wi)
+			s.failWorker(wi, b, err)
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		}
+		// Retry here after backoff. The batch returns to the FRONT of
+		// this worker's queue so it keeps its place — and stays visible
+		// to the re-admission rebalancer while we sleep.
+		s.queues[wi] = append([]*batch{b}, s.queues[wi]...)
+		s.stats.Retries++
+		delay := s.backoffLocked(b.attempts)
+		mRetries.Inc()
+		distLog.Info("transient failure, retrying after backoff",
+			"worker", s.c.Workers[wi], "batch", b.label(),
+			"attempt", b.attempts, "delay", delay.Round(time.Millisecond).String(),
+			"err", err)
 		s.mu.Unlock()
-		s.cond.Broadcast()
+		if !sleepCtx(ctx, delay) {
+			s.mu.Lock()
+			s.setFatal(fmt.Errorf("dist: sweep cancelled: %w", ctx.Err()))
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		}
 	}
 }
 
 // failWorker (mu held) drops worker wi from the sweep and re-plans its
 // current batch plus everything still queued to it onto the surviving
-// workers. The failed attempt counts against the batch's budget;
-// batches the worker never started carry their counts unchanged. The
-// sweep aborts when no workers remain or a batch exhausts its budget.
+// workers. The caller has already charged the failed attempt to cur's
+// budget and set cur.lastErr; batches the worker never started carry
+// their counts unchanged. The sweep aborts when no workers remain or a
+// batch exhausts its budget — though with re-admission the prober may
+// still bring this worker back later.
 func (s *sweepState) failWorker(wi int, cur *batch, err error) {
 	if s.fatal != nil {
 		return
 	}
 	s.alive[wi] = false
 	s.aliveN--
+	s.downSince[wi] = time.Now()
 	s.stats.DeadWorkers++
 	mWorkerDeaths.Inc()
 	mWorkersAlive.Dec()
-	cur.attempts++
-	cur.lastErr = fmt.Errorf("worker %s: %w", s.c.Workers[wi], err)
 	s.stats.WorkerFailures = append(s.stats.WorkerFailures, cur.lastErr.Error())
 	distLog.Warn("worker dropped from sweep",
 		"worker", s.c.Workers[wi], "batch", cur.label(),
@@ -665,16 +849,16 @@ func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
 	}
 	for _, res := range resp.Results {
 		if !mine[res.Index] {
-			return fmt.Errorf("returned shard index %d it was not assigned", res.Index)
+			return violationf("returned shard index %d it was not assigned", res.Index)
 		}
 		if len(res.Points) == 0 {
-			return fmt.Errorf("shard %d returned no points", res.Index)
+			return violationf("shard %d returned no points", res.Index)
 		}
 		delete(mine, res.Index)
 		s.results[res.Index] = res.Points
 	}
 	if len(mine) > 0 {
-		return fmt.Errorf("response missing %d of %d shards", len(mine), len(b.shards))
+		return violationf("response missing %d of %d shards", len(mine), len(b.shards))
 	}
 	return nil
 }
@@ -722,7 +906,7 @@ func (c *Coordinator) upload(ctx context.Context, base string, p *payload) (*Tra
 		return nil, err
 	}
 	if info.ID == "" {
-		return nil, fmt.Errorf("worker returned an empty trace ID")
+		return nil, violationf("worker returned an empty trace ID")
 	}
 	return &info, nil
 }

@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"os/exec"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -39,7 +41,13 @@ func TestMain(m *testing.M) {
 // port, announces the address on stdout, and exits when stdin closes
 // (i.e. when the parent test dies — including by panic or kill). With
 // DIST_TEST_DIE_ON_REPLAY=1 the process kills itself the moment a
-// replay request arrives — the harness for the kill-a-worker e2e test.
+// replay request arrives — the harness for the kill-a-worker e2e
+// tests. DIST_TEST_REPLAY_DELAY_MS slows every replay (so a sweep is
+// still in progress when a restarted worker comes back), and
+// DIST_TEST_ADDR binds a fixed address instead of an ephemeral one —
+// retrying while the kernel releases a just-killed predecessor's port
+// — which is how the re-admission e2e restarts a worker at the URL the
+// coordinator already knows.
 func runWorkerProcess() {
 	w := NewWorker(WorkerConfig{Workers: 2})
 	var handler http.Handler = w.Handler()
@@ -52,16 +60,54 @@ func runWorkerProcess() {
 			inner.ServeHTTP(rw, r)
 		})
 	}
+	if ms, _ := strconv.Atoi(os.Getenv("DIST_TEST_REPLAY_DELAY_MS")); ms > 0 {
+		inner := handler
+		delay := time.Duration(ms) * time.Millisecond
+		handler = http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/replay" {
+				time.Sleep(delay)
+			}
+			inner.ServeHTTP(rw, r)
+		})
+	}
+	if addr := os.Getenv("DIST_TEST_ADDR"); addr != "" {
+		var ln net.Listener
+		var err error
+		for i := 0; i < 100; i++ {
+			ln, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker: bind %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(ln)
+		fmt.Printf("WORKER http://%s\n", ln.Addr())
+		io.Copy(io.Discard, os.Stdin)
+		srv.Close()
+		return
+	}
 	srv := httptest.NewServer(handler)
 	fmt.Printf("WORKER %s\n", srv.URL)
 	io.Copy(io.Discard, os.Stdin)
 	srv.Close()
 }
 
-// spawnWorker launches one worker process (with optional extra
-// environment) and returns its base URL. The worker dies with the
-// test via its stdin pipe.
-func spawnWorker(t *testing.T, extraEnv ...string) string {
+// workerProc is a spawned worker OS process the test can watch die
+// (Wait) — the handle the kill-and-restart e2e needs beyond the URL.
+type workerProc struct {
+	url string
+	cmd *exec.Cmd
+}
+
+// spawnWorkerProc launches one worker process (with optional extra
+// environment) and returns its handle. The worker dies with the test
+// via its stdin pipe.
+func spawnWorkerProc(t *testing.T, extraEnv ...string) *workerProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^$")
 	cmd.Env = append(append(os.Environ(), "DIST_TEST_WORKER=1"), extraEnv...)
@@ -94,7 +140,13 @@ func spawnWorker(t *testing.T, extraEnv ...string) string {
 	if url == "" {
 		t.Fatal("worker never announced its address")
 	}
-	return url
+	return &workerProc{url: url, cmd: cmd}
+}
+
+// spawnWorker launches one worker process and returns its base URL.
+func spawnWorker(t *testing.T, extraEnv ...string) string {
+	t.Helper()
+	return spawnWorkerProc(t, extraEnv...).url
 }
 
 // spawnWorkers launches n worker processes and returns their base
@@ -333,6 +385,79 @@ func TestDistributedSweepSurvivesKilledWorkerProcess(t *testing.T) {
 	}
 	if !reflect.DeepEqual(distPoints, localPoints) {
 		t.Fatalf("failover sweep differs from local\ndist  %+v\nlocal %+v", distPoints, localPoints)
+	}
+}
+
+// TestDistributedSweepReadmitsRestartedWorkerProcess is the
+// self-healing acceptance test at full fidelity: three real worker OS
+// processes, one of which kills itself on its first replay request.
+// The test restarts the dead worker at the SAME address mid-sweep
+// (the two survivors are slowed so work remains), and the
+// coordinator's health prober must re-admit it: the sweep completes
+// byte-identical to the local sweep, SweepStats records the
+// re-admission, and the restarted worker serves post-restart shards.
+func TestDistributedSweepReadmitsRestartedWorkerProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	victim := spawnWorkerProc(t, "DIST_TEST_DIE_ON_REPLAY=1")
+	survivors := []string{
+		spawnWorker(t, "DIST_TEST_REPLAY_DELAY_MS=400"),
+		spawnWorker(t, "DIST_TEST_REPLAY_DELAY_MS=400"),
+	}
+	urls := append([]string{victim.url}, survivors...)
+	coord := &Coordinator{
+		Workers:         urls,
+		MaxAttempts:     5,
+		RetryBaseDelay:  5 * time.Millisecond,
+		RetryMaxDelay:   25 * time.Millisecond,
+		BreakerCooldown: 10 * time.Millisecond,
+		ProbeInterval:   25 * time.Millisecond,
+		ProbeTimeout:    2 * time.Second,
+	}
+	wl := harness.Workload{W: 160, H: 128, Frames: 2}
+	l1s, l2Sizes := sweepAxes()
+
+	type sweepResult struct {
+		points []harness.GeometryPoint
+		stats  SweepStats
+		err    error
+	}
+	done := make(chan sweepResult, 1)
+	go func() {
+		points, stats, err := coord.GeometrySweepWithStats(context.Background(), wl, l1s, l2Sizes)
+		done <- sweepResult{points, stats, err}
+	}()
+
+	// The victim os.Exit(1)s on its first replay; restart it at the
+	// same address the moment it dies, while the slowed survivors keep
+	// the sweep in flight.
+	victim.cmd.Wait()
+	addr := strings.TrimPrefix(victim.url, "http://")
+	restarted := spawnWorkerProc(t, "DIST_TEST_ADDR="+addr)
+	if restarted.url != victim.url {
+		t.Fatalf("restarted worker came up at %s, want %s", restarted.url, victim.url)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("sweep did not survive the kill-and-restart: %v (stats %+v)", res.err, res.stats)
+	}
+	if res.stats.DeadWorkers < 1 {
+		t.Errorf("the killed worker was never detected: %+v", res.stats)
+	}
+	if res.stats.Readmissions < 1 {
+		t.Errorf("the restarted worker was never re-admitted: %+v", res.stats)
+	}
+	if res.stats.ShardsByWorker[victim.url] == 0 {
+		t.Errorf("the re-admitted worker served no post-restart shards: %+v", res.stats.ShardsByWorker)
+	}
+	localPoints, err := harness.RunGeometrySweep(wl, l1s, l2Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.points, localPoints) {
+		t.Fatalf("re-admission sweep differs from local\ndist  %+v\nlocal %+v", res.points, localPoints)
 	}
 }
 

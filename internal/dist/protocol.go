@@ -16,14 +16,27 @@
 // harness.RunGeometrySweep (asserted end-to-end by the tests, across
 // real worker subprocesses).
 //
-// The coordinator is failover-aware: uploads happen lazily per
-// (worker, trace) when the first shard batch needing the trace is
-// dispatched, every upload and replay attempt runs under its own
-// deadline, and when a worker fails or times out its shard batches are
-// re-planned onto the surviving workers — re-uploading the needed
-// trace where absent — under a bounded per-batch attempt budget. Only
-// when every worker is lost, or one batch exhausts its budget, does
-// the sweep fail.
+// The coordinator is failover-aware and self-healing: uploads happen
+// lazily per (worker, trace) when the first shard batch needing the
+// trace is dispatched, and every upload and replay attempt runs under
+// its own deadline. Failures are classified — transient (timeouts,
+// connection refused/reset, 5xx) vs. permanent (4xx validation) vs.
+// protocol violation (well-formed responses that lie about shard
+// indices or trace IDs). Transients retry on the same worker under
+// exponential backoff with seeded jitter, inside the bounded
+// per-batch attempt budget; a worker accruing consecutive transient
+// failures trips its circuit breaker and is dropped, its batches
+// re-planned onto the survivors (re-uploading the needed trace where
+// absent). Dropped workers are not gone for good: a background prober
+// health-checks them after an escalating cooldown and re-admits the
+// ones that recover — reconciling the upload cache against the trace
+// IDs the worker still holds (a restarted process lost its store) and
+// rebalancing queued work onto the returnee. Permanent failures abort
+// the sweep fast, and protocol violators are barred from re-admission.
+// Only when every worker is lost, or one batch exhausts its budget,
+// does the sweep fail — and with Coordinator.FallbackLocal even that
+// degrades gracefully: the undelivered shards replay through the local
+// harness path, byte-identical to a local sweep.
 //
 // Protocol (worker side, all JSON unless noted):
 //
@@ -50,6 +63,7 @@ package dist
 import (
 	"repro/internal/cache"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // Content types selecting the upload kind on POST /v1/traces. Only
@@ -108,6 +122,26 @@ type ShardResult struct {
 type ReplayResponse struct {
 	Results []ShardResult      `json:"results"`
 	Usage   harness.TraceUsage `json:"trace_usage"`
+}
+
+// HealthStatus is the GET /v1/healthz response. Beyond liveness it
+// carries what the coordinator's re-admission prober needs to decide
+// re-upload work in the same round-trip: the IDs of the traces still
+// resident (a restarted worker reports an empty list, telling the
+// prober every cached upload ID is stale) and how many shards are
+// replaying right now.
+type HealthStatus struct {
+	OK bool `json:"ok"`
+	// Traces and TraceIDs describe the resident trace store; TraceIDs
+	// is sorted and omitted when empty.
+	Traces   int      `json:"traces"`
+	TraceIDs []string `json:"trace_ids,omitempty"`
+	// InFlightShards counts shards currently replaying.
+	InFlightShards int `json:"in_flight_shards"`
+	// Workers is the farm pool size shards execute on.
+	Workers int `json:"workers"`
+	// Version is the worker's build identity.
+	Version obs.BuildInfo `json:"version"`
 }
 
 // errorBody is the JSON error envelope shared by all endpoints.

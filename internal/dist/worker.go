@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -53,6 +55,11 @@ type storedTrace struct {
 type Worker struct {
 	cfg  WorkerConfig
 	pool *farm.Pool
+
+	// inFlight counts shards currently replaying, reported by
+	// /v1/healthz so a coordinator probing for re-admission sees load
+	// alongside liveness.
+	inFlight atomic.Int64
 
 	mu     sync.Mutex
 	traces map[string]storedTrace
@@ -238,6 +245,8 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 	}
 
 	mReplayCalls.Inc()
+	w.inFlight.Add(int64(len(req.Shards)))
+	defer w.inFlight.Add(-int64(len(req.Shards)))
 	replayStart := time.Now()
 	study := harness.NewStudy(true)
 	ctx := harness.WithStudy(r.Context(), study)
@@ -294,15 +303,25 @@ func validateShard(sh Shard) error {
 	return nil
 }
 
+// handleHealth reports liveness plus the state a re-admission prober
+// needs in one round-trip: which traces are still resident (a restart
+// empties the list, flagging every coordinator-cached upload ID as
+// stale) and the in-flight shard count.
 func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
-	n := len(w.traces)
+	ids := make([]string, 0, len(w.traces))
+	for id := range w.traces {
+		ids = append(ids, id)
+	}
 	w.mu.Unlock()
+	sort.Strings(ids)
 	rw.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(rw).Encode(map[string]any{
-		"ok":      true,
-		"traces":  n,
-		"workers": w.pool.Workers(),
-		"version": obs.Version(),
+	json.NewEncoder(rw).Encode(HealthStatus{
+		OK:             true,
+		Traces:         len(ids),
+		TraceIDs:       ids,
+		InFlightShards: int(w.inFlight.Load()),
+		Workers:        w.pool.Workers(),
+		Version:        obs.Version(),
 	})
 }

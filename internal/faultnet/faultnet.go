@@ -1,0 +1,319 @@
+// Package faultnet injects network faults into HTTP clients for chaos
+// testing. A Transport wraps any http.RoundTripper and, per matching
+// Rule, adds latency, fails requests with connection-level errors or
+// injected timeout errors, substitutes 5xx responses, severs response
+// bodies mid-read (the "worker died while streaming its answer"
+// shape), and runs N-failures-then-heal schedules (the "worker was
+// down, then came back" shape re-admission logic needs).
+//
+// Fault decisions are driven by a seeded xorshift generator, so a test
+// that fixes the seed replays the same fault *rates* every run; the
+// exact per-request assignment additionally depends on request arrival
+// order, which concurrency may interleave. Schedules that must be
+// exact regardless of interleaving use the deterministic counters
+// (FailFirst), not the rates.
+//
+// The package exists so fault suites across packages share one
+// fault vocabulary instead of growing ad-hoc misbehaving test servers
+// per failure mode.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Matcher selects the requests a Rule applies to.
+type Matcher func(*http.Request) bool
+
+// Host returns a Matcher selecting requests whose URL host equals the
+// host of rawURL (a bare host:port is accepted too) — "everything sent
+// to this worker".
+func Host(rawURL string) Matcher {
+	host := strings.TrimPrefix(strings.TrimPrefix(rawURL, "http://"), "https://")
+	host = strings.TrimSuffix(host, "/")
+	return func(r *http.Request) bool { return r.URL.Host == host }
+}
+
+// Path returns a Matcher selecting requests whose URL path equals p —
+// "only replay calls", say.
+func Path(p string) Matcher {
+	return func(r *http.Request) bool { return r.URL.Path == p }
+}
+
+// And composes Matchers conjunctively.
+func And(ms ...Matcher) Matcher {
+	return func(r *http.Request) bool {
+		for _, m := range ms {
+			if !m(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Rule is one fault schedule. The zero value injects nothing. At most
+// one fault fires per request: FailFirst takes precedence while its
+// budget lasts, then a single random draw picks among the rates (so
+// ErrRate+TimeoutRate+StatusRate+ResetRate must be <= 1).
+type Rule struct {
+	// Name labels the rule in Injected accounting.
+	Name string
+	// Match selects the requests the rule applies to; nil matches all.
+	Match Matcher
+	// Latency is added to every matched request (fault or not) before
+	// it is dispatched or failed, honoring request-context cancellation.
+	Latency time.Duration
+	// FailFirst fails the first N matched requests with a connection
+	// error and then heals — a deterministic down-then-recovered
+	// schedule, independent of the seed.
+	FailFirst int
+	// ErrRate is the probability of a connection error (ECONNREFUSED).
+	ErrRate float64
+	// TimeoutRate is the probability of an error satisfying
+	// net.Error.Timeout().
+	TimeoutRate float64
+	// StatusRate is the probability of substituting an HTTP response
+	// with Status (default 503) without reaching the inner transport.
+	StatusRate float64
+	Status     int
+	// ResetRate is the probability of severing the response body with
+	// ECONNRESET after ResetAfter bytes (default 32). The request does
+	// reach the server — the caller sees a mid-body connection reset,
+	// exactly the crash-while-responding failure shape.
+	ResetRate  float64
+	ResetAfter int64
+}
+
+// Transport is a fault-injecting http.RoundTripper. Safe for
+// concurrent use.
+type Transport struct {
+	inner http.RoundTripper
+	rules []*Rule
+
+	mu       sync.Mutex
+	rng      uint64
+	matched  map[string]int
+	injected map[string]int
+}
+
+// New wraps inner (nil means http.DefaultTransport) with the given
+// fault rules. The first matching rule decides a request's fate; a
+// request no rule matches passes through untouched. seed 0 is remapped
+// to 1 (xorshift has no zero state).
+func New(seed uint64, inner http.RoundTripper, rules ...*Rule) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Transport{
+		inner:    inner,
+		rules:    rules,
+		rng:      seed,
+		matched:  map[string]int{},
+		injected: map[string]int{},
+	}
+}
+
+// Injected reports how many faults the named rule has injected.
+func (t *Transport) Injected(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected[name]
+}
+
+// InjectedTotal reports the fault count across all rules.
+func (t *Transport) InjectedTotal() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, v := range t.injected {
+		n += v
+	}
+	return n
+}
+
+// Matched reports how many requests the named rule has matched
+// (faulted or passed through).
+func (t *Transport) Matched(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.matched[name]
+}
+
+// fault kinds, in draw-partition order.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultConnErr
+	faultTimeout
+	faultStatus
+	faultReset
+)
+
+// randLocked steps the xorshift64 generator and returns a float in
+// [0, 1).
+func (t *Transport) randLocked() float64 {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	return float64(t.rng>>11) / (1 << 53)
+}
+
+// decide picks the fault for the nth match of r, consuming exactly one
+// random draw iff any rate is set — the draw stream stays aligned with
+// the match sequence, whatever faults fire.
+func (t *Transport) decide(r *Rule) faultKind {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.matched[r.Name]++
+	if t.matched[r.Name] <= r.FailFirst {
+		return faultConnErr
+	}
+	total := r.ErrRate + r.TimeoutRate + r.StatusRate + r.ResetRate
+	if total <= 0 {
+		return faultNone
+	}
+	u := t.randLocked()
+	switch {
+	case u < r.ErrRate:
+		return faultConnErr
+	case u < r.ErrRate+r.TimeoutRate:
+		return faultTimeout
+	case u < r.ErrRate+r.TimeoutRate+r.StatusRate:
+		return faultStatus
+	case u < total:
+		return faultReset
+	}
+	return faultNone
+}
+
+func (t *Transport) count(r *Rule) {
+	t.mu.Lock()
+	t.injected[r.Name]++
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var rule *Rule
+	for _, r := range t.rules {
+		if r.Match == nil || r.Match(req) {
+			rule = r
+			break
+		}
+	}
+	if rule == nil {
+		return t.inner.RoundTrip(req)
+	}
+	fault := t.decide(rule)
+	if rule.Latency > 0 {
+		timer := time.NewTimer(rule.Latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			discardBody(req)
+			return nil, req.Context().Err()
+		}
+	}
+	switch fault {
+	case faultConnErr:
+		t.count(rule)
+		discardBody(req)
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	case faultTimeout:
+		t.count(rule)
+		discardBody(req)
+		return nil, timeoutError{}
+	case faultStatus:
+		t.count(rule)
+		discardBody(req)
+		status := rule.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		return injectedResponse(req, status), nil
+	case faultReset:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		t.count(rule)
+		after := rule.ResetAfter
+		if after <= 0 {
+			after = 32
+		}
+		resp.Body = &resetBody{rc: resp.Body, remain: after}
+		return resp, nil
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// discardBody consumes and closes the request body, per the
+// RoundTripper contract, when the request will not reach the inner
+// transport.
+func discardBody(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// timeoutError satisfies net.Error with Timeout() true — what a
+// deadline-hit transport surfaces.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: injected timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// injectedResponse fabricates a minimal JSON error response without
+// touching the network.
+func injectedResponse(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf("{\"error\":\"faultnet: injected HTTP %d\"}", status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// resetBody delivers the first remain bytes of the real response, then
+// fails every read with ECONNRESET — a connection severed mid-body.
+// If the body ends before the reset point the fault never manifests
+// (short responses can win the race, as on a real network).
+type resetBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *resetBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	return n, err
+}
+
+func (b *resetBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,171 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// echoServer answers every request with a fixed body large enough that
+// a mid-body reset always fires before EOF.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, strings.Repeat("x", 4096))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestSeededRatesAreReproducible: the same seed against the same
+// request sequence injects the same faults, and a different seed
+// injects a different pattern — the property the chaos suites build
+// on.
+func TestSeededRatesAreReproducible(t *testing.T) {
+	srv := echoServer(t)
+	run := func(seed uint64) (string, int) {
+		ft := New(seed, nil, &Rule{Name: "soup", ErrRate: 0.3, StatusRate: 0.2})
+		client := &http.Client{Transport: ft}
+		var outcomes strings.Builder
+		for i := 0; i < 64; i++ {
+			resp, err := client.Get(srv.URL)
+			switch {
+			case err != nil:
+				outcomes.WriteByte('E')
+			case resp.StatusCode != http.StatusOK:
+				outcomes.WriteByte('S')
+				resp.Body.Close()
+			default:
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				outcomes.WriteByte('.')
+			}
+		}
+		return outcomes.String(), ft.InjectedTotal()
+	}
+	a1, n1 := run(42)
+	a2, n2 := run(42)
+	if a1 != a2 || n1 != n2 {
+		t.Fatalf("same seed diverged:\n%s (%d)\n%s (%d)", a1, n1, a2, n2)
+	}
+	b, _ := run(43)
+	if a1 == b {
+		t.Fatalf("different seeds produced identical fault patterns: %s", a1)
+	}
+	if n1 == 0 || strings.Count(a1, ".") == 0 {
+		t.Fatalf("rates injected nothing or everything: %s", a1)
+	}
+}
+
+// TestFailFirstHeals: exactly the first N matched requests fail with a
+// connection error, then the rule heals — regardless of seed.
+func TestFailFirstHeals(t *testing.T) {
+	srv := echoServer(t)
+	ft := New(7, nil, &Rule{Name: "down", FailFirst: 3})
+	client := &http.Client{Transport: ft}
+	for i := 0; i < 3; i++ {
+		_, err := client.Get(srv.URL)
+		var op *net.OpError
+		if err == nil || !errors.As(err, &op) || !errors.Is(op.Err, syscall.ECONNREFUSED) {
+			t.Fatalf("request %d: want ECONNREFUSED, got %v", i, err)
+		}
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after heal failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed request: status %d", resp.StatusCode)
+	}
+	if got := ft.Injected("down"); got != 3 {
+		t.Fatalf("injected = %d, want 3", got)
+	}
+}
+
+// TestMidBodyReset: the response starts normally and the body read
+// fails with ECONNRESET after the configured byte count.
+func TestMidBodyReset(t *testing.T) {
+	srv := echoServer(t)
+	ft := New(1, nil, &Rule{Name: "reset", ResetRate: 1, ResetAfter: 100})
+	resp, err := (&http.Client{Transport: ft}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("body read succeeded (%d bytes), want mid-body reset", len(got))
+	}
+	var op *net.OpError
+	if !errors.As(err, &op) || !errors.Is(op.Err, syscall.ECONNRESET) {
+		t.Fatalf("want ECONNRESET, got %v", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("delivered %d bytes before reset, want 100", len(got))
+	}
+}
+
+// TestInjectedTimeoutIsNetError: the injected timeout satisfies
+// net.Error.Timeout(), the predicate retry classifiers key on.
+func TestInjectedTimeoutIsNetError(t *testing.T) {
+	srv := echoServer(t)
+	ft := New(1, nil, &Rule{Name: "slowloss", TimeoutRate: 1})
+	_, err := (&http.Client{Transport: ft}).Get(srv.URL)
+	var ne net.Error
+	if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net.Error timeout, got %v", err)
+	}
+}
+
+// TestLatencyHonorsContext: injected latency aborts promptly when the
+// request context is cancelled — fault injection must not break caller
+// cancellation.
+func TestLatencyHonorsContext(t *testing.T) {
+	srv := echoServer(t)
+	ft := New(1, nil, &Rule{Name: "slow", Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := (&http.Client{Transport: ft}).Do(req)
+	if err == nil {
+		t.Fatal("request under injected minute latency succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+// TestMatchersRoute: rules apply only to matching requests, first
+// match wins, and unmatched requests pass through untouched.
+func TestMatchersRoute(t *testing.T) {
+	srv1, srv2 := echoServer(t), echoServer(t)
+	ft := New(1, nil,
+		&Rule{Name: "kill-1-replay", Match: And(Host(srv1.URL), Path("/v1/replay")), ErrRate: 1},
+	)
+	client := &http.Client{Transport: ft}
+	if _, err := client.Get(srv1.URL + "/v1/replay"); err == nil {
+		t.Fatal("matched request was not faulted")
+	}
+	for _, url := range []string{srv1.URL + "/v1/healthz", srv2.URL + "/v1/replay"} {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatalf("unmatched request %s faulted: %v", url, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if ft.Matched("kill-1-replay") != 1 {
+		t.Fatalf("matched = %d, want 1", ft.Matched("kill-1-replay"))
+	}
+}

@@ -18,6 +18,21 @@
 //	                             complete (text/plain, chunked)
 //	DELETE /v1/studies/{id}      cancel a queued/running job
 //	GET    /v1/healthz           liveness + queue depth
+//
+// Client backoff contract: the server signals overload, never hides
+// it. When the pending-study queue is full, POST /v1/studies returns
+// 429 with a Retry-After header (delay in seconds, from
+// Config.RetryAfter); clients should wait at least that long before
+// resubmitting, and double the wait on consecutive 429s (the
+// internal/dist coordinator treats 429 as transient and retries under
+// exponential backoff for exactly this reason). 5xx responses are
+// likewise safe to retry with backoff. Transport errors are ambiguous:
+// a connection refused or timeout before the request was sent is safe
+// to retry, but a connection lost while reading the 202 response means
+// the study may already be queued — clients that must not duplicate
+// work should GET /v1/studies and reconcile before resubmitting. 4xx
+// validation errors are permanent — retrying an invalid spec unchanged
+// will never succeed.
 package service
 
 import (
@@ -27,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -200,6 +216,9 @@ type Config struct {
 	// outputs become 404 — so a long-lived server does not grow
 	// without bound. <= 0 means 256.
 	MaxHistory int
+	// RetryAfter is the delay advertised in the Retry-After header of
+	// 429 queue-full responses. <= 0 means 5s.
+	RetryAfter time.Duration
 }
 
 // Server executes study submissions on a bounded farm pool. Create
@@ -229,6 +248,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxHistory <= 0 {
 		cfg.MaxHistory = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Second
 	}
 	base, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -313,6 +335,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if active >= s.cfg.MaxQueued {
 		s.mu.Unlock()
+		// Part of the client backoff contract (see package doc): tell
+		// the client when resubmitting is worth trying.
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeError(w, http.StatusTooManyRequests, "queue full (%d studies pending)", active)
 		return
 	}

@@ -2,12 +2,12 @@
 # Runs the top-level benchmarks once each (-benchtime=1x) and records
 # the results as JSON, seeding the repository's perf trajectory.
 #
-#   scripts/bench.sh                         # full suite -> BENCH_pr6.json
+#   scripts/bench.sh                         # full suite -> BENCH_pr7.json
 #   BENCH='ReplaySweep|Record' scripts/bench.sh   # filtered
 #   OUT=/tmp/bench.json scripts/bench.sh     # alternate output path
 #
 # The raw `go test` output is kept next to the JSON (same path, .txt)
-# so b.Log tables remain inspectable. BENCH_pr6.json adds
+# so b.Log tables remain inspectable. BENCH_pr6.json added
 # BenchmarkObsOverhead: the BenchmarkReplaySweep/replay sweep with
 # instrumentation on vs obs.SetEnabled(false) — both halves must stay
 # within 2% of BENCH_pr5.json's BenchmarkReplaySweep/replay, the proof
@@ -15,10 +15,15 @@
 # That 2% bound is tighter than single-iteration machine noise, so
 # ObsOverhead alone is recorded in a second pass at 10 iterations per
 # half; its 1x lines from the main pass are dropped from the record.
+# BENCH_pr7.json adds BenchmarkFailoverOverhead: the two-worker
+# distributed sweep with the self-healing scheduler (breakers +
+# background health prober) vs DisableReadmission — on a healthy fleet
+# the two halves must match BenchmarkDistributedSweep, the proof that
+# resilience costs nothing unless faults actually happen.
 set -eu
 
 BENCH="${BENCH:-.}"
-OUT="${OUT:-BENCH_pr6.json}"
+OUT="${OUT:-BENCH_pr7.json}"
 
 cd "$(dirname "$0")/.."
 
