@@ -1,28 +1,47 @@
-// Command mp4served serves the paper's experiment harness over HTTP:
-// clients POST study specs (the same JSON schema as mp4study's batch
-// manifests), poll job status, and stream results as experiments
-// complete. Each study runs with its own capture/replay strategy and
-// trace-usage accounting, so concurrent clients never interfere.
+// Command mp4served is the study service — the single front door to
+// the paper's experiment harness. Clients POST study specs (the same
+// JSON schema as mp4study's batch manifests), poll job status, stream
+// per-shard progress over Server-Sent Events, and fetch results as
+// experiments complete. Each study runs with its own capture/replay
+// strategy and trace-usage accounting, so concurrent clients never
+// interfere.
+//
+// Execution is pluggable behind the same API: by default studies
+// render on an in-process farm; with -workers pointed at mp4worker
+// URLs, replayed geometry/policy sweeps fan out across the fleet with
+// the coordinator's full self-healing machinery (retries, breakers,
+// probe-based re-admission, optional -fallback-local). Output is
+// byte-identical either way.
 //
 // Usage:
 //
-//	mp4served                      # listen on :8374
-//	mp4served -addr 127.0.0.1:0    # ephemeral port (printed on stdout)
-//	mp4served -workers 8           # farm worker count (default GOMAXPROCS)
-//	mp4served -max-studies 4       # concurrent studies (default 2)
-//	mp4served -log-level debug     # structured-log threshold (default info)
-//	mp4served -pprof               # mount net/http/pprof at /debug/pprof/
+//	mp4served                                 # listen on :8374, local farm
+//	mp4served -addr 127.0.0.1:0               # ephemeral port (printed on stdout)
+//	mp4served -workers 8                      # farm worker count (default GOMAXPROCS)
+//	mp4served -workers http://a:8375,http://b:8375   # fleet mode
+//	mp4served -fallback-local                 # rescue undeliverable shards in-process
+//	mp4served -auth-token secret              # require Authorization: Bearer secret
+//	mp4served -max-studies 4                  # concurrent studies (default 2)
+//	mp4served -session-max-active 4           # per-session active-study quota
+//	mp4served -session-rate 2                 # per-session submissions/second
+//	mp4served -log-level debug                # structured-log threshold (default info)
+//	mp4served -metrics=false                  # disable span/timer instrumentation
+//	mp4served -pprof                          # mount net/http/pprof at /debug/pprof/
 //
 // Observability: GET /v1/metrics serves the process metrics registry
 // (Prometheus text, or JSON with Accept: application/json), GET
-// /v1/version the build identity. See README "Observability".
+// /v1/version the build identity, GET /v1/healthz queue depths,
+// session counts and (in fleet mode) worker liveness. See README
+// "Study service".
 //
 // Example session:
 //
 //	$ curl -s localhost:8374/v1/studies -d '{"experiments":[{"table":2},{"sweep":"ratio"}]}'
 //	{"id": "study-0001", "state": "queued", ...}
-//	$ curl -s localhost:8374/v1/studies/study-0001
-//	{"id": "study-0001", "state": "running", "done": 1, "total": 2, ...}
+//	$ curl -sN localhost:8374/v1/studies/study-0001/events
+//	id: 1
+//	event: experiment
+//	data: {"seq":1,"type":"experiment",...}
 //	$ curl -s localhost:8374/v1/studies/study-0001/result
 //	Table 2. ...
 //
@@ -39,6 +58,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,34 +67,86 @@ import (
 	"repro/internal/service"
 )
 
+// parseWorkers interprets the -workers flag: an integer is the local
+// farm size; a comma-separated list of http(s) URLs is a worker fleet.
+func parseWorkers(s string) (farm int, fleet []string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 0 {
+			return 0, nil, fmt.Errorf("-workers %d: farm size cannot be negative", n)
+		}
+		return n, nil, nil
+	}
+	for _, raw := range strings.Split(s, ",") {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return 0, nil, fmt.Errorf("-workers %q: %q is neither an integer nor an http(s) URL", s, u)
+		}
+		fleet = append(fleet, u)
+	}
+	if len(fleet) == 0 {
+		return 0, nil, fmt.Errorf("-workers %q: no worker URLs", s)
+	}
+	return 0, fleet, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8374", "listen address")
-	workers := flag.Int("workers", 0, "farm worker count (0 = GOMAXPROCS)")
+	workers := flag.String("workers", "", "farm worker count (0 = GOMAXPROCS) or comma-separated mp4worker URLs for fleet mode")
+	fallbackLocal := flag.Bool("fallback-local", false, "fleet mode: replay undeliverable shards in-process instead of failing the study")
 	maxStudies := flag.Int("max-studies", 2, "studies simulating concurrently")
 	maxQueued := flag.Int("max-queued", 64, "accepted-but-unfinished studies before 429")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running studies")
-	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
-	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	authToken := flag.String("auth-token", "", "require Authorization: Bearer <token> (healthz/metrics/version stay open)")
+	sessionMax := flag.Int("session-max-active", 16, "per-session active-study quota (0 = unlimited)")
+	sessionRate := flag.Float64("session-rate", 0, "per-session study submissions per second (0 = unlimited)")
+	sessionBurst := flag.Int("session-burst", 0, "per-session submission burst (0 = derived from -session-rate)")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "SSE heartbeat interval on /v1/studies/{id}/events")
+	srvFlags := obs.RegisterServerFlags(flag.CommandLine)
 	flag.Parse()
 
-	lvl, err := obs.ParseLevel(*logLevel)
+	if err := srvFlags.Apply(); err != nil {
+		fmt.Fprintln(os.Stderr, "mp4served:", err)
+		os.Exit(2)
+	}
+	farmN, fleetURLs, err := parseWorkers(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mp4served:", err)
 		os.Exit(2)
 	}
-	obs.SetLogLevel(lvl)
 
-	svc := service.New(service.Config{
-		Workers:       *workers,
-		MaxConcurrent: *maxStudies,
-		MaxQueued:     *maxQueued,
-	})
-	httpSrv := &http.Server{Handler: obs.WithPprof(svc.Handler(), *enablePprof)}
+	cfg := service.Config{
+		Workers:          farmN,
+		MaxConcurrent:    *maxStudies,
+		MaxQueued:        *maxQueued,
+		AuthToken:        *authToken,
+		SessionMaxActive: *sessionMax,
+		SessionRate:      *sessionRate,
+		SessionBurst:     *sessionBurst,
+		Heartbeat:        *heartbeat,
+	}
+	if len(fleetURLs) > 0 {
+		cfg.Fleet = &service.FleetConfig{
+			Workers:       fleetURLs,
+			FallbackLocal: *fallbackLocal,
+		}
+	}
+	svc := service.New(cfg)
+	httpSrv := &http.Server{Handler: srvFlags.Wrap(svc.Handler())}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mp4served:", err)
 		os.Exit(1)
+	}
+	if len(fleetURLs) > 0 {
+		fmt.Printf("mp4served fronting %d workers: %s\n", len(fleetURLs), strings.Join(fleetURLs, ", "))
 	}
 	fmt.Printf("mp4served listening on %s\n", ln.Addr())
 

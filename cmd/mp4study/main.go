@@ -11,6 +11,10 @@
 //	mp4study -figure 2            # one figure (2–4)
 //	mp4study -frames 12           # longer sequences (slower, same rates)
 //	mp4study -manifest jobs.json  # batch-manifest mode (see below)
+//	mp4study -manifest jobs.json -service http://svc:8374          # run on mp4served
+//	mp4study -manifest jobs.json -service http://svc:8374 -follow  # ... streaming SSE
+//	mp4study -manifest jobs.json -service ... -priority interactive
+//	mp4study -manifest jobs.json -service ... -auth-token secret
 //	mp4study -progress ...        # job completions to stderr
 //	mp4study -replay=false ...    # legacy live simulation (no captures)
 //	mp4study -sweep geometry      # encode once, replay every cache geometry
@@ -88,6 +92,16 @@
 // Flags override manifest settings when given explicitly. Every
 // experiment — including cache geometries named in the manifest — is
 // validated before anything runs.
+//
+// -service switches manifest mode from local simulation to the
+// mp4served study service: the manifest is POSTed as a study spec
+// (the schemas are identical) and the result printed — byte-identical
+// to the local run. -follow consumes the study's Server-Sent Events
+// stream instead of polling: per-shard fleet progress goes to stderr
+// live, experiment outputs to stdout in manifest order, and a dropped
+// connection resumes via Last-Event-ID without loss or duplication.
+// 429 backpressure is waited out per the service's Retry-After header.
+// See README "Study service".
 package main
 
 import (
@@ -119,6 +133,10 @@ func main() {
 	sweep := flag.String("sweep", "", "extra experiment: "+strings.Join(harness.Sweeps, " | "))
 	policy := flag.String("policy", "", "comma-separated replacement-policy axis (lru|plru|fifo|random|victim); with -sweep geometry or -sweep policy")
 	manifest := flag.String("manifest", "", "batch-manifest file (JSON); runs its experiment list")
+	serviceURL := flag.String("service", "", "with -manifest: POST the manifest to this mp4served base URL instead of simulating locally")
+	follow := flag.Bool("follow", false, "with -service: stream the study's events (SSE) — shard progress to stderr, outputs to stdout as they complete")
+	priority := flag.String("priority", "", "with -service: admission priority, interactive or batch (default batch)")
+	authToken := flag.String("auth-token", "", "with -service: send Authorization: Bearer <token>")
 	parallel := flag.Int("parallel", 0, "farm worker count (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report job completions to stderr")
 	replay := flag.Bool("replay", true, "simulate machines by trace capture and replay (false = legacy live simulation)")
@@ -206,6 +224,12 @@ func main() {
 	if (*maxAttempts != 0 || *fallbackLocal) && *workers == "" {
 		fatal(fmt.Errorf("-max-attempts/-fallback-local require -workers"))
 	}
+	if *serviceURL != "" && *manifest == "" {
+		fatal(fmt.Errorf("-service requires -manifest (the manifest is the study spec)"))
+	}
+	if (*follow || *priority != "" || *authToken != "") && *serviceURL == "" {
+		fatal(fmt.Errorf("-follow/-priority/-auth-token require -service"))
+	}
 	// The sweep spec carries the policy axis; validating it up front
 	// turns a typo'd -policy into a flag error, not a mid-sweep one.
 	sweepSpec := harness.ExperimentSpec{Sweep: *sweep, Policies: splitList(*policy)}
@@ -220,6 +244,10 @@ func main() {
 	pool := newPool(*parallel, *progress)
 
 	switch {
+	case *serviceURL != "":
+		if err := runServiceStudy(ctx, *serviceURL, *manifest, *frames, *priority, *authToken, *follow, replayFlagSet, *replay); err != nil {
+			fatal(err)
+		}
 	case *manifest != "":
 		var err error
 		if pool, err = runManifest(ctx, *manifest, *frames, *parallel, *progress, replayFlagSet); err != nil {
@@ -446,6 +474,9 @@ type manifestFile struct {
 	Parallel    int                      `json:"parallel"`
 	Replay      *bool                    `json:"replay,omitempty"`
 	Experiments []harness.ExperimentSpec `json:"experiments"`
+	// Priority is the service admission priority (interactive|batch);
+	// local manifest mode ignores it.
+	Priority string `json:"priority,omitempty"`
 }
 
 // runManifest executes a manifest and returns the pool it actually ran

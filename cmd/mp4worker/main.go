@@ -20,6 +20,7 @@
 //	mp4worker -workers 8          # farm worker count (default GOMAXPROCS)
 //	mp4worker -max-traces 4       # resident uploaded traces
 //	mp4worker -log-level debug    # structured-log threshold (default info)
+//	mp4worker -metrics=false      # disable span/timer instrumentation
 //	mp4worker -pprof              # mount net/http/pprof at /debug/pprof/
 //
 // Observability: GET /v1/metrics serves the process metrics registry
@@ -49,19 +50,16 @@ func main() {
 	addr := flag.String("addr", ":8375", "listen address")
 	workers := flag.Int("workers", 0, "farm worker count (0 = GOMAXPROCS)")
 	maxTraces := flag.Int("max-traces", 8, "resident uploaded traces")
-	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
-	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	srvFlags := obs.RegisterServerFlags(flag.CommandLine)
 	flag.Parse()
 
-	lvl, err := obs.ParseLevel(*logLevel)
-	if err != nil {
+	if err := srvFlags.Apply(); err != nil {
 		fmt.Fprintln(os.Stderr, "mp4worker:", err)
 		os.Exit(2)
 	}
-	obs.SetLogLevel(lvl)
 
 	w := dist.NewWorker(dist.WorkerConfig{Workers: *workers, MaxTraces: *maxTraces})
-	httpSrv := &http.Server{Handler: obs.WithPprof(w.Handler(), *enablePprof)}
+	httpSrv := &http.Server{Handler: srvFlags.Wrap(w.Handler())}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

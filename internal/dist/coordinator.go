@@ -103,6 +103,13 @@ type Coordinator struct {
 	// sweep — byte-identical output, degraded wall-clock. Caller
 	// cancellation is never rescued.
 	FallbackLocal bool
+	// OnShard, when non-nil, receives every completed shard in strict
+	// shard-index order — the streaming counterpart of the merged
+	// return value (the study service feeds its SSE event log from
+	// it). The callback runs on scheduler goroutines with internal
+	// state locked: it must be fast and must not call back into the
+	// Coordinator — hand the event to a channel or buffer and return.
+	OnShard func(ShardEvent)
 	// Seed drives the backoff jitter. 0 means 1 (deterministic
 	// default), so two identically-seeded sweeps retry on the same
 	// schedule.
@@ -196,6 +203,11 @@ type SweepStats struct {
 	// FallbackShards counts shards replayed through the local fallback
 	// path because the fleet could not deliver them.
 	FallbackShards int
+	// BarredWorkers lists the workers dropped as protocol violators —
+	// barred from re-admission for the sweep's lifetime — by URL. The
+	// study service's fleet health surfaces them separately from
+	// merely-dead workers.
+	BarredWorkers []string
 	// ShardsByWorker counts successfully replayed shards per worker
 	// URL — the direct record of who actually served what (a
 	// re-admitted worker shows up here with its post-restart shards).
@@ -368,7 +380,7 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 		w := i % len(c.Workers)
 		byWorker[w] = append(byWorker[w], sh)
 	}
-	s := newSweepState(c, len(shards))
+	s := newSweepState(c, shards)
 	for wi, mine := range byWorker {
 		group := map[*payload]*batch{}
 		for _, sh := range mine {
@@ -556,15 +568,22 @@ type sweepState struct {
 	stats     SweepStats
 
 	// results is indexed by shard index; each element is written by
-	// exactly one in-flight batch at a time.
-	results [][]harness.GeometryPoint
+	// exactly one in-flight batch at a time. servedBy records, per
+	// shard index, which worker's replay produced the element (same
+	// exclusive-writer discipline). shards keeps the plan so emitted
+	// events carry the shard they report; emitted is the length of the
+	// contiguous completed prefix already streamed to OnShard.
+	results  [][]harness.GeometryPoint
+	servedBy []string
+	shards   []Shard
+	emitted  int
 	// uploaded maps payload key → trace ID per worker. Each worker's
 	// map is touched only by its own goroutine while the sweep runs;
 	// deleteAll reads them all after the goroutines join.
 	uploaded []map[string]string
 }
 
-func newSweepState(c *Coordinator, nShards int) *sweepState {
+func newSweepState(c *Coordinator, shards []Shard) *sweepState {
 	seed := c.Seed
 	if seed == 0 {
 		seed = 1
@@ -580,7 +599,9 @@ func newSweepState(c *Coordinator, nShards int) *sweepState {
 		downSince:  make([]time.Time, len(c.Workers)),
 		noReadmit:  make([]bool, len(c.Workers)),
 		rng:        seed,
-		results:    make([][]harness.GeometryPoint, nShards),
+		results:    make([][]harness.GeometryPoint, len(shards)),
+		servedBy:   make([]string, len(shards)),
+		shards:     shards,
 		uploaded:   make([]map[string]string, len(c.Workers)),
 	}
 	s.stats.ShardsByWorker = map[string]int{}
@@ -590,6 +611,29 @@ func newSweepState(c *Coordinator, nShards int) *sweepState {
 		s.uploaded[i] = map[string]string{}
 	}
 	return s
+}
+
+// emitReadyLocked (mu held) streams the contiguous prefix of completed
+// shards to OnShard. Emission order is shard-index order — the exact
+// discipline the merged return value uses — so however completion
+// interleaves across workers, failovers and fallbacks, a consumer
+// appending Points event by event ends up byte-identical to the batch
+// result.
+func (s *sweepState) emitReadyLocked() {
+	if s.c.OnShard == nil {
+		return
+	}
+	for s.emitted < len(s.results) && len(s.results[s.emitted]) > 0 {
+		i := s.emitted
+		s.emitted++
+		s.c.OnShard(ShardEvent{
+			Shard:  s.shards[i],
+			Points: s.results[i],
+			Worker: s.servedBy[i],
+			Done:   s.emitted,
+			Total:  len(s.shards),
+		})
+	}
 }
 
 // runWorker drains worker wi's queue until the sweep completes, the
@@ -630,6 +674,7 @@ func (s *sweepState) runWorker(ctx context.Context, wi int) {
 			s.pendingN--
 			s.stats.Replays++
 			s.stats.ShardsByWorker[s.c.Workers[wi]] += len(b.shards)
+			s.emitReadyLocked()
 			mBatchesPend.Dec()
 			s.mu.Unlock()
 			s.cond.Broadcast()
@@ -653,6 +698,7 @@ func (s *sweepState) runWorker(ctx context.Context, wi int) {
 			// The worker is up but wrong: drop it now and bar it from
 			// re-admission for the rest of the sweep.
 			s.noReadmit[wi] = true
+			s.stats.BarredWorkers = append(s.stats.BarredWorkers, s.c.Workers[wi])
 			s.failWorker(wi, b, err)
 			s.mu.Unlock()
 			s.cond.Broadcast()
@@ -842,7 +888,10 @@ func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
 	// Only indices this batch carries may be written: the results
 	// slice is shared across workers, so an index echoed back wrong
 	// (buggy or stale worker) must be an error — and a failover — not
-	// a silent overwrite of another shard's element.
+	// a silent overwrite of another shard's element. Validate the whole
+	// response first, then commit under the sweep lock: emitReadyLocked
+	// scans results/servedBy from other workers' goroutines, so every
+	// write to them must be synchronized.
 	mine := make(map[int]bool, len(b.shards))
 	for _, sh := range b.shards {
 		mine[sh.Index] = true
@@ -855,11 +904,16 @@ func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
 			return violationf("shard %d returned no points", res.Index)
 		}
 		delete(mine, res.Index)
-		s.results[res.Index] = res.Points
 	}
 	if len(mine) > 0 {
 		return violationf("response missing %d of %d shards", len(mine), len(b.shards))
 	}
+	s.mu.Lock()
+	for _, res := range resp.Results {
+		s.results[res.Index] = res.Points
+		s.servedBy[res.Index] = base
+	}
+	s.mu.Unlock()
 	return nil
 }
 

@@ -148,3 +148,25 @@ type HealthStatus struct {
 type errorBody struct {
 	Error string `json:"error"`
 }
+
+// FallbackWorker is the ShardEvent.Worker value of shards the
+// coordinator's local fallback replayed instead of the fleet.
+const FallbackWorker = "local"
+
+// ShardEvent is one completed shard, delivered to Coordinator.OnShard.
+// Events arrive in strict shard-index order: a shard is emitted as
+// soon as it AND every lower-indexed shard have results, so a consumer
+// that appends Points as events arrive reconstructs exactly the merged
+// point order GeometrySweep returns. Failovers, retries and
+// re-admissions reorder completion, never emission.
+type ShardEvent struct {
+	Shard  Shard
+	Points []harness.GeometryPoint
+	// Worker is the base URL of the worker whose replay produced the
+	// points, or FallbackWorker for shards the local fallback recovered.
+	Worker string
+	// Done counts shards emitted so far (this one included); Total is
+	// the sweep's shard count. Done == Total marks the final event.
+	Done  int
+	Total int
+}

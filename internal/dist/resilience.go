@@ -398,7 +398,14 @@ func (s *sweepState) fallbackLocal(ctx context.Context, capture *harness.Capture
 		if err != nil {
 			return done, fmt.Errorf("shard %d: %w", sh.Index, err)
 		}
+		// The fleet goroutines have joined, but emission keeps the
+		// same lock-held discipline so the OnShard ordering invariant
+		// has a single owner.
+		s.mu.Lock()
 		s.results[sh.Index] = points
+		s.servedBy[sh.Index] = FallbackWorker
+		s.emitReadyLocked()
+		s.mu.Unlock()
 		done++
 		mFallbackSh.Inc()
 	}

@@ -1,0 +1,135 @@
+package farm
+
+// A bounded, multi-level FIFO queue — the admission-control primitive
+// behind the study service's interactive-vs-batch scheduling. Lower
+// level numbers pop first; within a level, strict FIFO. Push never
+// blocks (a full queue is an error the caller turns into backpressure,
+// e.g. 429 + Retry-After); Pop blocks until an item, context death, or
+// Close.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+var (
+	// ErrQueueFull is returned by PriorityQueue.Push at capacity.
+	ErrQueueFull = errors.New("farm: priority queue full")
+	// ErrQueueClosed is returned by Push after Close, and by Pop once
+	// the queue is closed and drained.
+	ErrQueueClosed = errors.New("farm: priority queue closed")
+)
+
+// PriorityQueue is a bounded queue of `levels` FIFO lanes. All methods
+// are safe for concurrent use.
+type PriorityQueue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  [][]T
+	size   int
+	cap    int
+	closed bool
+}
+
+// NewPriorityQueue builds a queue with the given number of priority
+// levels (level 0 pops first) and total capacity across levels.
+// Both must be positive.
+func NewPriorityQueue[T any](levels, capacity int) *PriorityQueue[T] {
+	if levels <= 0 || capacity <= 0 {
+		panic(fmt.Sprintf("farm: NewPriorityQueue(%d, %d): both must be positive", levels, capacity))
+	}
+	q := &PriorityQueue[T]{lanes: make([][]T, levels), cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues item at the given level, returning ErrQueueFull at
+// capacity and ErrQueueClosed after Close. An out-of-range level is a
+// caller bug and panics.
+func (q *PriorityQueue[T]) Push(level int, item T) error {
+	if level < 0 || level >= len(q.lanes) {
+		panic(fmt.Sprintf("farm: PriorityQueue.Push level %d out of range [0, %d)", level, len(q.lanes)))
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.size >= q.cap {
+		return ErrQueueFull
+	}
+	q.lanes[level] = append(q.lanes[level], item)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop removes and returns the head of the highest-priority non-empty
+// lane, with that lane's level, blocking while the queue is empty. It
+// returns ctx.Err() if ctx dies first, and ErrQueueClosed once the
+// queue is closed and fully drained (items pushed before Close still
+// pop after it).
+func (q *PriorityQueue[T]) Pop(ctx context.Context) (T, int, error) {
+	var zero T
+	// A context death must wake the cond.Wait below; the empty
+	// critical section makes the broadcast ordered after either the
+	// waiter is asleep or it has already seen ctx.Err().
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		q.cond.Broadcast()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, 0, err
+		}
+		for level, lane := range q.lanes {
+			if len(lane) == 0 {
+				continue
+			}
+			item := lane[0]
+			lane[0] = zero // release the reference for GC
+			q.lanes[level] = lane[1:]
+			if len(q.lanes[level]) == 0 {
+				q.lanes[level] = nil // drop the drained backing array
+			}
+			q.size--
+			return item, level, nil
+		}
+		if q.closed {
+			return zero, 0, ErrQueueClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+// Close marks the queue closed: further Pushes fail, and Pops drain
+// what remains then return ErrQueueClosed. Idempotent.
+func (q *PriorityQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Len reports how many items wait at the given level.
+func (q *PriorityQueue[T]) Len(level int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if level < 0 || level >= len(q.lanes) {
+		return 0
+	}
+	return len(q.lanes[level])
+}
+
+// Size reports the total queued items across levels.
+func (q *PriorityQueue[T]) Size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

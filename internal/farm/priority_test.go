@@ -1,0 +1,155 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	q := NewPriorityQueue[string](2, 8)
+	// Interleave pushes across levels; pops must drain level 0 first,
+	// FIFO within each level.
+	for _, p := range []struct {
+		level int
+		item  string
+	}{{1, "b1"}, {0, "i1"}, {1, "b2"}, {0, "i2"}, {1, "b3"}} {
+		if err := q.Push(p.level, p.item); err != nil {
+			t.Fatalf("Push(%d, %s): %v", p.level, p.item, err)
+		}
+	}
+	if got := q.Size(); got != 5 {
+		t.Fatalf("Size() = %d, want 5", got)
+	}
+	if got := q.Len(0); got != 2 {
+		t.Fatalf("Len(0) = %d, want 2", got)
+	}
+	want := []string{"i1", "i2", "b1", "b2", "b3"}
+	for i, w := range want {
+		item, level, err := q.Pop(context.Background())
+		if err != nil {
+			t.Fatalf("Pop %d: %v", i, err)
+		}
+		if item != w {
+			t.Fatalf("Pop %d = %q (level %d), want %q", i, item, level, w)
+		}
+	}
+}
+
+func TestPriorityQueueFullAndClosed(t *testing.T) {
+	q := NewPriorityQueue[int](2, 2)
+	if err := q.Push(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity is shared across levels.
+	if err := q.Push(0, 3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Push at capacity: %v, want ErrQueueFull", err)
+	}
+	q.Close()
+	if err := q.Push(0, 4); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Push after Close: %v, want ErrQueueClosed", err)
+	}
+	// Items pushed before Close still drain, in priority order.
+	if item, _, err := q.Pop(context.Background()); err != nil || item != 2 {
+		t.Fatalf("Pop after Close = %d, %v; want 2, nil", item, err)
+	}
+	if item, _, err := q.Pop(context.Background()); err != nil || item != 1 {
+		t.Fatalf("Pop after Close = %d, %v; want 1, nil", item, err)
+	}
+	if _, _, err := q.Pop(context.Background()); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Pop on drained closed queue: %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestPriorityQueuePopBlocksUntilPushOrContext(t *testing.T) {
+	q := NewPriorityQueue[int](1, 4)
+	got := make(chan int, 1)
+	go func() {
+		item, _, err := q.Pop(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- item
+	}()
+	time.Sleep(10 * time.Millisecond) // let the popper block
+	if err := q.Push(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case item := <-got:
+		if item != 42 {
+			t.Fatalf("blocked Pop = %d, want 42", item)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop never woke after Push")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := q.Pop(ctx)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Pop: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop never woke after context cancellation")
+	}
+}
+
+func TestPriorityQueueConcurrentProducersConsumers(t *testing.T) {
+	const perProducer = 50
+	q := NewPriorityQueue[int](3, 3*perProducer)
+	var wg sync.WaitGroup
+	for level := 0; level < 3; level++ {
+		wg.Add(1)
+		go func(level int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for q.Push(level, level*perProducer+i) != nil {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(level)
+	}
+	seen := make(chan int, 3*perProducer)
+	var cg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				item, _, err := q.Pop(context.Background())
+				if err != nil {
+					return
+				}
+				seen <- item
+			}
+		}()
+	}
+	wg.Wait()
+	// Producers done; close once consumers drain the rest.
+	q.Close()
+	cg.Wait()
+	close(seen)
+	unique := map[int]bool{}
+	for item := range seen {
+		if unique[item] {
+			t.Fatalf("item %d popped twice", item)
+		}
+		unique[item] = true
+	}
+	if len(unique) != 3*perProducer {
+		t.Fatalf("popped %d unique items, want %d", len(unique), 3*perProducer)
+	}
+}

@@ -3,12 +3,15 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/faultnet"
 	"repro/internal/harness"
 )
@@ -187,4 +190,126 @@ func TestChaosSubmitRetryLoopObeysContract(t *testing.T) {
 	if len(all) != 1 {
 		t.Errorf("%d studies after one logical submission, want 1", len(all))
 	}
+}
+
+// TestChaosServiceFleetFaultSoup extends the chaos suite to the
+// service→fleet path: the service fans studies out to in-process dist
+// workers through a fault-injecting transport (timeouts, 503 bursts,
+// mid-body resets), with the local fallback as the last line. The
+// contract: every accepted study reaches done with output
+// byte-identical to the local render, every event stream terminates
+// with exactly one terminal event, and session quota slots all drain
+// back to zero.
+func TestChaosServiceFleetFaultSoup(t *testing.T) {
+	w1 := httptest.NewServer(dist.NewWorker(dist.WorkerConfig{Workers: 1}).Handler())
+	w2 := httptest.NewServer(dist.NewWorker(dist.WorkerConfig{Workers: 1}).Handler())
+	t.Cleanup(w1.Close)
+	t.Cleanup(w2.Close)
+	ft := faultnet.New(23, nil, &faultnet.Rule{
+		Name:        "fleet-soup",
+		TimeoutRate: 0.1,
+		StatusRate:  0.1,
+		ResetRate:   0.1,
+		ResetAfter:  64,
+	})
+	svc, ts := newTestServer(t, Config{
+		MaxConcurrent: 2,
+		Fleet: &FleetConfig{
+			Workers:          []string{w1.URL, w2.URL},
+			Client:           &http.Client{Transport: ft},
+			MaxAttempts:      10,
+			BreakerThreshold: 10,
+			RetryBaseDelay:   time.Millisecond,
+			RetryMaxDelay:    5 * time.Millisecond,
+			ProbeInterval:    10 * time.Millisecond,
+			HealthInterval:   10 * time.Millisecond,
+			FallbackLocal:    true,
+			Seed:             23,
+		},
+	})
+
+	want, err := harness.RenderExperiment(context.Background(), nil, smallGeometrySpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const studies = 3
+	type outcome struct {
+		id     string
+		events []StudyEvent
+	}
+	results := make(chan outcome, studies)
+	for i := 0; i < studies; i++ {
+		session := fmt.Sprintf("chaos-%d", i)
+		go func() {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/studies",
+				strings.NewReader(`{"frames": 2, "experiments": [`+smallGeometry+`]}`))
+			if err != nil {
+				t.Error(err)
+				results <- outcome{}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Session-ID", session)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				results <- outcome{}
+				return
+			}
+			var st StudyStatus
+			decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted || decodeErr != nil {
+				t.Errorf("chaos submit: status %d, decode %v", resp.StatusCode, decodeErr)
+				results <- outcome{}
+				return
+			}
+			stream := openStream(t, ts, st.ID, 0)
+			events, _ := readStream(t, stream.Body, 0)
+			results <- outcome{id: st.ID, events: events}
+		}()
+	}
+
+	for i := 0; i < studies; i++ {
+		oc := <-results
+		if oc.id == "" {
+			continue // already reported via t.Error
+		}
+		if len(oc.events) == 0 {
+			t.Errorf("study %s streamed no events", oc.id)
+			continue
+		}
+		terminals := 0
+		for _, ev := range oc.events {
+			if terminalEvent(ev.Type) {
+				terminals++
+			}
+		}
+		last := oc.events[len(oc.events)-1]
+		if terminals != 1 || !terminalEvent(last.Type) {
+			t.Errorf("study %s stream: %d terminal events (last %q), want exactly 1 at the end", oc.id, terminals, last.Type)
+		}
+		if last.Type != EventDone {
+			t.Errorf("study %s ended %q under fleet chaos with fallback enabled: %s", oc.id, last.Type, last.Error)
+			continue
+		}
+		if got := result(t, ts, oc.id); got != want {
+			t.Errorf("study %s output differs from local render under fleet chaos", oc.id)
+		}
+	}
+	if ft.InjectedTotal() == 0 {
+		t.Error("fleet fault soup injected nothing — rates are not exercising the runner")
+	}
+
+	// Every session's quota slots drained back.
+	svc.sessMu.Lock()
+	for id, ss := range svc.sessions {
+		ss.mu.Lock()
+		if ss.active != 0 {
+			t.Errorf("session %s still holds %d active-study slots after drain", id, ss.active)
+		}
+		ss.mu.Unlock()
+	}
+	svc.sessMu.Unlock()
 }

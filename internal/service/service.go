@@ -1,23 +1,41 @@
-// Package service is the study front-end: an HTTP/JSON API that
+// Package service is the study front door: an HTTP/JSON API that
 // accepts experiment submissions (the same experiment specs mp4study's
-// batch manifests use), validates them at the door, executes them on a
-// bounded experiment farm, and serves job polling and incremental
-// result streaming to many concurrent clients.
+// batch manifests use), validates them at the door, schedules them
+// through priority admission control, executes them on a bounded
+// experiment farm or fans them out to a dist worker fleet (the Runner
+// seam — see runner.go), and serves polling, incremental result
+// streaming, and a per-study SSE event stream to many concurrent
+// clients.
 //
 // Each submission becomes one job with its own harness.Study, so the
 // capture/replay strategy and the trace-usage accounting are scoped to
 // the request — concurrent clients can run different strategies in one
 // process without racing (the bug class the Study refactor removed).
 //
-// API (see README "Distributed architecture" for the full contract):
+// API (see README "Study service" for the full contract):
 //
 //	POST   /v1/studies           submit a StudySpec        → 202 StudyStatus
 //	GET    /v1/studies           list all jobs             → 200 []StudyStatus
 //	GET    /v1/studies/{id}      poll one job              → 200 StudyStatus
 //	GET    /v1/studies/{id}/result  stream outputs in order as they
 //	                             complete (text/plain, chunked)
+//	GET    /v1/studies/{id}/events  SSE event stream: per-shard fleet
+//	                             results, per-experiment outputs, one
+//	                             terminal done/error event; resumable
+//	                             via Last-Event-ID (see events.go)
 //	DELETE /v1/studies/{id}      cancel a queued/running job
-//	GET    /v1/healthz           liveness + queue depth
+//	GET    /v1/healthz           liveness, queue depth by priority,
+//	                             sessions, fleet worker liveness
+//
+// Admission control: submissions pass three gates, each rejecting with
+// 429 + Retry-After. The per-session token bucket (Config.SessionRate)
+// and active-study quota (Config.SessionMaxActive) bound one client;
+// the global MaxQueued bound backs the whole queue. Admitted studies
+// wait in a priority queue — "interactive" studies always pop before
+// "batch" (the default) — and at most MaxConcurrent simulate at once.
+// When Config.AuthToken is set, every study endpoint requires
+// `Authorization: Bearer <token>` (healthz/metrics/version stay open
+// for load balancers and scrapers).
 //
 // Client backoff contract: the server signals overload, never hides
 // it. When the pending-study queue is full, POST /v1/studies returns
@@ -44,6 +62,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/farm"
@@ -66,6 +85,19 @@ var (
 	mStudySeconds     = obs.Default().Histogram("service_study_seconds", nil)
 )
 
+// Admission and streaming metrics (the acceptance surface of the
+// session/admission layer): live sessions, SSE subscribers, queue
+// depth by priority, and rejects split by reason.
+var (
+	mSessionsActive   = obs.Default().Gauge("service_sessions_active")
+	mStreamSubs       = obs.Default().Gauge("service_stream_subscribers")
+	mQueueInteractive = obs.Default().Gauge(obs.Label("service_queue_depth", "priority", PriorityInteractive))
+	mQueueBatch       = obs.Default().Gauge(obs.Label("service_queue_depth", "priority", PriorityBatch))
+	mRejectQueueFull  = obs.Default().Counter(obs.Label("service_admission_rejects_total", "reason", "queue_full"))
+	mRejectQuota      = obs.Default().Counter(obs.Label("service_admission_rejects_total", "reason", "session_quota"))
+	mRejectRate       = obs.Default().Counter(obs.Label("service_admission_rejects_total", "reason", "rate_limit"))
+)
+
 var serviceLog = obs.Logger("service")
 
 // StudySpec is one submission: an experiment list plus run settings.
@@ -78,6 +110,48 @@ type StudySpec struct {
 	Parallel    int                      `json:"parallel,omitempty"`
 	Replay      *bool                    `json:"replay,omitempty"` // default true
 	Experiments []harness.ExperimentSpec `json:"experiments"`
+	// Priority places the study in the admission queue: "interactive"
+	// studies are always scheduled ahead of "batch" ones (the default
+	// when empty) regardless of submission order.
+	Priority string `json:"priority,omitempty"`
+}
+
+// Priority names, highest first. The admission scheduler pops
+// interactive work before batch work whenever a slot frees.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+const priorityLevels = 2
+
+// priorityLevel maps a spec's priority name to its queue level (0 is
+// highest). Empty means batch.
+func priorityLevel(p string) (int, error) {
+	switch p {
+	case PriorityInteractive:
+		return 0, nil
+	case "", PriorityBatch:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want %q or %q)", p, PriorityInteractive, PriorityBatch)
+}
+
+func priorityName(level int) string {
+	if level == 0 {
+		return PriorityInteractive
+	}
+	return PriorityBatch
+}
+
+func queueGauge(level int) interface {
+	Inc()
+	Dec()
+} {
+	if level == 0 {
+		return mQueueInteractive
+	}
+	return mQueueBatch
 }
 
 // Validate rejects malformed submissions before any simulation work.
@@ -87,6 +161,9 @@ func (s StudySpec) Validate() error {
 	}
 	if s.Frames < 0 || s.Frames > 10000 {
 		return fmt.Errorf("frames %d out of range [0, 10000]", s.Frames)
+	}
+	if _, err := priorityLevel(s.Priority); err != nil {
+		return err
 	}
 	for i, e := range s.Experiments {
 		if err := e.Validate(); err != nil {
@@ -116,15 +193,30 @@ type StudyStatus struct {
 	Total       int                `json:"total"` // experiments submitted
 	Error       string             `json:"error,omitempty"`
 	Experiments []string           `json:"experiments"`
+	Priority    string             `json:"priority,omitempty"`
+	Events      int                `json:"events"` // event-log length, for SSE resume
 	TraceUsage  harness.TraceUsage `json:"trace_usage"`
 }
 
+// claim values: whoever CASes job.claimed from zero owns the queued
+// job's fate — the dispatcher grants it a slot, or its own run
+// goroutine abandons it on cancellation. Exactly one side wins, so a
+// cancelled-while-queued study neither runs nor leaks a slot.
+const (
+	claimGranted int32 = iota + 1
+	claimAbandoned
+)
+
 // job is the server-side state of one submission.
 type job struct {
-	id     string
-	spec   StudySpec
-	study  *harness.Study
-	cancel context.CancelFunc
+	id       string
+	spec     StudySpec
+	study    *harness.Study
+	cancel   context.CancelFunc
+	priority int           // queue level
+	session  *session      // owner, for quota release (nil without middleware)
+	grant    chan struct{} // closed by the dispatcher when a slot is granted
+	claimed  atomic.Int32
 
 	mu        sync.Mutex
 	updated   chan struct{} // closed and replaced on every state change
@@ -135,6 +227,10 @@ type job struct {
 	outputs   []string
 	done      int
 	errMsg    string
+	// events is the append-only SSE log (see events.go); eventsDone
+	// seals it after the terminal event.
+	events     []StudyEvent
+	eventsDone bool
 }
 
 func (j *job) notifyLocked() {
@@ -156,6 +252,9 @@ func (j *job) setState(state string) {
 	case StateDone, StateFailed, StateCancelled:
 		j.finished = &now
 	}
+	if state == StateDone {
+		j.appendEventLocked(StudyEvent{Type: EventDone, State: StateDone})
+	}
 	j.notifyLocked()
 }
 
@@ -164,6 +263,12 @@ func (j *job) setOutput(i int, out string) {
 	defer j.mu.Unlock()
 	j.outputs[i] = out
 	j.done = i + 1
+	j.appendEventLocked(StudyEvent{
+		Type:            EventExperiment,
+		Experiment:      j.spec.Experiments[i].Label(),
+		ExperimentIndex: i,
+		Output:          out,
+	})
 	j.notifyLocked()
 }
 
@@ -177,6 +282,7 @@ func (j *job) fail(err error) {
 	j.errMsg = err.Error()
 	now := time.Now()
 	j.finished = &now
+	j.appendEventLocked(StudyEvent{Type: EventError, State: StateFailed, Error: j.errMsg})
 	j.notifyLocked()
 }
 
@@ -192,6 +298,8 @@ func (j *job) status() StudyStatus {
 		Done:       j.done,
 		Total:      len(j.spec.Experiments),
 		Error:      j.errMsg,
+		Priority:   priorityName(j.priority),
+		Events:     len(j.events),
 		TraceUsage: j.study.Usage(),
 	}
 	for _, e := range j.spec.Experiments {
@@ -219,14 +327,46 @@ type Config struct {
 	// RetryAfter is the delay advertised in the Retry-After header of
 	// 429 queue-full responses. <= 0 means 5s.
 	RetryAfter time.Duration
+
+	// Fleet, when non-nil, routes replayed geometry/policy sweeps
+	// through the dist worker fleet instead of the in-process farm —
+	// service-side fan-out with the coordinator's full self-healing
+	// machinery (see runner.go). Everything else still runs locally.
+	Fleet *FleetConfig
+	// Heartbeat paces SSE keep-alive comments on the events stream.
+	// <= 0 means 15s.
+	Heartbeat time.Duration
+	// AuthToken, when non-empty, requires `Authorization: Bearer
+	// <token>` on every study endpoint (healthz/metrics/version stay
+	// open).
+	AuthToken string
+	// SessionMaxActive bounds one session's queued+running studies;
+	// beyond it, submissions get 429. <= 0 means 16.
+	SessionMaxActive int
+	// SessionRate and SessionBurst token-bucket study submissions per
+	// session (submissions/second; bucket depth). Rate <= 0 disables
+	// rate limiting; Burst <= 0 means ceil(rate), at least 1.
+	SessionRate  float64
+	SessionBurst int
+	// SessionTTL prunes sessions idle (and empty) this long.
+	// <= 0 means 1h.
+	SessionTTL time.Duration
+	// MaxSessions bounds the session table; at the bound, requests
+	// from new identities get 429 until idle sessions expire.
+	// <= 0 means 1024.
+	MaxSessions int
 }
 
-// Server executes study submissions on a bounded farm pool. Create
-// with New, mount via Handler, stop with Shutdown.
+// Server executes study submissions through priority admission onto a
+// bounded farm pool or worker fleet. Create with New, mount via
+// Handler, stop with Shutdown.
 type Server struct {
 	cfg    Config
 	pool   *farm.Pool
-	sem    chan struct{} // MaxConcurrent tokens
+	runner Runner
+	slots  chan struct{}             // MaxConcurrent tokens, dispatcher-acquired
+	queue  *farm.PriorityQueue[*job] // admission queue, interactive over batch
+	fleet  *fleetMonitor             // nil without Config.Fleet
 	base   context.Context
 	cancel context.CancelFunc
 
@@ -236,9 +376,14 @@ type Server struct {
 	nextID int
 	closed bool
 	wg     sync.WaitGroup
+
+	sessMu        sync.Mutex
+	sessions      map[string]*session
+	lastSessPrune time.Time
 }
 
-// New builds a Server from cfg.
+// New builds a Server from cfg and starts its admission dispatcher
+// (and, with Config.Fleet, the fleet liveness monitor).
 func New(cfg Config) *Server {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
@@ -252,28 +397,91 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 5 * time.Second
 	}
+	if cfg.SessionMaxActive <= 0 {
+		cfg.SessionMaxActive = 16
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = time.Hour
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
 	base, cancel := context.WithCancel(context.Background())
-	return &Server{
-		cfg:    cfg,
-		pool:   farm.New(farm.Config{Workers: cfg.Workers}),
-		sem:    make(chan struct{}, cfg.MaxConcurrent),
-		base:   base,
-		cancel: cancel,
-		jobs:   map[string]*job{},
+	s := &Server{
+		cfg:      cfg,
+		pool:     farm.New(farm.Config{Workers: cfg.Workers}),
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		queue:    farm.NewPriorityQueue[*job](priorityLevels, cfg.MaxQueued),
+		base:     base,
+		cancel:   cancel,
+		jobs:     map[string]*job{},
+		sessions: map[string]*session{},
+	}
+	s.runner = localRunner{}
+	if cfg.Fleet != nil {
+		s.fleet = newFleetMonitor(*cfg.Fleet)
+		s.runner = &fleetRunner{cfg: *cfg.Fleet, monitor: s.fleet}
+		go s.fleet.run(base)
+	}
+	go s.dispatch()
+	return s
+}
+
+func (s *Server) heartbeat() time.Duration {
+	if s.cfg.Heartbeat > 0 {
+		return s.cfg.Heartbeat
+	}
+	return 15 * time.Second
+}
+
+// retryAfterSecs is Config.RetryAfter as a Retry-After header value,
+// rounded up to whole seconds.
+func (s *Server) retryAfterSecs() string {
+	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+}
+
+// dispatch is the admission scheduler: acquire a concurrency slot
+// FIRST, then pop the highest-priority queued study — so an
+// interactive study submitted after a pile of batch work still takes
+// the very next free slot. Exits when the server's base context dies.
+func (s *Server) dispatch() {
+	for {
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.base.Done():
+			return
+		}
+		j, level, err := s.queue.Pop(s.base)
+		if err != nil {
+			<-s.slots
+			return
+		}
+		queueGauge(level).Dec()
+		if !j.claim(claimGranted) {
+			// Cancelled while queued; its run goroutine already
+			// finished the job. The slot goes back for the next pop.
+			<-s.slots
+			continue
+		}
+		close(j.grant)
 	}
 }
 
-// Handler returns the HTTP handler for the service API, wrapped in the
-// obs middleware chain (request logging, in-flight gauge, per-route
-// request counts and latency) and exposing the process metrics registry
-// at /v1/metrics (Prometheus text, or JSON by content negotiation) plus
-// the build identity at /v1/version.
+func (j *job) claim(who int32) bool { return j.claimed.CompareAndSwap(0, who) }
+
+// Handler returns the HTTP handler for the service API, wrapped in
+// the composable middleware chain: request logging and per-route
+// metrics outermost (rejects are observable too), then bearer-token
+// auth, then session resolution + per-session rate limiting. The
+// process metrics registry is at /v1/metrics (Prometheus text, or
+// JSON by content negotiation), the build identity at /v1/version.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/studies", s.handleSubmit)
 	mux.HandleFunc("GET /v1/studies", s.handleList)
 	mux.HandleFunc("GET /v1/studies/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/studies/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/studies/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/studies/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.Handle("GET /v1/metrics", obs.Default().Handler())
@@ -281,6 +489,8 @@ func (s *Server) Handler() http.Handler {
 	return obs.Chain(mux,
 		obs.RequestLog(serviceLog),
 		obs.HTTPMetrics("service", nil),
+		s.authMiddleware,
+		s.sessionMiddleware,
 	)
 }
 
@@ -309,6 +519,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	level, _ := priorityLevel(spec.Priority) // Validate vetted it
 	replay := spec.Replay == nil || *spec.Replay
 	j := &job{
 		spec:      spec,
@@ -317,11 +528,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		submitted: time.Now(),
 		updated:   make(chan struct{}),
 		outputs:   make([]string, len(spec.Experiments)),
+		priority:  level,
+		grant:     make(chan struct{}),
+	}
+
+	// Per-session quota: the claim is atomic with the check, and every
+	// rejection below must release it. The session is re-resolved here
+	// rather than carried in the context — see sessionMiddleware.
+	if ss, ok := s.resolveSession(r); ok && ss != nil {
+		if !ss.tryAcquire(s.cfg.SessionMaxActive) {
+			mRejectQuota.Inc()
+			w.Header().Set("Retry-After", s.retryAfterSecs())
+			writeError(w, http.StatusTooManyRequests,
+				"session %q at its active-study quota (%d)", ss.id, s.cfg.SessionMaxActive)
+			return
+		}
+		j.session = ss
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.releaseSession(j)
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -333,14 +561,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			active++
 		}
 	}
+	// Two bounds guard the queue: the admission count (active studies)
+	// and the priority queue's own capacity (which can fill first if
+	// cancelled-while-queued entries await reaping). Both reject the
+	// same way — part of the client backoff contract (see package
+	// doc): tell the client when resubmitting is worth trying.
 	if active >= s.cfg.MaxQueued {
 		s.mu.Unlock()
-		// Part of the client backoff contract (see package doc): tell
-		// the client when resubmitting is worth trying.
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.releaseSession(j)
+		mRejectQueueFull.Inc()
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 		writeError(w, http.StatusTooManyRequests, "queue full (%d studies pending)", active)
 		return
 	}
+	if err := s.queue.Push(level, j); err != nil {
+		s.mu.Unlock()
+		s.releaseSession(j)
+		mRejectQueueFull.Inc()
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		writeError(w, http.StatusTooManyRequests, "queue full: %v", err)
+		return
+	}
+	queueGauge(level).Inc()
 	s.nextID++
 	j.id = fmt.Sprintf("study-%04d", s.nextID)
 	jobCtx, jobCancel := context.WithCancel(s.base)
@@ -353,35 +595,50 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	mStudiesSubmitted.Inc()
 	mStudiesQueued.Inc()
 	serviceLog.Info("study submitted",
-		"id", j.id, "experiments", len(spec.Experiments), "frames", spec.Frames)
+		"id", j.id, "experiments", len(spec.Experiments), "frames", spec.Frames,
+		"priority", priorityName(level))
 	go s.run(jobCtx, j)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-// run executes one job: wait for a concurrency token, then render the
-// experiments in order (each experiment fans out internally on the
-// shared pool), publishing outputs as they complete.
+// releaseSession returns the job's quota claim to its session.
+func (s *Server) releaseSession(j *job) {
+	if j.session != nil {
+		j.session.release()
+	}
+}
+
+// run executes one job: wait for the dispatcher to grant a slot, then
+// render the experiments in order through the Runner seam (local farm
+// or worker fleet), publishing outputs and events as they complete.
 func (s *Server) run(ctx context.Context, j *job) {
 	defer s.wg.Done()
 	defer j.cancel()
+	defer s.releaseSession(j)
 	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
+	case <-j.grant:
 	case <-ctx.Done():
-		mStudiesQueued.Dec()
-		mStudiesCancelled.Inc()
-		j.fail(fmt.Errorf("cancelled while queued"))
-		return
+		if j.claim(claimAbandoned) {
+			// The dispatcher never granted this job; it stays in the
+			// queue as a claimed husk the dispatcher skips later.
+			mStudiesQueued.Dec()
+			mStudiesCancelled.Inc()
+			j.fail(fmt.Errorf("cancelled while queued"))
+			return
+		}
+		<-j.grant // the dispatcher won the race: run (and fail fast) below
 	}
+	defer func() { <-s.slots }()
 	mStudiesQueued.Dec()
 	mStudiesRunning.Inc()
 	defer mStudiesRunning.Dec()
 	start := time.Now()
 	j.setState(StateRunning)
-	serviceLog.Info("study started", "id", j.id, "experiments", len(j.spec.Experiments))
+	serviceLog.Info("study started", "id", j.id,
+		"experiments", len(j.spec.Experiments), "priority", priorityName(j.priority))
 	ctx = harness.WithStudy(ctx, j.study)
 	for i, e := range j.spec.Experiments {
-		out, err := harness.RenderExperiment(ctx, s.pool, e, j.spec.Frames)
+		out, err := s.runner.Render(ctx, s.pool, e, j.spec.Frames, j.sinkFor(i, e.Label()))
 		if err != nil {
 			if ctx.Err() != nil {
 				mStudiesCancelled.Inc()
@@ -513,6 +770,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.errMsg = "cancelled by client"
 		now := time.Now()
 		j.finished = &now
+		j.appendEventLocked(StudyEvent{Type: EventError, State: StateCancelled, Error: j.errMsg})
 		j.notifyLocked()
 	}
 	j.mu.Unlock()
@@ -522,6 +780,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleHealth reports liveness plus what a load balancer needs to
+// drain intelligently: study gauges, queue depth by priority, session
+// count, and — with a fleet configured — worker liveness split into
+// alive/dead/barred.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	queued, running := 0, 0
@@ -535,14 +797,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	closed := s.closed
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":       !closed,
 		"queued":   queued,
 		"running":  running,
 		"workers":  s.pool.Workers(),
 		"shutdown": closed,
 		"version":  obs.Version(),
-	})
+		"queue_depth": map[string]int{
+			PriorityInteractive: s.queue.Len(0),
+			PriorityBatch:       s.queue.Len(1),
+		},
+		"sessions": s.sessionCount(),
+	}
+	if s.fleet != nil {
+		alive, dead, barred := s.fleet.snapshot()
+		body["fleet"] = map[string]any{
+			"workers": len(s.cfg.Fleet.Workers),
+			"alive":   alive,
+			"dead":    dead,
+			"barred":  barred,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // Shutdown stops the server gracefully: new submissions are rejected
@@ -554,6 +831,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.queue.Close()
 
 	drained := make(chan struct{})
 	go func() {
@@ -562,6 +840,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		s.cancel() // stop the dispatcher and fleet monitor
 		return nil
 	case <-ctx.Done():
 		s.cancel() // cancel every job context

@@ -1,0 +1,204 @@
+package service
+
+// Per-client sessions and the middleware half of admission control.
+// A session is identified by the X-Session-ID header (explicit
+// multi-tenant clients) or, absent that, the client IP — NAT'd
+// clients then share a session, which is the conservative direction
+// for quotas. Sessions carry the per-client limits: an active-study
+// quota and a token-bucket submission rate. Both reject with 429 +
+// Retry-After, the same backpressure contract the queue uses.
+
+import (
+	"crypto/subtle"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// session is one client's admission state.
+type session struct {
+	id string
+
+	mu       sync.Mutex
+	lastSeen time.Time
+	active   int     // queued+running studies owned by this session
+	tokens   float64 // submission-rate bucket
+	lastFill time.Time
+}
+
+// tryAcquire claims an active-study slot under the quota (0 = no
+// quota). The claim is atomic with the check so concurrent submissions
+// cannot overshoot.
+func (ss *session) tryAcquire(quota int) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if quota > 0 && ss.active >= quota {
+		return false
+	}
+	ss.active++
+	return true
+}
+
+func (ss *session) release() {
+	ss.mu.Lock()
+	ss.active--
+	ss.mu.Unlock()
+}
+
+// allow is a token bucket: rate tokens/second refill, burst capacity,
+// one token per submission. rate <= 0 disables limiting.
+func (ss *session) allow(rate float64, burst int, now time.Time) bool {
+	if rate <= 0 {
+		return true
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.lastFill.IsZero() {
+		ss.tokens += now.Sub(ss.lastFill).Seconds() * rate
+	}
+	ss.lastFill = now
+	if cap := float64(burst); ss.tokens > cap {
+		ss.tokens = cap
+	}
+	if ss.tokens < 1 {
+		return false
+	}
+	ss.tokens--
+	return true
+}
+
+// sessionID extracts the client identity: explicit X-Session-ID wins
+// (bounded — it is hostile input), else the remote IP.
+func sessionID(r *http.Request) string {
+	if id := r.Header.Get("X-Session-ID"); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) sessionBurst() int {
+	if s.cfg.SessionBurst > 0 {
+		return s.cfg.SessionBurst
+	}
+	if s.cfg.SessionRate > 0 {
+		return int(math.Max(1, math.Ceil(s.cfg.SessionRate)))
+	}
+	return 1
+}
+
+// resolveSession finds or creates the request's session. It reports
+// !ok when the session table is at MaxSessions and no idle session
+// could be evicted — a bounded-memory guarantee under identity churn.
+func (s *Server) resolveSession(r *http.Request) (ss *session, ok bool) {
+	id := sessionID(r)
+	now := time.Now()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	ss = s.sessions[id]
+	if ss == nil {
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			s.pruneSessionsLocked(now, true)
+		} else {
+			s.pruneSessionsLocked(now, false)
+		}
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			return nil, false
+		}
+		ss = &session{id: id, tokens: float64(s.sessionBurst()), lastFill: now}
+		s.sessions[id] = ss
+		mSessionsActive.Inc()
+	}
+	ss.mu.Lock()
+	ss.lastSeen = now
+	ss.mu.Unlock()
+	return ss, true
+}
+
+// pruneSessionsLocked (sessMu held) drops idle sessions past their
+// TTL. The scan is O(sessions), so it runs at most once a minute
+// unless forced (table full).
+func (s *Server) pruneSessionsLocked(now time.Time, force bool) {
+	if !force && now.Sub(s.lastSessPrune) < time.Minute {
+		return
+	}
+	s.lastSessPrune = now
+	for id, ss := range s.sessions {
+		ss.mu.Lock()
+		idle := ss.active == 0 && now.Sub(ss.lastSeen) > s.cfg.SessionTTL
+		ss.mu.Unlock()
+		if idle {
+			delete(s.sessions, id)
+			mSessionsActive.Dec()
+		}
+	}
+}
+
+// sessionCount reports tracked sessions (healthz).
+func (s *Server) sessionCount() int {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions)
+}
+
+// authMiddleware enforces bearer-token auth when Config.AuthToken is
+// set. Liveness and introspection stay open — load balancers drain on
+// /v1/healthz and scrapers read /v1/metrics without credentials; both
+// expose counts, never study content.
+func (s *Server) authMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.AuthToken == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/healthz", "/v1/metrics", "/v1/version":
+			next.ServeHTTP(w, r)
+			return
+		}
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.AuthToken)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="studies"`)
+			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// sessionMiddleware resolves the request's session and applies the
+// per-session submission rate limit. The request is deliberately NOT
+// cloned here (no context stamping): mux routing mutates the request
+// in place to record the matched pattern, and a clone would hide that
+// from the outer metrics middleware. handleSubmit re-resolves the
+// session — a cheap map hit — for its quota check.
+func (s *Server) sessionMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ss, ok := s.resolveSession(r)
+		if !ok {
+			mRejectQuota.Inc()
+			w.Header().Set("Retry-After", s.retryAfterSecs())
+			writeError(w, http.StatusTooManyRequests, "session table full (%d sessions)", s.cfg.MaxSessions)
+			return
+		}
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/studies" &&
+			!ss.allow(s.cfg.SessionRate, s.sessionBurst(), time.Now()) {
+			mRejectRate.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"session %q over its submission rate (%g/s, burst %d)",
+				ss.id, s.cfg.SessionRate, s.sessionBurst())
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

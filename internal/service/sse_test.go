@@ -1,0 +1,280 @@
+package service
+
+// Tests of the /v1/studies/{id}/events SSE stream: framing, terminal
+// events, Last-Event-ID resume, heartbeats, and the decoupling
+// contract (slow or vanished consumers never affect the study).
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// openStream opens the SSE stream for a study, resuming after lastID
+// when nonzero. The response body is watchdog-closed after 60s so a
+// stream that never terminates fails the test instead of hanging it.
+func openStream(t *testing.T, ts *httptest.Server, id string, lastID int) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/studies/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("events: status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events: Content-Type %q, want text/event-stream", ct)
+	}
+	timer := time.AfterFunc(60*time.Second, func() { resp.Body.Close() })
+	t.Cleanup(func() { timer.Stop(); resp.Body.Close() })
+	return resp
+}
+
+// readStream decodes SSE frames until a terminal event, max events
+// (0 = unlimited), or EOF. Heartbeat comments are counted, not
+// returned.
+func readStream(t *testing.T, body io.Reader, max int) (events []StudyEvent, heartbeats int) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"):
+			heartbeats++
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "":
+			if len(data) == 0 {
+				continue
+			}
+			var ev StudyEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				t.Fatalf("bad SSE frame %q: %v", data, err)
+			}
+			data = nil
+			events = append(events, ev)
+			if terminalEvent(ev.Type) || (max > 0 && len(events) >= max) {
+				return events, heartbeats
+			}
+		}
+	}
+	return events, heartbeats
+}
+
+// TestServiceEventStreamEndsWithDone: a live stream carries one
+// experiment event per experiment (outputs byte-identical to the
+// result endpoint, in manifest order), densely-numbered seqs, and
+// exactly one terminal done event.
+func TestServiceEventStreamEndsWithDone(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`, {"sweep": "ratio"}]}`)
+	resp := openStream(t, ts, st.ID, 0)
+	events, _ := readStream(t, resp.Body, 0)
+
+	if len(events) == 0 {
+		t.Fatal("stream delivered no events")
+	}
+	var outputs []string
+	terminals := 0
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d — seqs must be dense from 1", i, ev.Seq)
+		}
+		switch ev.Type {
+		case EventExperiment:
+			if want := len(outputs); ev.ExperimentIndex != want {
+				t.Fatalf("experiment event for index %d arrived before index %d", ev.ExperimentIndex, want)
+			}
+			outputs = append(outputs, ev.Output)
+		case EventDone, EventError:
+			terminals++
+			if i != len(events)-1 {
+				t.Fatalf("terminal event at position %d of %d — stream continued past it", i, len(events))
+			}
+		}
+	}
+	if terminals != 1 || events[len(events)-1].Type != EventDone {
+		t.Fatalf("want exactly one terminal done event, got %d terminals (last %q)",
+			terminals, events[len(events)-1].Type)
+	}
+	if got, want := strings.Join(outputs, ""), result(t, ts, st.ID); got != want {
+		t.Fatalf("streamed outputs differ from result endpoint:\n--- stream ---\n%s\n--- result ---\n%s", got, want)
+	}
+}
+
+// TestServiceEventStreamResume: a reconnect with Last-Event-ID replays
+// only the missed suffix — no duplicates, no gaps, same terminal.
+func TestServiceEventStreamResume(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`, {"sweep": "ratio"}]}`)
+	waitTerminal(t, ts, st.ID)
+
+	first := openStream(t, ts, st.ID, 0)
+	head, _ := readStream(t, first.Body, 2)
+	first.Body.Close() // client vanishes mid-stream
+	if len(head) != 2 {
+		t.Fatalf("read %d events before disconnect, want 2", len(head))
+	}
+
+	second := openStream(t, ts, st.ID, head[len(head)-1].Seq)
+	tail, _ := readStream(t, second.Body, 0)
+	if len(tail) == 0 {
+		t.Fatal("resumed stream delivered nothing")
+	}
+	for i, ev := range tail {
+		if want := head[len(head)-1].Seq + i + 1; ev.Seq != want {
+			t.Fatalf("resumed event %d has seq %d, want %d (duplicate or gap)", i, ev.Seq, want)
+		}
+	}
+	if last := tail[len(tail)-1]; last.Type != EventDone {
+		t.Fatalf("resumed stream ended with %q, want done", last.Type)
+	}
+
+	// The full log equals head + tail.
+	full := openStream(t, ts, st.ID, 0)
+	all, _ := readStream(t, full.Body, 0)
+	if len(all) != len(head)+len(tail) {
+		t.Fatalf("full stream has %d events; head(%d)+tail(%d) disagree", len(all), len(head), len(tail))
+	}
+}
+
+// TestServiceEventStreamDisconnectDoesNotCancel: a consumer that
+// vanishes takes nothing with it — the study runs to done and the poll
+// API stays authoritative.
+func TestServiceEventStreamDisconnectDoesNotCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`]}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/studies/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // sever the stream as rudely as a dead client
+	resp.Body.Close()
+
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("study after stream disconnect: state %q, want done", fin.State)
+	}
+	if out := result(t, ts, st.ID); out == "" {
+		t.Fatal("empty result after stream disconnect")
+	}
+}
+
+// TestServiceEventStreamSlowConsumer: a subscriber that never reads
+// must not stall the study — the event log is buffered server-side.
+// Once the consumer finally drains, it still gets the complete stream.
+func TestServiceEventStreamSlowConsumer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`]}`)
+	resp := openStream(t, ts, st.ID, 0)
+	// Do not read resp.Body at all while the study runs.
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("study with a stalled subscriber: state %q, want done", fin.State)
+	}
+	events, _ := readStream(t, resp.Body, 0)
+	if len(events) == 0 || events[len(events)-1].Type != EventDone {
+		t.Fatalf("late drain got %d events (last %v), want full log ending in done", len(events), events)
+	}
+}
+
+// TestServiceEventStreamHeartbeats: an idle stream carries comment
+// heartbeats so proxies and clients can tell silence from death.
+func TestServiceEventStreamHeartbeats(t *testing.T) {
+	_, ts := newTestServer(t, Config{Heartbeat: 10 * time.Millisecond})
+	st := submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`]}`)
+	resp := openStream(t, ts, st.ID, 0)
+	_, heartbeats := readStream(t, resp.Body, 0)
+	if heartbeats == 0 {
+		t.Error("no heartbeats on a stream that waited for a running study")
+	}
+}
+
+// TestServiceEventStreamRejectsBadCursor: a malformed Last-Event-ID is
+// a client error, not a silent restart from zero.
+func TestServiceEventStreamRejectsBadCursor(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`]}`)
+	waitTerminal(t, ts, st.ID)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/studies/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad Last-Event-ID: status %d, want 400", resp.StatusCode)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/studies/no-such-study/events"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown study events: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestServiceEventStreamCancelIsTerminalError: cancelling a study ends
+// its stream with exactly one terminal error event naming the
+// cancelled state.
+func TestServiceEventStreamCancelIsTerminalError(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	// A running blocker keeps the victim queued so the cancel always
+	// lands before any experiment completes.
+	submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`]}`)
+	victim := submit(t, ts, `{"frames": 2, "experiments": [`+smallGeometry+`]}`)
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/studies/"+victim.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stream := openStream(t, ts, victim.ID, 0)
+	events, _ := readStream(t, stream.Body, 0)
+	if len(events) == 0 {
+		t.Fatal("cancelled study streamed no events")
+	}
+	last := events[len(events)-1]
+	if last.Type != EventError || last.State != StateCancelled {
+		t.Fatalf("cancelled study's terminal event = %+v, want error/cancelled", last)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if terminalEvent(ev.Type) {
+			t.Fatalf("extra terminal event before the end: %+v", ev)
+		}
+	}
+}
