@@ -24,6 +24,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/farm"
 	"repro/internal/harness"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/simmem"
@@ -280,6 +281,71 @@ func BenchmarkReplayOnly(b *testing.B) {
 			b.Fatal("empty replay")
 		}
 	}
+}
+
+// BenchmarkMemoizedSweep quantifies the result memo: the full
+// geometry-sweep grid replayed from one capture with no memo (the
+// baseline), with a cold memo (every cell missed, replayed and
+// recorded — the write overhead), and with a warm memo (every cell
+// served from memoized stats, zero replays — the incremental-study
+// payoff). All three produce byte-identical points; only the work
+// differs.
+func BenchmarkMemoizedSweep(b *testing.B) {
+	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
+	capture, err := harness.RecordEncodeIn(simmem.NewSpace(0), wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nConfigs := len(harness.GeometryL1Configs()) * len(harness.GeometryL2Sizes())
+	sweep := func(b *testing.B, ctx context.Context) {
+		points, err := harness.RunGeometrySweepFromTrace(ctx, benchPool, capture.Enc, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != nConfigs {
+			b.Fatalf("got %d points", len(points))
+		}
+	}
+	b.Run("no-memo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, context.Background())
+		}
+		b.ReportMetric(float64(nConfigs), "configs")
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mc, err := memo.New(memo.Config{Version: harness.CodeVersion})
+			if err != nil {
+				b.Fatal(err)
+			}
+			study := harness.NewStudy(true)
+			study.SetMemo(mc)
+			sweep(b, harness.WithStudy(context.Background(), study))
+		}
+		b.ReportMetric(float64(nConfigs), "configs")
+	})
+	b.Run("warm", func(b *testing.B) {
+		mc, err := memo.New(memo.Config{Version: harness.CodeVersion})
+		if err != nil {
+			b.Fatal(err)
+		}
+		study := harness.NewStudy(true)
+		study.SetMemo(mc)
+		ctx := harness.WithStudy(context.Background(), study)
+		sweep(b, ctx) // prime: every cell memoized
+		study.ResetUsage()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, ctx)
+		}
+		b.StopTimer()
+		u := study.Usage()
+		if u.MemoMisses != 0 || u.Replays != 0 {
+			b.Fatalf("warm sweep replayed: %+v", u)
+		}
+		b.ReportMetric(float64(nConfigs), "configs")
+		b.ReportMetric(100, "memoHit%")
+	})
 }
 
 // BenchmarkTraceWire measures the portable trace format: encode and

@@ -21,6 +21,8 @@
 //	mp4served -workers http://a:8375,http://b:8375   # fleet mode
 //	mp4served -fallback-local                 # rescue undeliverable shards in-process
 //	mp4served -auth-token secret              # require Authorization: Bearer secret
+//	mp4served -memo-dir /var/mp4memo          # persist the shared result memo
+//	mp4served -no-memo                        # disable result memoization
 //	mp4served -max-studies 4                  # concurrent studies (default 2)
 //	mp4served -session-max-active 4           # per-session active-study quota
 //	mp4served -session-rate 2                 # per-session submissions/second
@@ -28,11 +30,18 @@
 //	mp4served -metrics=false                  # disable span/timer instrumentation
 //	mp4served -pprof                          # mount net/http/pprof at /debug/pprof/
 //
+// All studies share one server-wide result memo (unless -no-memo):
+// resubmitting a study, or submitting one whose sweep overlaps an
+// earlier study's grid, replays only cells no study has simulated
+// before — byte-identical output, and in fleet mode zero shards
+// dispatched for memo-covered cells. -memo-dir persists the memo
+// across restarts; /v1/healthz reports its hit rate.
+//
 // Observability: GET /v1/metrics serves the process metrics registry
 // (Prometheus text, or JSON with Accept: application/json), GET
 // /v1/version the build identity, GET /v1/healthz queue depths,
-// session counts and (in fleet mode) worker liveness. See README
-// "Study service".
+// session counts, memo hit rate and (in fleet mode) worker liveness.
+// See README "Study service".
 //
 // Example session:
 //
@@ -108,6 +117,8 @@ func main() {
 	sessionRate := flag.Float64("session-rate", 0, "per-session study submissions per second (0 = unlimited)")
 	sessionBurst := flag.Int("session-burst", 0, "per-session submission burst (0 = derived from -session-rate)")
 	heartbeat := flag.Duration("heartbeat", 15*time.Second, "SSE heartbeat interval on /v1/studies/{id}/events")
+	memoDir := flag.String("memo-dir", "", "persist the shared result memo to this directory (resubmitted studies replay only unseen cells)")
+	noMemo := flag.Bool("no-memo", false, "disable result memoization (default: in-memory memo shared by all studies)")
 	srvFlags := obs.RegisterServerFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -130,6 +141,12 @@ func main() {
 		SessionRate:      *sessionRate,
 		SessionBurst:     *sessionBurst,
 		Heartbeat:        *heartbeat,
+		MemoDir:          *memoDir,
+		DisableMemo:      *noMemo,
+	}
+	if *noMemo && *memoDir != "" {
+		fmt.Fprintln(os.Stderr, "mp4served: -no-memo and -memo-dir are mutually exclusive")
+		os.Exit(2)
 	}
 	if len(fleetURLs) > 0 {
 		cfg.Fleet = &service.FleetConfig{

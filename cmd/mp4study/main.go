@@ -25,6 +25,9 @@
 //	mp4study -sweep policy        # encode once, replay every replacement policy
 //	mp4study -sweep policy -policy lru,fifo        # ... a chosen subset
 //	mp4study -sweep geometry -policy plru          # geometry sweep under PLRU
+//	mp4study -sweep geometry -memo-dir ~/.mp4memo  # persist the result memo:
+//	                              # a repeated sweep replays nothing
+//	mp4study -no-memo ...         # disable result memoization entirely
 //	mp4study -cpuprofile p.out    # write pprof profiles
 //	mp4study -metrics-out m.json  # dump the metrics registry after the run
 //	mp4study -log-level info      # structured-log threshold (default warn)
@@ -72,7 +75,18 @@
 // -max-attempts bounds the per-batch attempt budget and
 // -fallback-local replays undelivered shards locally if the whole
 // fleet is lost. A fleet summary (uploads, bytes shipped, failovers,
-// retries, breaker trips, readmissions) goes to stderr.
+// retries, breaker trips, readmissions, memo hit rate) goes to stderr.
+//
+// Result memoization is on by default for the replay sweeps: every
+// simulated (trace hash, L1, L2) grid cell's whole-run stats are
+// memoized in-process, so repeating or extending a sweep within one
+// invocation replays only unseen cells — with byte-identical output,
+// because sweep points are a pure function of the memoized stats.
+// -memo-dir persists the memo across invocations (entries are keyed by
+// trace content hash and simulator code version, so stale entries are
+// never served); -no-memo disables memoization entirely. Local and
+// fleet sweeps share the same memo, and the capture/replay summary
+// reports the hit rate whenever the memo was consulted.
 //
 // Batch-manifest mode runs an arbitrary experiment list concurrently
 // and prints the outputs in manifest order. The manifest is JSON (the
@@ -120,6 +134,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/farm"
 	"repro/internal/harness"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/simmem"
 	"repro/internal/trace"
@@ -143,6 +158,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "with -sweep geometry: write the encode capture to this file (portable wire format)")
 	traceIn := flag.String("trace-in", "", "with -sweep geometry: replay this capture file instead of encoding")
 	workers := flag.String("workers", "", "with -sweep geometry: comma-separated mp4worker base URLs; shards the sweep across the fleet")
+	memoDir := flag.String("memo-dir", "", "persist the result memo to this directory (repeated sweeps replay only unseen cells)")
+	noMemo := flag.Bool("no-memo", false, "disable result memoization (default: in-memory memo)")
 	maxAttempts := flag.Int("max-attempts", 0, "with -workers: per-shard-batch attempt budget, counting retries and failovers (0 = coordinator default)")
 	fallbackLocal := flag.Bool("fallback-local", false, "with -workers: replay undelivered shards locally if the whole fleet is lost, instead of failing the sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -163,6 +180,16 @@ func main() {
 	})
 
 	harness.SetReplayEnabled(*replay)
+	if *noMemo && *memoDir != "" {
+		fatal(fmt.Errorf("-no-memo and -memo-dir are mutually exclusive"))
+	}
+	if !*noMemo {
+		mc, err := memo.New(memo.Config{Version: harness.CodeVersion, Dir: *memoDir})
+		if err != nil {
+			fatal(err)
+		}
+		harness.SetMemo(mc)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -303,6 +330,10 @@ func reportTraceUsage() {
 		"traces: %d full (%d records, %.1f MB), %d L1-filtered (%d events, %.1f MB); %d replays\n",
 		u.Traces, u.TraceRecords, float64(u.TraceBytes)/(1<<20),
 		u.L2Traces, u.L2Events, float64(u.L2Bytes)/(1<<20), u.Replays)
+	if total := u.MemoHits + u.MemoMisses; total > 0 {
+		statusf("memo: %d/%d cells served from the result memo (%.0f%% hit rate)\n",
+			u.MemoHits, total, 100*float64(u.MemoHits)/float64(total))
+	}
 }
 
 // splitList parses a comma-separated flag value, dropping empty
@@ -385,6 +416,11 @@ func runGeometryFleet(ctx context.Context, frames int, workers string, maxAttemp
 		Workers:       urls,
 		MaxAttempts:   maxAttempts,
 		FallbackLocal: fallbackLocal,
+		// The default study's memo (nil under -no-memo): memo-covered
+		// cells dispatch nothing, replayed cells are memoized — so with
+		// -memo-dir, a repeated fleet sweep moves zero bytes and replays
+		// zero shards.
+		Memo: harness.Memo(),
 	}
 	wl := harness.Workload{W: 352, H: 288, Frames: frames}
 	l1s, l2Sizes, err := spec.SweepAxes()
@@ -406,6 +442,10 @@ func runGeometryFleet(ctx context.Context, frames int, workers string, maxAttemp
 	statusf(
 		"fleet: %d retries, %d breaker trips, %d health probes, %d readmissions\n",
 		stats.Retries, stats.BreakerTrips, stats.Probes, stats.Readmissions)
+	if total := stats.MemoHits + stats.MemoMisses; total > 0 {
+		statusf("fleet: memo %d/%d cells served (%.0f%% hit rate)\n",
+			stats.MemoHits, total, 100*float64(stats.MemoHits)/float64(total))
+	}
 	if stats.FallbackShards > 0 {
 		statusf("fleet: %d shards replayed through the local fallback\n", stats.FallbackShards)
 	}

@@ -251,8 +251,8 @@ func TestChaosCancellationDuringBackoff(t *testing.T) {
 func TestChaosHealthzCarriesProberState(t *testing.T) {
 	w := NewWorker(WorkerConfig{Workers: 1})
 	w.mu.Lock()
-	w.traces["trace-0002"] = storedTrace{}
-	w.traces["trace-0001"] = storedTrace{}
+	w.traces["trace-0002"] = &storedTrace{}
+	w.traces["trace-0001"] = &storedTrace{}
 	w.mu.Unlock()
 	w.inFlight.Add(3)
 

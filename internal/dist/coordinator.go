@@ -14,9 +14,11 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/harness"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/simmem"
+	"repro/internal/trace"
 )
 
 // Fleet metrics: the live counterparts of SweepStats. SweepStats stays
@@ -28,6 +30,7 @@ import (
 var (
 	mUploads       = obs.Default().Counter("dist_uploads_total")
 	mUploadBytes   = obs.Default().Counter("dist_upload_bytes_total")
+	mUploadDedup   = obs.Default().Counter("dist_upload_dedup_total")
 	mUploadSecs    = obs.Default().Histogram("dist_upload_seconds", nil)
 	mBatchReplays  = obs.Default().Counter("dist_replays_total")
 	mReplayShards  = obs.Default().Counter("dist_replay_shards_total")
@@ -103,6 +106,15 @@ type Coordinator struct {
 	// sweep — byte-identical output, degraded wall-clock. Caller
 	// cancellation is never rescued.
 	FallbackLocal bool
+	// Memo, when non-nil, makes the sweep incremental: every (trace
+	// hash, L1, L2) grid cell already in the memo is served locally
+	// from its memoized stats — no shard dispatched, no trace filtered
+	// or uploaded for rows the memo fully covers — and every cell the
+	// fleet does replay is memoized on success. Output is byte-identical
+	// with or without a memo: values are whole-run cache.Stats and
+	// perf.Compute is deterministic. Memo-served shards reach OnShard
+	// with Worker == MemoWorker.
+	Memo *memo.Cache
 	// OnShard, when non-nil, receives every completed shard in strict
 	// shard-index order — the streaming counterpart of the merged
 	// return value (the study service feeds its SSE event log from
@@ -177,6 +189,15 @@ type SweepStats struct {
 	// including re-uploads forced by failover.
 	Uploads     int
 	UploadBytes int64
+	// UploadsDeduped counts uploads skipped entirely because the worker
+	// already held the payload's content hash (HEAD probe hit) — zero
+	// bytes moved for each.
+	UploadsDeduped int
+	// MemoHits and MemoMisses count grid cells served from the result
+	// memo versus actually planned for replay. Both zero when the
+	// coordinator has no memo attached.
+	MemoHits   int
+	MemoMisses int
 	// Replays counts successful shard-batch replay calls.
 	Replays int
 	// Failovers counts shard batches re-planned onto another worker
@@ -300,9 +321,12 @@ func (c *Coordinator) GeometrySweepSeries(ctx context.Context, wl harness.Worklo
 }
 
 // payload is one serialized trace the sweep ships: the full capture
-// (fullKey) or one L1 row's filtered stream.
+// (fullKey) or one L1 row's filtered stream. key is a human label for
+// logs and per-sweep batch grouping; hash is the trace's content hash
+// — its identity on every worker, this sweep or any other.
 type payload struct {
 	key         string
+	hash        string
 	contentType string
 	wire        []byte
 }
@@ -354,17 +378,39 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 		}
 	}
 
-	// Plan the shards first: small grids can leave workers without
-	// assignments, and those must not receive (or store) an upload.
-	shards := planShards(l1s, l2Sizes, len(c.Workers))
-
-	// Capture once; serialize per payload. In the default (filtered)
-	// mode each L1 row ships only its L2-bound stream.
+	// Capture once. The capture precedes planning because a memoized
+	// plan is keyed by the capture's content hash; in the default
+	// (filtered) mode each L1 row then ships only its L2-bound stream.
 	capture, err := harness.RecordEncodeCtx(ctx, simmem.NewSpace(0), wl)
 	if err != nil {
 		return nil, stats, fmt.Errorf("dist: capture: %w", err)
 	}
-	payloadOf, err := c.buildPayloads(ctx, capture, l1s, shards)
+
+	// Plan the shards. Without a memo this is the plain grid cut; with
+	// one, memo-covered cells become prefilled shards that never reach
+	// a worker. Planning before payload serialization matters either
+	// way: small grids can leave workers without assignments, and fully
+	// memoized L1 rows never get filtered or uploaded at all.
+	var (
+		shards      []Shard
+		prefill     map[int][]harness.GeometryPoint
+		captureHash trace.Hash
+	)
+	if c.Memo != nil {
+		captureHash = capture.Enc.Hash()
+		var hits, misses int
+		shards, prefill, hits, misses = c.planMemoShards(captureHash, l1s, l2Sizes)
+		stats.MemoHits, stats.MemoMisses = hits, misses
+	} else {
+		shards = planShards(l1s, l2Sizes, len(c.Workers))
+	}
+	dispatch := make([]Shard, 0, len(shards))
+	for _, sh := range shards {
+		if _, ok := prefill[sh.Index]; !ok {
+			dispatch = append(dispatch, sh)
+		}
+	}
+	payloadOf, err := c.buildPayloads(ctx, capture, l1s, dispatch)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -376,11 +422,16 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 	// trace). Assignment only affects scheduling, never results:
 	// points merge by shard index.
 	byWorker := make([][]Shard, len(c.Workers))
-	for i, sh := range shards {
+	for i, sh := range dispatch {
 		w := i % len(c.Workers)
 		byWorker[w] = append(byWorker[w], sh)
 	}
 	s := newSweepState(c, shards)
+	s.stats.MemoHits, s.stats.MemoMisses = stats.MemoHits, stats.MemoMisses
+	for idx, pts := range prefill {
+		s.results[idx] = pts
+		s.servedBy[idx] = MemoWorker
+	}
 	for wi, mine := range byWorker {
 		group := map[*payload]*batch{}
 		for _, sh := range mine {
@@ -405,7 +456,14 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 	mBatchesPend.Add(int64(s.pendingN))
 	distLog.Info("sweep started",
 		"workers", len(c.Workers), "shards", len(shards),
+		"memo_shards", len(shards)-len(dispatch),
 		"batches", s.pendingN, "l2_shipped", !c.ShipFullTrace)
+	// Stream the memo-served prefix before any worker runs: emission is
+	// strict shard-index order, and a fully memoized sweep must deliver
+	// every event even though no worker goroutine ever completes a batch.
+	s.mu.Lock()
+	s.emitReadyLocked()
+	s.mu.Unlock()
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s.cancel = cancel
@@ -439,11 +497,21 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 	mBreakersOpen.Add(-int64(s.openN))
 	distLog.Info("sweep finished",
 		"replays", s.stats.Replays, "uploads", s.stats.Uploads,
-		"upload_bytes", s.stats.UploadBytes, "failovers", s.stats.Failovers,
+		"upload_bytes", s.stats.UploadBytes, "dedup", s.stats.UploadsDeduped,
+		"failovers", s.stats.Failovers,
 		"retries", s.stats.Retries, "readmissions", s.stats.Readmissions,
 		"dead_workers", s.stats.DeadWorkers, "fatal", s.fatal != nil)
-	defer c.deleteAll(s.uploaded)
 
+	// Traces deliberately survive a successful sweep: the store is
+	// content-addressed, so the next sweep over the same capture dedupes
+	// its uploads against them with a HEAD probe instead of moving
+	// megabytes (workers bound their stores and evict by LRU). A FAILED
+	// sweep still releases what it landed — repeated failing sweeps must
+	// not squat the fleet's stores.
+	fail := func(err error) ([][]harness.GeometryPoint, SweepStats, error) {
+		c.deleteAll(s.uploaded)
+		return nil, s.stats, err
+	}
 	s.stats.L2Shipped = stats.L2Shipped
 	if s.fatal != nil {
 		// Graceful degradation: with FallbackLocal, a fleet-fatal sweep
@@ -453,20 +521,104 @@ func (c *Coordinator) geometrySweepShards(ctx context.Context, wl harness.Worklo
 		if c.FallbackLocal && ctx.Err() == nil {
 			n, ferr := s.fallbackLocal(ctx, capture, shards)
 			if ferr != nil {
-				return nil, s.stats, fmt.Errorf("%w (local fallback failed after %d shards: %v)", s.fatal, n, ferr)
+				return fail(fmt.Errorf("%w (local fallback failed after %d shards: %v)", s.fatal, n, ferr))
 			}
 			distLog.Warn("sweep completed via local fallback",
 				"shards", n, "fleet_error", s.fatal)
+			s.memoize(captureHash, prefill)
 			return s.results, s.stats, nil
 		}
-		return nil, s.stats, s.fatal
+		return fail(s.fatal)
 	}
 	for i, pts := range s.results {
 		if len(pts) == 0 {
-			return nil, s.stats, fmt.Errorf("dist: shard %d missing from worker responses", i)
+			return fail(fmt.Errorf("dist: shard %d missing from worker responses", i))
 		}
 	}
+	s.memoize(captureHash, prefill)
 	return s.results, s.stats, nil
+}
+
+// memoize records every fleet-replayed cell of a successful sweep in
+// the coordinator's memo, so the next sweep over the same capture can
+// serve them without dispatching anything. Prefilled shards are
+// already in the memo; shards without stats (full-trace workers,
+// pre-stats workers, local-fallback shards) are simply skipped — the
+// memo is an optimization, never required for completeness.
+func (s *sweepState) memoize(captureHash trace.Hash, prefill map[int][]harness.GeometryPoint) {
+	if s.c.Memo == nil {
+		return
+	}
+	for i, sh := range s.shards {
+		if _, ok := prefill[sh.Index]; ok {
+			continue
+		}
+		sts := s.cellStats[i]
+		if len(sts) != len(sh.L2Sizes) {
+			continue
+		}
+		for j, size := range sh.L2Sizes {
+			s.c.Memo.Put(harness.GeometryMemoKey(captureHash, sh.L1, size), sts[j])
+		}
+	}
+}
+
+// planMemoShards cuts the (L1 × L2 size) grid against the memo: per
+// L1 row, maximal runs of memo-hit cells become one prefilled shard
+// each (results reconstructed from memoized stats — byte-identical to
+// a replay because perf.Compute is deterministic), and runs of misses
+// split into at most `workers` contiguous chunks exactly as planShards
+// would. Flattening by shard index still reproduces the local sweep's
+// (L1 outer, L2 inner) point order.
+func (c *Coordinator) planMemoShards(captureHash trace.Hash, l1s []cache.Config, l2Sizes []int) (shards []Shard, prefill map[int][]harness.GeometryPoint, hits, misses int) {
+	prefill = map[int][]harness.GeometryPoint{}
+	for _, l1 := range l1s {
+		memoized := make([]cache.Stats, len(l2Sizes))
+		hit := make([]bool, len(l2Sizes))
+		for j, size := range l2Sizes {
+			memoized[j], hit[j] = c.Memo.Get(harness.GeometryMemoKey(captureHash, l1, size))
+		}
+		for lo := 0; lo < len(l2Sizes); {
+			hi := lo + 1
+			for hi < len(l2Sizes) && hit[hi] == hit[lo] {
+				hi++
+			}
+			run := l2Sizes[lo:hi]
+			if hit[lo] {
+				hits += len(run)
+				pts := make([]harness.GeometryPoint, len(run))
+				for j := range run {
+					pts[j] = harness.GeometryPointFromStats(l1, run[j], memoized[lo+j])
+				}
+				prefill[len(shards)] = pts
+				shards = append(shards, Shard{
+					Index:   len(shards),
+					L1:      l1,
+					L2Sizes: append([]int(nil), run...),
+				})
+			} else {
+				misses += len(run)
+				chunks := len(c.Workers)
+				if chunks > len(run) {
+					chunks = len(run)
+				}
+				for k := 0; k < chunks; k++ {
+					a := k * len(run) / chunks
+					b := (k + 1) * len(run) / chunks
+					if a == b {
+						continue
+					}
+					shards = append(shards, Shard{
+						Index:   len(shards),
+						L1:      l1,
+						L2Sizes: append([]int(nil), run[a:b]...),
+					})
+				}
+			}
+			lo = hi
+		}
+	}
+	return shards, prefill, hits, misses
 }
 
 // buildPayloads serializes what the sweep will ship: either the full
@@ -482,7 +634,12 @@ func (c *Coordinator) buildPayloads(ctx context.Context, capture *harness.Captur
 		if _, err := capture.Enc.WriteTo(&wire); err != nil {
 			return nil, fmt.Errorf("dist: serialize: %w", err)
 		}
-		p := &payload{key: fullKey, contentType: ContentTypeTrace, wire: wire.Bytes()}
+		p := &payload{
+			key:         fullKey,
+			hash:        capture.Enc.Hash().String(), // cached by WriteTo above
+			contentType: ContentTypeTrace,
+			wire:        wire.Bytes(),
+		}
 		for _, sh := range shards {
 			payloadOf[sh.Index] = p
 		}
@@ -490,11 +647,26 @@ func (c *Coordinator) buildPayloads(ctx context.Context, capture *harness.Captur
 	}
 
 	// One filter replay per L1 row, concurrently — this is the work
-	// the workers would otherwise each repeat per shard.
+	// the workers would otherwise each repeat per shard. Only rows some
+	// shard actually dispatches are filtered: a memoized plan can cover
+	// whole rows, and those must cost neither a filter replay nor an
+	// upload.
+	needed := make([]bool, len(l1s))
+	for _, sh := range shards {
+		for li := range l1s {
+			if sh.L1 == l1s[li] {
+				needed[li] = true
+				break
+			}
+		}
+	}
 	payloads := make([]*payload, len(l1s))
 	errs := make([]error, len(l1s))
 	var wg sync.WaitGroup
 	for li, l1 := range l1s {
+		if !needed[li] {
+			continue
+		}
 		wg.Add(1)
 		go func(li int, l1 cache.Config) {
 			defer wg.Done()
@@ -510,6 +682,7 @@ func (c *Coordinator) buildPayloads(ctx context.Context, capture *harness.Captur
 			}
 			payloads[li] = &payload{
 				key:         fmt.Sprintf("%s#%d", key, li),
+				hash:        lt.Hash().String(), // cached by WriteTo above
 				contentType: ContentTypeL2Trace,
 				wire:        wire.Bytes(),
 			}
@@ -575,8 +748,12 @@ type sweepState struct {
 	// contiguous completed prefix already streamed to OnShard.
 	results  [][]harness.GeometryPoint
 	servedBy []string
-	shards   []Shard
-	emitted  int
+	// cellStats holds, per dispatched shard, the whole-run stats the
+	// worker reported alongside its points (empty when the worker
+	// omitted them) — the raw material the memo stores after success.
+	cellStats [][]cache.Stats
+	shards    []Shard
+	emitted   int
 	// uploaded maps payload key → trace ID per worker. Each worker's
 	// map is touched only by its own goroutine while the sweep runs;
 	// deleteAll reads them all after the goroutines join.
@@ -601,6 +778,7 @@ func newSweepState(c *Coordinator, shards []Shard) *sweepState {
 		rng:        seed,
 		results:    make([][]harness.GeometryPoint, len(shards)),
 		servedBy:   make([]string, len(shards)),
+		cellStats:  make([][]cache.Stats, len(shards)),
 		shards:     shards,
 		uploaded:   make([]map[string]string, len(c.Workers)),
 	}
@@ -833,6 +1011,20 @@ func (s *sweepState) setFatal(err error) {
 func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
 	base := s.c.Workers[wi]
 	id, ok := s.uploaded[wi][b.payload.key]
+	if !ok && s.c.headTrace(ctx, base, b.payload.hash) {
+		// Content-hash dedup: the worker already holds these exact bytes
+		// — left by an earlier sweep, another coordinator, or a failover
+		// — so no upload moves. Any probe failure (404, error, a worker
+		// that predates HEAD) just falls through to the normal upload.
+		id, ok = b.payload.hash, true
+		s.uploaded[wi][b.payload.key] = id
+		s.mu.Lock()
+		s.stats.UploadsDeduped++
+		s.mu.Unlock()
+		mUploadDedup.Inc()
+		distLog.Debug("upload deduped by content hash",
+			"worker", base, "key", b.payload.key, "id", id)
+	}
 	if !ok {
 		upload := func() (*TraceInfo, error) {
 			uctx, cancel := context.WithTimeout(ctx, s.c.uploadTimeout())
@@ -912,40 +1104,101 @@ func (s *sweepState) runBatch(ctx context.Context, wi int, b *batch) error {
 	for _, res := range resp.Results {
 		s.results[res.Index] = res.Points
 		s.servedBy[res.Index] = base
+		if len(res.Stats) == len(res.Points) {
+			s.cellStats[res.Index] = res.Stats
+		}
 	}
 	s.mu.Unlock()
 	return nil
 }
 
-// evictUnneeded deletes from worker wi every uploaded trace whose
-// payload is referenced neither by cur nor by any batch still queued
-// to wi, freeing store slots for the upload cur needs. Returns how
-// many traces were released. Only wi's own goroutine calls this, so
-// the uploads map needs no extra locking; the queue snapshot does.
+// evictUnneeded frees store room on worker wi for the upload cur
+// needs: every resident trace that neither cur nor any batch still
+// queued to wi references is deleted. Residency comes from the
+// worker's own healthz — the store is shared across sweeps now, so
+// leftovers from earlier sweeps are eviction candidates exactly like
+// this sweep's stale uploads. Returns how many traces were released.
+// Only wi's own goroutine calls this, so the uploads map needs no
+// extra locking; the queue snapshot does.
 func (s *sweepState) evictUnneeded(ctx context.Context, wi int, cur *batch) int {
-	needed := map[string]bool{cur.payload.key: true}
+	base := s.c.Workers[wi]
+	// A resident trace is needed if cur or any batch still queued to wi
+	// replays it — identified by content hash, or by whatever ID this
+	// sweep's upload was given (a fake or legacy worker may not name
+	// traces by hash). Only wi's goroutine touches s.uploaded[wi].
+	needed := map[string]bool{}
+	keep := func(p *payload) {
+		needed[p.hash] = true
+		if id, ok := s.uploaded[wi][p.key]; ok {
+			needed[id] = true
+		}
+	}
+	keep(cur.payload)
 	s.mu.Lock()
 	for _, b := range s.queues[wi] {
-		needed[b.payload.key] = true
+		keep(b.payload)
 	}
 	s.mu.Unlock()
+
+	resident := func() []string {
+		hctx, cancel := context.WithTimeout(ctx, s.c.uploadTimeout())
+		defer cancel()
+		req, err := http.NewRequestWithContext(hctx, http.MethodGet, base+"/v1/healthz", nil)
+		if err != nil {
+			return nil
+		}
+		var hs HealthStatus
+		if s.c.do(req, http.StatusOK, &hs) != nil {
+			return nil
+		}
+		return hs.TraceIDs
+	}()
+	// Without a healthz answer, fall back to what this sweep uploaded.
+	if resident == nil {
+		for _, id := range s.uploaded[wi] {
+			resident = append(resident, id)
+		}
+	}
+
 	evicted := 0
-	for key, id := range s.uploaded[wi] {
-		if needed[key] {
+	for _, id := range resident {
+		if needed[id] {
 			continue
 		}
 		dctx, cancel := context.WithTimeout(ctx, s.c.uploadTimeout())
-		req, err := http.NewRequestWithContext(dctx, http.MethodDelete, s.c.Workers[wi]+"/v1/traces/"+id, nil)
+		req, err := http.NewRequestWithContext(dctx, http.MethodDelete, base+"/v1/traces/"+id, nil)
 		if err == nil {
 			err = s.c.do(req, http.StatusNoContent, nil)
 		}
 		cancel()
-		if err == nil {
-			delete(s.uploaded[wi], key)
-			evicted++
+		if err != nil {
+			continue
+		}
+		evicted++
+		for key, uid := range s.uploaded[wi] {
+			if uid == id {
+				delete(s.uploaded[wi], key)
+			}
 		}
 	}
 	return evicted
+}
+
+// headTrace reports whether base already holds the content hash —
+// the cheap exists probe that replaces moving bytes. Strictly an
+// optimization: every failure mode returns false and the caller
+// uploads normally.
+func (c *Coordinator) headTrace(ctx context.Context, base, hash string) bool {
+	if hash == "" {
+		return false
+	}
+	hctx, cancel := context.WithTimeout(ctx, c.uploadTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodHead, base+"/v1/traces/"+hash, nil)
+	if err != nil {
+		return false
+	}
+	return c.do(req, http.StatusOK, nil) == nil
 }
 
 // upload ships one payload to a worker.

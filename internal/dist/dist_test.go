@@ -560,20 +560,26 @@ func TestWorkerValidatesIngress(t *testing.T) {
 	}
 }
 
-// TestWorkerTraceStoreBound: uploads beyond MaxTraces are refused, and
-// DELETE frees slots.
+// TestWorkerTraceStoreBound: the store is content-addressed, so
+// re-uploading resident bytes dedupes instead of consuming a slot; a
+// genuinely new trace beyond MaxTraces is refused, and DELETE frees
+// slots.
 func TestWorkerTraceStoreBound(t *testing.T) {
 	srv := httptest.NewServer(NewWorker(WorkerConfig{Workers: 1, MaxTraces: 1}).Handler())
 	defer srv.Close()
 
-	rec := trace.NewRecorder()
-	rec.Run(0, 64, 1, 0)
-	var wire bytes.Buffer
-	if _, err := rec.Finish().WriteTo(&wire); err != nil {
-		t.Fatal(err)
+	encode := func(addr uint64) []byte {
+		rec := trace.NewRecorder()
+		rec.Run(addr, 64, 1, 0)
+		var wire bytes.Buffer
+		if _, err := rec.Finish().WriteTo(&wire); err != nil {
+			t.Fatal(err)
+		}
+		return wire.Bytes()
 	}
-	upload := func() (int, TraceInfo) {
-		resp, err := http.Post(srv.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(wire.Bytes()))
+	wireA, wireB := encode(0), encode(1)
+	upload := func(wire []byte) (int, TraceInfo) {
+		resp, err := http.Post(srv.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(wire))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -582,12 +588,16 @@ func TestWorkerTraceStoreBound(t *testing.T) {
 		json.NewDecoder(resp.Body).Decode(&info)
 		return resp.StatusCode, info
 	}
-	code, info := upload()
+
+	code, info := upload(wireA)
 	if code != http.StatusCreated {
 		t.Fatalf("first upload: %d", code)
 	}
-	if code, _ := upload(); code != http.StatusInsufficientStorage {
-		t.Fatalf("second upload: %d, want 507", code)
+	if code, dup := upload(wireA); code != http.StatusCreated || dup.ID != info.ID {
+		t.Fatalf("re-upload of resident bytes: %d id=%q, want dedup 201 with id %q", code, dup.ID, info.ID)
+	}
+	if code, _ := upload(wireB); code != http.StatusInsufficientStorage {
+		t.Fatalf("distinct trace beyond MaxTraces: %d, want 507", code)
 	}
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/traces/"+info.ID, nil)
 	resp, err := http.DefaultClient.Do(req)
@@ -598,7 +608,7 @@ func TestWorkerTraceStoreBound(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("delete: %d", resp.StatusCode)
 	}
-	if code, _ := upload(); code != http.StatusCreated {
+	if code, _ := upload(wireB); code != http.StatusCreated {
 		t.Fatalf("upload after delete: %d", code)
 	}
 }

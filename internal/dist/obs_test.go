@@ -81,8 +81,9 @@ func TestWorkerObservabilityEndpoints(t *testing.T) {
 // workers (so both coordinator and worker metrics land in this
 // process's registry) and checks the accounting: uploads and replays
 // counted on both sides, the alive/pending gauges drained back to
-// zero, and the workers' resident trace count back to zero after
-// coordinator cleanup.
+// zero, and every uploaded trace still resident afterwards — a
+// successful sweep leaves its content-addressed traces in place so
+// the next sweep can dedupe against them.
 func TestFleetMetricsAccounting(t *testing.T) {
 	reg := obs.Default()
 	before := reg.Snapshot()
@@ -126,9 +127,14 @@ func TestFleetMetricsAccounting(t *testing.T) {
 	}
 	// Deltas, not absolutes: the gauges are process-wide, and earlier
 	// tests' workers may legitimately still hold traces.
-	for _, gauge := range []string{"dist_workers_alive", "dist_batches_pending", "worker_traces_resident"} {
+	for _, gauge := range []string{"dist_workers_alive", "dist_batches_pending"} {
 		if got := after.Gauges[gauge] - before.Gauges[gauge]; got != 0 {
 			t.Errorf("%s delta across sweep = %+d, want 0", gauge, got)
 		}
+	}
+	// Traces survive a successful sweep (content-addressed dedup feeds
+	// on them), so the resident gauge grows by exactly the uploads.
+	if got := after.Gauges["worker_traces_resident"] - before.Gauges["worker_traces_resident"]; got != int64(stats.Uploads) {
+		t.Errorf("worker_traces_resident delta = %+d, want %d (uploads)", got, stats.Uploads)
 	}
 }

@@ -111,9 +111,14 @@ type ReplayRequest struct {
 }
 
 // ShardResult is one shard's sweep points, in (L1, L2 size) order.
+// Stats, when present, carries the whole-run simulation counters
+// behind each point (same order) so the coordinator can memoize the
+// cells; workers on the full-trace path may omit it, and a response
+// whose Stats length disagrees with Points is used for points only.
 type ShardResult struct {
 	Index  int                     `json:"index"`
 	Points []harness.GeometryPoint `json:"points"`
+	Stats  []cache.Stats           `json:"stats,omitempty"`
 }
 
 // ReplayResponse returns every requested shard plus the worker-side
@@ -152,6 +157,10 @@ type errorBody struct {
 // FallbackWorker is the ShardEvent.Worker value of shards the
 // coordinator's local fallback replayed instead of the fleet.
 const FallbackWorker = "local"
+
+// MemoWorker is the ShardEvent.Worker value of shards served entirely
+// from the coordinator's result memo — no worker ever saw them.
+const MemoWorker = "memo"
 
 // ShardEvent is one completed shard, delivered to Coordinator.OnShard.
 // Events arrive in strict shard-index order: a shard is emitted as

@@ -25,6 +25,9 @@ import (
 // latency, in-flight) comes from the obs middleware the Handler mounts.
 var (
 	mTracesResident = obs.Default().Gauge("worker_traces_resident")
+	mStoreBytes     = obs.Default().Gauge("worker_trace_store_bytes")
+	mUploadsDeduped = obs.Default().Counter("worker_upload_dedup_total")
+	mStoreEvictions = obs.Default().Counter("worker_store_evictions_total")
 	mShardsServed   = obs.Default().Counter("worker_shards_replayed_total")
 	mReplayCalls    = obs.Default().Counter("worker_replay_calls_total")
 	mWorkerReplayS  = obs.Default().Histogram("worker_replay_seconds", nil)
@@ -37,17 +40,36 @@ type WorkerConfig struct {
 	// Workers sizes the farm pool shards execute on. <= 0 means
 	// GOMAXPROCS.
 	Workers int
-	// MaxTraces bounds resident uploaded traces. <= 0 means 8.
+	// MaxTraces bounds resident uploaded traces. <= 0 means 8. The
+	// count bound is a hard 507 — the coordinator owns eviction there
+	// (it knows which traces its sweep still needs).
 	MaxTraces int
 	// MaxTraceBytes bounds one upload's wire size. <= 0 means 1 GiB.
 	MaxTraceBytes int64
+	// MaxStoreBytes bounds the resident store's total wire bytes.
+	// Unlike MaxTraces, this bound self-serves: crossing it evicts
+	// least-recently-used traces (uploads, HEAD probes, and replays all
+	// refresh recency) until the new upload fits. A coordinator that
+	// still needed an evicted trace sees a replay 404 and re-uploads —
+	// the same self-healing path a worker restart exercises. <= 0 means
+	// unbounded.
+	MaxStoreBytes int64
 }
 
-// storedTrace is one resident upload of either kind: exactly one of
-// full/l2 is non-nil.
+// storedTrace is one resident trace of either kind: exactly one of
+// full/l2 is non-nil. The store is keyed by content hash, so a trace
+// has one identity everywhere and re-uploads dedupe for free.
 type storedTrace struct {
-	full *trace.Trace
-	l2   *trace.L2Trace
+	full    *trace.Trace
+	l2      *trace.L2Trace
+	kind    string
+	records int
+	bytes   int64
+	lastUse uint64 // logical clock tick of the last touch, for LRU
+}
+
+func (st *storedTrace) info(id string) TraceInfo {
+	return TraceInfo{ID: id, Kind: st.kind, Records: st.records, Bytes: st.bytes}
 }
 
 // Worker executes replay shards against uploaded traces. Mount its
@@ -61,9 +83,10 @@ type Worker struct {
 	// alongside liveness.
 	inFlight atomic.Int64
 
-	mu     sync.Mutex
-	traces map[string]storedTrace
-	nextID int
+	mu         sync.Mutex
+	traces     map[string]*storedTrace // content hash → trace
+	storeBytes int64
+	clock      uint64
 }
 
 // NewWorker builds a Worker from cfg.
@@ -77,8 +100,54 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	return &Worker{
 		cfg:    cfg,
 		pool:   farm.New(farm.Config{Workers: cfg.Workers}),
-		traces: map[string]storedTrace{},
+		traces: map[string]*storedTrace{},
 	}
+}
+
+// touchLocked refreshes st's LRU recency. Callers hold w.mu.
+func (w *Worker) touchLocked(st *storedTrace) {
+	w.clock++
+	st.lastUse = w.clock
+}
+
+// dropLocked removes id from the store and settles the accounting.
+// Callers hold w.mu. In-flight replays keep their *storedTrace alive.
+func (w *Worker) dropLocked(id string) {
+	st, ok := w.traces[id]
+	if !ok {
+		return
+	}
+	delete(w.traces, id)
+	w.storeBytes -= st.bytes
+	mTracesResident.Dec()
+	mStoreBytes.Add(-st.bytes)
+}
+
+// evictForLocked frees LRU traces until n more bytes fit under
+// MaxStoreBytes. Reports whether the upload can proceed (a single
+// trace larger than the whole bound cannot). Callers hold w.mu.
+func (w *Worker) evictForLocked(n int64) bool {
+	if w.cfg.MaxStoreBytes <= 0 {
+		return true
+	}
+	if n > w.cfg.MaxStoreBytes {
+		return false
+	}
+	for w.storeBytes+n > w.cfg.MaxStoreBytes {
+		victim, oldest := "", uint64(0)
+		for id, st := range w.traces {
+			if victim == "" || st.lastUse < oldest {
+				victim, oldest = id, st.lastUse
+			}
+		}
+		if victim == "" {
+			return false
+		}
+		workerLog.Debug("trace evicted (store byte bound)", "id", victim)
+		w.dropLocked(victim)
+		mStoreEvictions.Inc()
+	}
+	return true
 }
 
 // Handler returns the worker protocol handler, wrapped in the obs
@@ -89,6 +158,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/traces", w.handleUpload)
+	mux.HandleFunc("HEAD /v1/traces/{id}", w.handleExists)
 	mux.HandleFunc("DELETE /v1/traces/{id}", w.handleDelete)
 	mux.HandleFunc("POST /v1/replay", w.handleReplay)
 	mux.HandleFunc("GET /v1/healthz", w.handleHealth)
@@ -123,29 +193,29 @@ func uploadKind(contentType string) string {
 
 // handleUpload decodes a wire-format trace body — full M4TR or
 // L1-filtered M4L2, selected by Content-Type — and stores it for
-// replay. The decoders validate everything; corrupt input is a 400.
+// replay under its content hash. The decoders validate everything
+// (including the hash trailer when present); corrupt input is a 400.
+// Uploading a hash that is already resident is not an error and not a
+// second copy: the existing trace's info is returned, whatever name
+// the bytes arrived under before. A full store is only decided after
+// decoding — the bytes may dedupe against a resident trace, which no
+// bound should refuse.
 func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 	kind := uploadKind(r.Header.Get("Content-Type"))
-	w.mu.Lock()
-	full := len(w.traces) >= w.cfg.MaxTraces
-	w.mu.Unlock()
-	if full {
-		w.writeError(rw, http.StatusInsufficientStorage, "trace store full (%d resident)", w.cfg.MaxTraces)
-		return
-	}
 	body := io.LimitReader(r.Body, w.cfg.MaxTraceBytes+1)
-	var st storedTrace
+	st := &storedTrace{kind: kind}
 	var err error
-	var n int64
-	var records int
+	var id string
 	if kind == KindL2Trace {
 		lt := &trace.L2Trace{}
-		n, err = lt.ReadFrom(body)
-		st.l2, records = lt, lt.Events()
+		st.bytes, err = lt.ReadFrom(body)
+		st.l2, st.records = lt, lt.Events()
+		id = lt.Hash().String()
 	} else {
 		tr := &trace.Trace{}
-		n, err = tr.ReadFrom(body)
-		st.full, records = tr, tr.Records()
+		st.bytes, err = tr.ReadFrom(body)
+		st.full, st.records = tr, tr.Records()
+		id = tr.Hash().String()
 	}
 	if err != nil {
 		if errors.Is(err, trace.ErrBadFormat) {
@@ -155,42 +225,75 @@ func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if n > w.cfg.MaxTraceBytes {
+	if st.bytes > w.cfg.MaxTraceBytes {
 		w.writeError(rw, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", w.cfg.MaxTraceBytes)
 		return
 	}
 
-	// Re-check the bound under the lock at insert time: several
-	// uploads may pass the early check concurrently, and the early
-	// reject only exists to skip decoding work.
 	w.mu.Lock()
+	if prev, ok := w.traces[id]; ok {
+		w.touchLocked(prev)
+		info := prev.info(id)
+		w.mu.Unlock()
+		mUploadsDeduped.Inc()
+		workerLog.Debug("trace upload deduped", "id", id, "kind", prev.kind)
+		w.writeCreated(rw, info)
+		return
+	}
 	if len(w.traces) >= w.cfg.MaxTraces {
 		w.mu.Unlock()
 		w.writeError(rw, http.StatusInsufficientStorage, "trace store full (%d resident)", w.cfg.MaxTraces)
 		return
 	}
-	w.nextID++
-	id := fmt.Sprintf("trace-%04d", w.nextID)
+	if !w.evictForLocked(st.bytes) {
+		w.mu.Unlock()
+		w.writeError(rw, http.StatusInsufficientStorage,
+			"trace store full (%d of %d bytes)", st.bytes, w.cfg.MaxStoreBytes)
+		return
+	}
+	w.touchLocked(st)
 	w.traces[id] = st
+	w.storeBytes += st.bytes
+	// Deltas, not Set: several Worker instances can share one process
+	// (tests, embedded workers), and deltas compose across them.
 	mTracesResident.Inc()
+	mStoreBytes.Add(st.bytes)
+	info := st.info(id)
 	w.mu.Unlock()
-	workerLog.Debug("trace stored", "id", id, "kind", kind, "records", records, "bytes", n)
+	workerLog.Debug("trace stored", "id", id, "kind", kind, "records", st.records, "bytes", st.bytes)
+	w.writeCreated(rw, info)
+}
 
+func (w *Worker) writeCreated(rw http.ResponseWriter, info TraceInfo) {
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(http.StatusCreated)
-	json.NewEncoder(rw).Encode(TraceInfo{ID: id, Kind: kind, Records: records, Bytes: n})
+	json.NewEncoder(rw).Encode(info)
+}
+
+// handleExists is the coordinator's cheap dedup probe: 200 if the
+// content hash is resident (refreshing its LRU recency — a probe means
+// someone is about to replay it), 404 otherwise. No bytes move either
+// way.
+func (w *Worker) handleExists(rw http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	w.mu.Lock()
+	st, ok := w.traces[id]
+	if ok {
+		w.touchLocked(st)
+	}
+	w.mu.Unlock()
+	if !ok {
+		rw.WriteHeader(http.StatusNotFound)
+		return
+	}
+	rw.WriteHeader(http.StatusOK)
 }
 
 func (w *Worker) handleDelete(rw http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	w.mu.Lock()
 	_, ok := w.traces[id]
-	delete(w.traces, id)
-	if ok {
-		// Delta, not Set: several Worker instances can share one process
-		// (tests, embedded workers), and deltas compose across them.
-		mTracesResident.Dec()
-	}
+	w.dropLocked(id)
 	w.mu.Unlock()
 	if !ok {
 		w.writeError(rw, http.StatusNotFound, "no trace %q", id)
@@ -223,6 +326,9 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.mu.Lock()
 	st, ok := w.traces[req.TraceID]
+	if ok {
+		w.touchLocked(st) // a replayed trace is a live trace
+	}
 	w.mu.Unlock()
 	if !ok {
 		w.writeError(rw, http.StatusNotFound, "no trace %q", req.TraceID)
@@ -255,13 +361,18 @@ func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
 			return fmt.Sprintf("shard%d/l1=%dK-%dw", sh.Index, sh.L1.SizeBytes>>10, sh.L1.Ways)
 		},
 		func(ctx context.Context, env farm.Env, sh Shard) (ShardResult, error) {
-			var points []harness.GeometryPoint
-			var err error
+			// The L2-trace path also returns the whole-run stats behind
+			// each point so the coordinator can memoize the cells; the
+			// full-trace path returns points only (Stats stays empty and
+			// the coordinator simply skips memoizing those shards).
 			if st.l2 != nil {
-				points, err = harness.GeometryRowFromL2Trace(ctx, st.l2, sh.L2Sizes)
-			} else {
-				points, err = harness.RunGeometrySweepFromTrace(ctx, farm.Serial(), st.full, []cache.Config{sh.L1}, sh.L2Sizes)
+				points, stats, err := harness.GeometryRowStatsFromL2Trace(ctx, st.l2, sh.L2Sizes)
+				if err != nil {
+					return ShardResult{}, err
+				}
+				return ShardResult{Index: sh.Index, Points: points, Stats: stats}, nil
 			}
+			points, err := harness.RunGeometrySweepFromTrace(ctx, farm.Serial(), st.full, []cache.Config{sh.L1}, sh.L2Sizes)
 			if err != nil {
 				return ShardResult{}, err
 			}

@@ -7,11 +7,19 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/farm"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/simmem"
 	"repro/internal/trace"
 )
+
+// CodeVersion names the simulator semantics memoized results depend
+// on: the cache models, the replay machinery, and perf.Compute. Bump
+// it whenever any of those change observable output — every memo entry
+// recorded under the old version then misses instead of replaying
+// stale results.
+const CodeVersion = "sim-v1"
 
 // Sweep metrics: every geometry/policy sweep — local, trace-file or
 // the shard replays a distributed worker runs — passes through
@@ -82,6 +90,31 @@ func geometryMachine(l1 cache.Config, l2Size int) perf.Machine {
 // execution.
 func GeometryL2For(l1 cache.Config, l2Size int) cache.Config {
 	return geometryMachine(l1, l2Size).L2
+}
+
+// GeometryMemoKey is the memo identity of one sweep cell: the
+// capture's content hash plus the exact (L1, L2) pair the cell
+// simulates. Shared by the local sweep and the dist coordinator so
+// both populate and consult the same entries.
+func GeometryMemoKey(traceHash trace.Hash, l1 cache.Config, l2Size int) memo.Key {
+	return memo.Key{
+		TraceHash: traceHash.String(),
+		L1:        l1,
+		L2:        GeometryL2For(l1, l2Size),
+	}
+}
+
+// GeometryPointFromStats reconstructs one sweep point from memoized
+// whole-run stats — field-for-field identical to simulating the cell,
+// because perf.Compute is deterministic in (machine, stats).
+func GeometryPointFromStats(l1 cache.Config, l2Size int, whole cache.Stats) GeometryPoint {
+	m := geometryMachine(l1, l2Size)
+	return GeometryPoint{
+		Label:  geometryLabel(l1, l2Size),
+		L1:     l1,
+		L2:     m.L2,
+		Encode: perf.Compute(m, whole),
+	}
 }
 
 func geometryLabel(l1 cache.Config, l2Size int) string {
@@ -199,8 +232,7 @@ func RunGeometrySweepFromTrace(ctx context.Context, p *farm.Pool, tr *trace.Trac
 			return label
 		},
 		func(ctx context.Context, env farm.Env, l1 cache.Config) ([]GeometryPoint, error) {
-			lt := FilterGeometryL1(ctx, tr, l1)
-			return GeometryRowFromL2Trace(ctx, lt, l2Sizes)
+			return geometryRowMemo(ctx, tr, l1, l2Sizes)
 		})
 	if err != nil {
 		return nil, err
@@ -210,6 +242,47 @@ func RunGeometrySweepFromTrace(ctx context.Context, p *farm.Pool, tr *trace.Trac
 		out = append(out, r...)
 	}
 	return out, nil
+}
+
+// geometryRowMemo computes one L1 row of the sweep, serving cells from
+// the study's memo when one is attached. Only the missing cells pay
+// for simulation — and a fully memoized row skips the L1 filter replay
+// entirely, which is the row's dominant cost. Without a memo this is
+// exactly the historical filter-then-replay path.
+func geometryRowMemo(ctx context.Context, tr *trace.Trace, l1 cache.Config, l2Sizes []int) ([]GeometryPoint, error) {
+	s := StudyFrom(ctx)
+	mc := s.Memo()
+	if mc == nil {
+		lt := FilterGeometryL1(ctx, tr, l1)
+		return GeometryRowFromL2Trace(ctx, lt, l2Sizes)
+	}
+	hash := tr.Hash()
+	points := make([]GeometryPoint, len(l2Sizes))
+	var missing []int
+	for i, size := range l2Sizes {
+		if whole, ok := mc.Get(GeometryMemoKey(hash, l1, size)); ok {
+			points[i] = GeometryPointFromStats(l1, size, whole)
+			s.noteMemoHit()
+			continue
+		}
+		missing = append(missing, i)
+		s.noteMemoMiss()
+	}
+	if len(missing) > 0 {
+		lt := FilterGeometryL1(ctx, tr, l1)
+		for _, i := range missing {
+			size := l2Sizes[i]
+			whole, _ := lt.Replay(GeometryL2For(l1, size))
+			s.noteReplay()
+			points[i] = GeometryPointFromStats(l1, size, whole)
+			mc.Put(GeometryMemoKey(hash, l1, size), whole)
+		}
+	}
+	// Same row/point accounting as GeometryRowFromL2Trace, so the sweep
+	// throughput metrics mean the same thing with or without a memo.
+	mSweepRows.Inc()
+	mSweepPoints.Add(uint64(len(points)))
+	return points, nil
 }
 
 // FilterGeometryL1 replays a full capture through one L1 configuration
@@ -233,6 +306,15 @@ func FilterGeometryL1(ctx context.Context, tr *trace.Trace, l1 cache.Config) *tr
 // sizes are validated before simulation (they may arrive over the
 // network).
 func GeometryRowFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes []int) ([]GeometryPoint, error) {
+	points, _, err := GeometryRowStatsFromL2Trace(ctx, lt, l2Sizes)
+	return points, err
+}
+
+// GeometryRowStatsFromL2Trace is GeometryRowFromL2Trace returning the
+// whole-run stats alongside each point — what a distributed worker
+// ships back so the coordinator can memoize the cells it replayed
+// remotely (the stats are the memo value; points derive from them).
+func GeometryRowStatsFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes []int) ([]GeometryPoint, []cache.Stats, error) {
 	if len(l2Sizes) == 0 {
 		l2Sizes = GeometryL2Sizes()
 	}
@@ -241,16 +323,18 @@ func GeometryRowFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes []in
 		// policy it inherits from the trace's embedded L1.
 		l2 := geometryMachine(lt.L1, size).L2
 		if err := l2.Validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	s := StudyFrom(ctx)
 	l1 := lt.L1
 	points := make([]GeometryPoint, len(l2Sizes))
+	stats := make([]cache.Stats, len(l2Sizes))
 	for i, size := range l2Sizes {
 		m := geometryMachine(l1, size)
 		whole, _ := lt.Replay(m.L2)
 		s.noteReplay()
+		stats[i] = whole
 		points[i] = GeometryPoint{
 			Label:  geometryLabel(l1, size),
 			L1:     l1,
@@ -260,7 +344,7 @@ func GeometryRowFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes []in
 	}
 	mSweepRows.Inc()
 	mSweepPoints.Add(uint64(len(points)))
-	return points, nil
+	return points, stats, nil
 }
 
 // RunGeometrySweepLive is the re-encode baseline: every configuration

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/codec"
+	"repro/internal/memo"
 	"repro/internal/perf"
 	"repro/internal/simmem"
 	"repro/internal/trace"
@@ -39,10 +40,14 @@ import (
 // concurrency inside one study (the counters are atomics).
 type Study struct {
 	replayDisabled atomic.Bool
-	usage          struct {
+	// memoCache, when set, memoizes per-cell sweep stats by trace
+	// content hash (see RunGeometrySweepFromTrace). Nil disables
+	// memoization; output is byte-identical either way.
+	memoCache atomic.Pointer[memo.Cache]
+	usage     struct {
 		traces, traceRecords, traceBytes atomic.Uint64
 		l2Traces, l2Events, l2Bytes      atomic.Uint64
-		replays                          atomic.Uint64
+		replays, memoHits, memoMisses    atomic.Uint64
 	}
 }
 
@@ -63,6 +68,15 @@ func (s *Study) SetReplayEnabled(on bool) { s.replayDisabled.Store(!on) }
 // ReplayEnabled reports whether capture-and-replay is in use.
 func (s *Study) ReplayEnabled() bool { return !s.replayDisabled.Load() }
 
+// SetMemo attaches a result memo: geometry sweeps consult it per grid
+// cell and replay only the misses. Nil detaches. Several studies may
+// share one memo cache (the service does — that is what makes a
+// resubmitted study incremental).
+func (s *Study) SetMemo(m *memo.Cache) { s.memoCache.Store(m) }
+
+// Memo returns the study's memo cache, or nil when memoization is off.
+func (s *Study) Memo() *memo.Cache { return s.memoCache.Load() }
+
 // Usage returns the capture/replay counters accumulated by this study.
 func (s *Study) Usage() TraceUsage {
 	return TraceUsage{
@@ -73,6 +87,8 @@ func (s *Study) Usage() TraceUsage {
 		L2Events:     s.usage.l2Events.Load(),
 		L2Bytes:      s.usage.l2Bytes.Load(),
 		Replays:      s.usage.replays.Load(),
+		MemoHits:     s.usage.memoHits.Load(),
+		MemoMisses:   s.usage.memoMisses.Load(),
 	}
 }
 
@@ -85,6 +101,8 @@ func (s *Study) ResetUsage() {
 	s.usage.l2Events.Store(0)
 	s.usage.l2Bytes.Store(0)
 	s.usage.replays.Store(0)
+	s.usage.memoHits.Store(0)
+	s.usage.memoMisses.Store(0)
 }
 
 func (s *Study) noteTrace(t *trace.Trace) {
@@ -101,6 +119,18 @@ func (s *Study) noteL2Trace(t *trace.L2Trace) {
 
 func (s *Study) noteReplay() { s.usage.replays.Add(1) }
 
+func (s *Study) noteMemoHit()  { s.usage.memoHits.Add(1) }
+func (s *Study) noteMemoMiss() { s.usage.memoMisses.Add(1) }
+
+// CountMemo folds externally served memo cells into the study's usage
+// — the fleet path consults the memo in the dist coordinator rather
+// than through this study's replay seam, and its sweep stats land here
+// so TraceUsage reports one coherent hit/miss picture either way.
+func (s *Study) CountMemo(hits, misses uint64) {
+	s.usage.memoHits.Add(hits)
+	s.usage.memoMisses.Add(misses)
+}
+
 // defaultStudy backs the package-level strategy and usage functions:
 // the process-wide defaults that cmd/mp4study's flags configure. Runs
 // whose context carries no explicit Study land here.
@@ -113,6 +143,16 @@ func SetReplayEnabled(on bool) { defaultStudy.SetReplayEnabled(on) }
 
 // ReplayEnabled reports the default study's strategy.
 func ReplayEnabled() bool { return defaultStudy.ReplayEnabled() }
+
+// SetMemo attaches a result memo to the default study (the CLI
+// -memo-dir / -no-memo flags). Server-style callers should attach a
+// memo to their per-request Study instead.
+func SetMemo(m *memo.Cache) { defaultStudy.SetMemo(m) }
+
+// Memo returns the default study's memo cache, or nil when
+// memoization is off — the CLI hands it to the dist coordinator so
+// local and fleet sweeps share one memo.
+func Memo() *memo.Cache { return defaultStudy.Memo() }
 
 // TraceUsageSnapshot returns the default study's counters.
 func TraceUsageSnapshot() TraceUsage { return defaultStudy.Usage() }
@@ -152,6 +192,8 @@ type TraceUsage struct {
 	L2Events     uint64
 	L2Bytes      uint64
 	Replays      uint64 // machine/geometry simulations served from captures
+	MemoHits     uint64 // sweep cells served from the result memo
+	MemoMisses   uint64 // sweep cells the memo had to simulate
 }
 
 // Zero reports whether no capture/replay activity was recorded.

@@ -230,3 +230,73 @@ func TestE2EServiceFleetMatchesLocalService(t *testing.T) {
 		t.Fatal("empty study output")
 	}
 }
+
+// TestE2EServiceMemoSecondStudyReplaysNothing: resubmitting an
+// identical study to a fleet-backed service is served entirely from
+// the server's shared result memo — zero shards dispatched to any
+// worker, every SSE shard event attributed to the memo, and output
+// byte-identical to the first run.
+func TestE2EServiceMemoSecondStudyReplaysNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and encodes workloads")
+	}
+	urls := []string{spawnFleetWorker(t), spawnFleetWorker(t)}
+	_, ts := newTestServer(t, Config{Fleet: fastFleet(urls)})
+
+	const body = `{"frames": 2, "experiments": [` + smallGeometry + `]}`
+	first := submit(t, ts, body)
+	if fin := waitTerminal(t, ts, first.ID); fin.State != StateDone {
+		t.Fatalf("first study ended %s: %s", fin.State, fin.Error)
+	}
+	if u := getStatus(t, ts, first.ID).TraceUsage; u.MemoHits != 0 || u.MemoMisses == 0 {
+		t.Fatalf("first study memo usage = %d hits / %d misses, want cold misses only", u.MemoHits, u.MemoMisses)
+	}
+
+	second := submit(t, ts, body)
+	resp := openStream(t, ts, second.ID, 0)
+	events, _ := readStream(t, resp.Body, 0)
+	shardEvents := 0
+	for _, ev := range events {
+		if ev.Type != EventShard {
+			continue
+		}
+		shardEvents++
+		if ev.Shard.Worker != dist.MemoWorker {
+			t.Errorf("second study shard %d served by %q, want %q",
+				ev.Shard.Index, ev.Shard.Worker, dist.MemoWorker)
+		}
+	}
+	if shardEvents == 0 {
+		t.Fatal("second study emitted no shard events")
+	}
+	fin := getStatus(t, ts, second.ID)
+	if fin.State != StateDone {
+		t.Fatalf("second study ended %s: %s", fin.State, fin.Error)
+	}
+	if u := fin.TraceUsage; u.MemoMisses != 0 || u.MemoHits == 0 || u.Replays != 0 {
+		t.Fatalf("second study usage = %+v, want all hits, zero replays", u)
+	}
+	if got, want := result(t, ts, second.ID), result(t, ts, first.ID); got != want {
+		t.Fatalf("memoized study output differs\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// healthz surfaces the memo's hit rate.
+	hresp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Memo struct {
+			Hits    uint64  `json:"hits"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"memo"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&health)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Memo.Hits == 0 || health.Memo.HitRate <= 0 {
+		t.Fatalf("healthz memo = %+v, want nonzero hits and hit rate", health.Memo)
+	}
+}

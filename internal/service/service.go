@@ -67,6 +67,7 @@ import (
 
 	"repro/internal/farm"
 	"repro/internal/harness"
+	"repro/internal/memo"
 	"repro/internal/obs"
 )
 
@@ -333,6 +334,15 @@ type Config struct {
 	// service-side fan-out with the coordinator's full self-healing
 	// machinery (see runner.go). Everything else still runs locally.
 	Fleet *FleetConfig
+	// MemoDir persists the server's result memo to a directory, so
+	// memoized cells survive restarts (mp4served -memo-dir). Empty
+	// keeps the memo in memory only.
+	MemoDir string
+	// DisableMemo turns result memoization off entirely. By default
+	// every study shares one server-wide memo — resubmitting a study
+	// (or sweeping a superset of an earlier one) replays only cells no
+	// study has simulated before, with byte-identical output.
+	DisableMemo bool
 	// Heartbeat paces SSE keep-alive comments on the events stream.
 	// <= 0 means 15s.
 	Heartbeat time.Duration
@@ -367,6 +377,7 @@ type Server struct {
 	slots  chan struct{}             // MaxConcurrent tokens, dispatcher-acquired
 	queue  *farm.PriorityQueue[*job] // admission queue, interactive over batch
 	fleet  *fleetMonitor             // nil without Config.Fleet
+	memo   *memo.Cache               // shared across studies; nil when disabled
 	base   context.Context
 	cancel context.CancelFunc
 
@@ -422,6 +433,16 @@ func New(cfg Config) *Server {
 		s.fleet = newFleetMonitor(*cfg.Fleet)
 		s.runner = &fleetRunner{cfg: *cfg.Fleet, monitor: s.fleet}
 		go s.fleet.run(base)
+	}
+	if !cfg.DisableMemo {
+		mc, err := memo.New(memo.Config{Version: harness.CodeVersion, Dir: cfg.MemoDir})
+		if err != nil {
+			// The memo is an optimization: a bad directory degrades to
+			// uncached studies, never to a server that will not start.
+			serviceLog.Warn("result memo disabled", "err", err)
+		} else {
+			s.memo = mc
+		}
 	}
 	go s.dispatch()
 	return s
@@ -521,9 +542,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	level, _ := priorityLevel(spec.Priority) // Validate vetted it
 	replay := spec.Replay == nil || *spec.Replay
+	study := harness.NewStudy(replay)
+	study.SetMemo(s.memo) // shared server memo; nil when disabled
 	j := &job{
 		spec:      spec,
-		study:     harness.NewStudy(replay),
+		study:     study,
 		state:     StateQueued,
 		submitted: time.Now(),
 		updated:   make(chan struct{}),
@@ -817,6 +840,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"alive":   alive,
 			"dead":    dead,
 			"barred":  barred,
+		}
+	}
+	if s.memo != nil {
+		c := s.memo.Counters()
+		body["memo"] = map[string]any{
+			"entries":   s.memo.Len(),
+			"hits":      c.Hits,
+			"misses":    c.Misses,
+			"evictions": c.Evictions,
+			"hit_rate":  c.HitRate(),
 		}
 	}
 	writeJSON(w, http.StatusOK, body)

@@ -172,6 +172,7 @@ func (f *L2Filter) Trace() *L2Trace {
 		events: f.events,
 		marks:  f.marks,
 		names:  f.names,
+		hcache: &hashCache{},
 	}
 }
 
@@ -183,6 +184,7 @@ type L2Trace struct {
 	events []uint64
 	marks  []l2Mark
 	names  []string
+	hcache *hashCache // memoized content hash; nil disables caching
 }
 
 // Events returns the number of captured L2 references.

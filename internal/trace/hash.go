@@ -1,0 +1,70 @@
+// Content addressing. A trace's identity is the SHA-256 of its wire
+// encoding: two captures that encode to the same bytes are the same
+// trace, no matter when, where, or under what name they were taken.
+// The digest is computed while encoding (WriteTo) or decoding — the
+// bytes stream through the hasher exactly once — and is carried in an
+// optional trailer after the body ("M4HS" + 32 raw digest bytes).
+// Readers accept trailer-less streams written by older binaries and
+// verify the digest when the trailer is present, so corruption that
+// slips past the structural validation is still caught.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Hash is the canonical content hash of a trace: the SHA-256 of its
+// wire-format body (everything up to, but not including, the M4HS
+// trailer).
+type Hash [sha256.Size]byte
+
+// String renders the hash as lowercase hex — the form used as a trace
+// ID in URLs, stores, and memo keys.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// IsZero reports whether h is the zero hash (no hash known).
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// ParseHash decodes the hex form produced by Hash.String.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	if len(s) != hex.EncodedLen(len(h)) {
+		return Hash{}, fmt.Errorf("trace: hash %q: want %d hex chars", s, hex.EncodedLen(len(h)))
+	}
+	if _, err := hex.Decode(h[:], []byte(s)); err != nil {
+		return Hash{}, fmt.Errorf("trace: hash %q: %v", s, err)
+	}
+	return h, nil
+}
+
+// hashCache memoizes a trace's content hash across WriteTo/Hash calls.
+// It is held by pointer (not embedded) so the `*t = *dec` assignments
+// in ReadFrom stay legal under go vet's copylocks check; a nil cache
+// simply never memoizes. Traces are hashed only once complete
+// (post-Finish / post-decode), so a cached value never goes stale.
+type hashCache struct {
+	mu sync.Mutex
+	ok bool
+	h  Hash
+}
+
+func (c *hashCache) get() (Hash, bool) {
+	if c == nil {
+		return Hash{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h, c.ok
+}
+
+func (c *hashCache) set(h Hash) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.h, c.ok = h, true
+	c.mu.Unlock()
+}

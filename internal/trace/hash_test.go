@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTraceHashStability: the content hash is the SHA-256 of the wire
+// body, encode→decode→re-encode is a byte-level fixed point, and every
+// route to the hash (WriteTo side effect, lazy Hash, decode) agrees.
+func TestTraceHashStability(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rec := NewRecorder()
+		randomStream(rand.New(rand.NewSource(seed)), 2000, rec, rec)
+		orig := rec.Finish()
+
+		// Lazy hash before any encode.
+		lazy := orig.Hash()
+		data := encodeTrace(t, orig)
+		if got := orig.Hash(); got != lazy {
+			t.Fatalf("seed %d: Hash changed across WriteTo: %s → %s", seed, lazy, got)
+		}
+		body := data[:len(data)-hashTrailerLen]
+		if want := Hash(sha256.Sum256(body)); lazy != want {
+			t.Fatalf("seed %d: Hash %s != sha256(body) %s", seed, lazy, want)
+		}
+
+		dec, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if dec.Hash() != lazy {
+			t.Fatalf("seed %d: decoded hash %s != original %s", seed, dec.Hash(), lazy)
+		}
+		if re := encodeTrace(t, dec); !bytes.Equal(re, data) {
+			t.Fatalf("seed %d: re-encode is not a fixed point (%d vs %d bytes)", seed, len(re), len(data))
+		}
+	}
+}
+
+// TestL2TraceHashStability: same fixed-point property for the filtered
+// format, across non-default policies.
+func TestL2TraceHashStability(t *testing.T) {
+	l1 := l1Config()
+	l1.Policy = "plru"
+	f := NewL2Filter(l1)
+	randomStream(rand.New(rand.NewSource(7)), 2000, f, f)
+	orig := f.Trace()
+
+	lazy := orig.Hash()
+	data := encodeL2Trace(t, orig)
+	body := data[:len(data)-hashTrailerLen]
+	if want := Hash(sha256.Sum256(body)); lazy != want {
+		t.Fatalf("Hash %s != sha256(body) %s", lazy, want)
+	}
+	dec, err := ReadL2Trace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hash() != lazy {
+		t.Fatalf("decoded hash %s != original %s", dec.Hash(), lazy)
+	}
+	if re := encodeL2Trace(t, dec); !bytes.Equal(re, data) {
+		t.Fatal("re-encode is not a fixed point")
+	}
+}
+
+// TestTraceHashChunkingIndependence: the wire encoding (and therefore
+// the content hash) carries no trace of the in-memory chunk layout —
+// the same record stream split across different chunk boundaries is
+// the same trace, and filters fed from either produce L2 traces with
+// identical hashes.
+func TestTraceHashChunkingIndependence(t *testing.T) {
+	rec := NewRecorder()
+	randomStream(rand.New(rand.NewSource(5)), 3000, rec, rec)
+	orig := rec.Finish()
+
+	// Rebuild the same record stream under a deliberately tiny chunk
+	// size (the capture path uses chunkRecords-sized chunks).
+	var flat []record
+	for _, ch := range orig.chunks {
+		flat = append(flat, ch...)
+	}
+	rechunked := &Trace{phaseNames: orig.phaseNames, records: orig.records, hcache: &hashCache{}}
+	for len(flat) > 0 {
+		n := 7
+		if n > len(flat) {
+			n = len(flat)
+		}
+		rechunked.chunks = append(rechunked.chunks, flat[:n:n])
+		flat = flat[n:]
+	}
+
+	if !bytes.Equal(encodeTrace(t, orig), encodeTrace(t, rechunked)) {
+		t.Fatal("chunk layout leaked into the wire encoding")
+	}
+	if orig.Hash() != rechunked.Hash() {
+		t.Fatalf("chunk layout changed the hash: %s vs %s", orig.Hash(), rechunked.Hash())
+	}
+
+	filter := func(tr *Trace) Hash {
+		f := NewL2Filter(l1Config())
+		tr.Replay(f, f)
+		return f.Trace().Hash()
+	}
+	if a, b := filter(orig), filter(rechunked); a != b {
+		t.Fatalf("filtered L2 hash depends on capture chunking: %s vs %s", a, b)
+	}
+}
+
+// TestTraceHashTrailerCorruption: a trailer whose stored digest does
+// not match the body, a scrambled trailer magic, and a truncated
+// trailer are all ErrBadFormat — never a silently wrong hash.
+func TestTraceHashTrailerCorruption(t *testing.T) {
+	rec := NewRecorder()
+	randomStream(rand.New(rand.NewSource(2)), 500, rec, rec)
+	data := encodeTrace(t, rec.Finish())
+
+	flipHash := bytes.Clone(data)
+	flipHash[len(flipHash)-1] ^= 0xFF
+	if _, err := ReadTrace(bytes.NewReader(flipHash)); err == nil {
+		t.Fatal("mismatched trailer digest decoded without error")
+	} else if !errors.Is(err, ErrBadFormat) || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("want a tagged hash-mismatch error, got %v", err)
+	}
+
+	badMagic := bytes.Clone(data)
+	badMagic[len(badMagic)-hashTrailerLen] = 'X'
+	if _, err := ReadTrace(bytes.NewReader(badMagic)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("scrambled trailer magic: got %v, want ErrBadFormat", err)
+	}
+
+	for cut := 1; cut < hashTrailerLen; cut++ {
+		if _, err := ReadTrace(bytes.NewReader(data[:len(data)-cut])); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("trailer truncated by %d bytes: got %v, want ErrBadFormat", cut, err)
+		}
+	}
+
+	// Same rejection on the filtered format.
+	f := NewL2Filter(l1Config())
+	randomStream(rand.New(rand.NewSource(2)), 500, f, f)
+	ldata := encodeL2Trace(t, f.Trace())
+	lmut := bytes.Clone(ldata)
+	lmut[len(lmut)-5] ^= 0x80
+	if _, err := ReadL2Trace(bytes.NewReader(lmut)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("l2 trailer corruption: got %v, want ErrBadFormat", err)
+	}
+}
+
+// TestParseHash: the hex form round-trips and junk is rejected.
+func TestParseHash(t *testing.T) {
+	h := Hash(sha256.Sum256([]byte("x")))
+	got, err := ParseHash(h.String())
+	if err != nil || got != h {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+	if h.IsZero() || (Hash{}).IsZero() != true {
+		t.Fatal("IsZero misclassifies")
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("z", 64), h.String() + "00"} {
+		if _, err := ParseHash(bad); err == nil {
+			t.Fatalf("ParseHash(%q) succeeded", bad)
+		}
+	}
+}

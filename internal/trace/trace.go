@@ -114,6 +114,7 @@ type Trace struct {
 	chunks     [][]record
 	phaseNames []string
 	records    int
+	hcache     *hashCache // memoized content hash; nil disables caching
 }
 
 // Records returns the number of stored records.
@@ -205,7 +206,7 @@ var (
 
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{t: &Trace{}, phaseIdx: map[string]uint32{}}
+	return &Recorder{t: &Trace{hcache: &hashCache{}}, phaseIdx: map[string]uint32{}}
 }
 
 func (r *Recorder) append(rec record) {

@@ -43,9 +43,11 @@ package trace
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 
 	"repro/internal/cache"
@@ -64,7 +66,18 @@ const (
 var (
 	traceMagic = [4]byte{'M', '4', 'T', 'R'}
 	l2Magic    = [4]byte{'M', '4', 'L', '2'}
+
+	// hashMagic opens the optional content-hash trailer appended after
+	// the body of either format: magic + 32 raw SHA-256 bytes of the
+	// body. The trailer is outside the hashed region and outside the
+	// versioned body, so both wire versions are unchanged; readers
+	// accept streams that end at the body (written before the trailer
+	// existed) and verify the digest when present.
+	hashMagic = [4]byte{'M', '4', 'H', 'S'}
 )
+
+// hashTrailerLen is the on-wire size of the M4HS trailer.
+const hashTrailerLen = 4 + sha256.Size
 
 // ErrBadFormat tags every decode failure: wrong magic, unknown version,
 // truncation, or a structurally invalid field. errors.Is(err,
@@ -94,23 +107,50 @@ const (
 // ---- encoding helpers ----
 
 // wireWriter wraps the destination with buffering, varint helpers and
-// write-count tracking for the io.WriterTo contract.
+// write-count tracking for the io.WriterTo contract. Every body byte
+// also streams through a SHA-256 digest, so the content hash falls out
+// of encoding for free.
 type wireWriter struct {
 	bw  *bufio.Writer
+	h   hash.Hash // body digest; trailer bytes bypass it
 	n   int64
 	err error
 	tmp [binary.MaxVarintLen64]byte
 }
 
-func newWireWriter(w io.Writer) *wireWriter { return &wireWriter{bw: bufio.NewWriter(w)} }
+func newWireWriter(w io.Writer) *wireWriter {
+	return &wireWriter{bw: bufio.NewWriter(w), h: sha256.New()}
+}
 
 func (w *wireWriter) write(p []byte) {
 	if w.err != nil {
 		return
 	}
 	n, err := w.bw.Write(p)
+	w.h.Write(p[:n])
 	w.n += int64(n)
 	w.err = err
+}
+
+// raw writes p without updating the body digest (trailer bytes only).
+func (w *wireWriter) raw(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.bw.Write(p)
+	w.n += int64(n)
+	w.err = err
+}
+
+// trailer appends the M4HS content-hash trailer and flushes, returning
+// the body hash alongside the io.WriterTo results.
+func (w *wireWriter) trailer() (Hash, int64, error) {
+	var sum Hash
+	w.h.Sum(sum[:0])
+	w.raw(hashMagic[:])
+	w.raw(sum[:])
+	n, err := w.flush()
+	return sum, n, err
 }
 
 func (w *wireWriter) byte(b byte) { w.write([]byte{b}) }
@@ -139,29 +179,80 @@ func (w *wireWriter) flush() (int64, error) {
 // ---- decoding helpers ----
 
 // wireReader wraps the source with buffering and validated varint
-// reads. Truncation surfaces as an ErrBadFormat-tagged error.
+// reads. Truncation surfaces as an ErrBadFormat-tagged error. Body
+// bytes stream through a SHA-256 digest as they are consumed, so the
+// decoder knows the content hash (and can verify the M4HS trailer)
+// without a second pass.
 type wireReader struct {
 	br *bufio.Reader
+	h  hash.Hash
 	n  int64
+	hb [1]byte
 }
 
-func newWireReader(r io.Reader) *wireReader { return &wireReader{br: bufio.NewReader(r)} }
+func newWireReader(r io.Reader) *wireReader {
+	return &wireReader{br: bufio.NewReader(r), h: sha256.New()}
+}
 
 func (r *wireReader) ReadByte() (byte, error) {
 	b, err := r.br.ReadByte()
 	if err == nil {
 		r.n++
+		r.hb[0] = b
+		r.h.Write(r.hb[:])
 	}
 	return b, err
 }
 
 func (r *wireReader) full(p []byte) error {
 	n, err := io.ReadFull(r.br, p)
+	r.h.Write(p[:n])
 	r.n += int64(n)
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		return badf("truncated input")
 	}
 	return err
+}
+
+// verifyTrailer consumes the optional M4HS trailer after a fully
+// decoded body and returns the content hash. A stream ending cleanly
+// at the body is a legacy hash-less encoding: accepted, with the
+// computed body digest as its hash. A present trailer must match the
+// computed digest exactly; anything else — wrong magic, truncation, a
+// stored digest that disagrees with the bytes actually read — is a
+// format error.
+func (r *wireReader) verifyTrailer() (Hash, error) {
+	var sum Hash
+	r.h.Sum(sum[:0])
+	// The trailer is read around the digest, not through it.
+	var magic [4]byte
+	n, err := io.ReadFull(r.br, magic[:])
+	r.n += int64(n)
+	if err == io.EOF {
+		return sum, nil // pre-trailer stream
+	}
+	if err == io.ErrUnexpectedEOF {
+		return Hash{}, badf("truncated hash trailer")
+	}
+	if err != nil {
+		return Hash{}, err
+	}
+	if magic != hashMagic {
+		return Hash{}, badf("bad hash trailer magic %q", magic)
+	}
+	var stored Hash
+	n, err = io.ReadFull(r.br, stored[:])
+	r.n += int64(n)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return Hash{}, badf("truncated hash trailer")
+	}
+	if err != nil {
+		return Hash{}, err
+	}
+	if stored != sum {
+		return Hash{}, badf("content hash mismatch: trailer says %s, body is %s", stored, sum)
+	}
+	return sum, nil
 }
 
 func (r *wireReader) uvarint(what string) (uint64, error) {
@@ -255,9 +346,34 @@ func writeNameTable(w *wireWriter, names []string) {
 var _ io.WriterTo = (*Trace)(nil)
 var _ io.ReaderFrom = (*Trace)(nil)
 
-// WriteTo encodes the trace in the portable wire format.
+// WriteTo encodes the trace in the portable wire format, including the
+// M4HS content-hash trailer.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	ww := newWireWriter(w)
+	t.encodeBody(ww)
+	sum, n, err := ww.trailer()
+	if err == nil {
+		t.hcache.set(sum)
+	}
+	return n, err
+}
+
+// Hash returns the trace's canonical content hash: the SHA-256 of its
+// wire-format body. The value is computed as a side effect of WriteTo
+// or decoding and cached; a trace that has done neither is encoded to
+// a discarded stream. Only call once the trace is complete.
+func (t *Trace) Hash() Hash {
+	if h, ok := t.hcache.get(); ok {
+		return h
+	}
+	ww := newWireWriter(io.Discard)
+	t.encodeBody(ww)
+	sum, _, _ := ww.trailer()
+	t.hcache.set(sum)
+	return sum
+}
+
+func (t *Trace) encodeBody(ww *wireWriter) {
 	ww.write(traceMagic[:])
 	ww.uvarint(TraceWireVersion)
 	writeNameTable(ww, t.phaseNames)
@@ -286,7 +402,6 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	return ww.flush()
 }
 
 // ReadFrom decodes a wire-format trace, replacing t's contents. On
@@ -401,6 +516,12 @@ func readTrace(r *wireReader) (*Trace, error) {
 		t.chunks[len(t.chunks)-1] = cur
 		t.records++
 	}
+	sum, err := r.verifyTrailer()
+	if err != nil {
+		return nil, err
+	}
+	t.hcache = &hashCache{}
+	t.hcache.set(sum)
 	return t, nil
 }
 
@@ -441,9 +562,35 @@ func readStatsDelta(r *wireReader, prev cache.Stats) (cache.Stats, error) {
 	return s, nil
 }
 
-// WriteTo encodes the L1-filtered trace in the portable wire format.
+// WriteTo encodes the L1-filtered trace in the portable wire format,
+// including the M4HS content-hash trailer.
 func (t *L2Trace) WriteTo(w io.Writer) (int64, error) {
 	ww := newWireWriter(w)
+	t.encodeBody(ww)
+	sum, n, err := ww.trailer()
+	if err == nil {
+		t.hcache.set(sum)
+	}
+	return n, err
+}
+
+// Hash returns the filtered trace's canonical content hash (see
+// Trace.Hash). Because the wire encoding carries no capture chunking,
+// the hash depends only on the L1 geometry and the L2-bound event
+// stream — identical streams hash identically however they were
+// captured.
+func (t *L2Trace) Hash() Hash {
+	if h, ok := t.hcache.get(); ok {
+		return h
+	}
+	ww := newWireWriter(io.Discard)
+	t.encodeBody(ww)
+	sum, _, _ := ww.trailer()
+	t.hcache.set(sum)
+	return sum
+}
+
+func (t *L2Trace) encodeBody(ww *wireWriter) {
 	ww.write(l2Magic[:])
 	ww.uvarint(L2WireVersion)
 	ww.string(t.L1.Name)
@@ -475,7 +622,6 @@ func (t *L2Trace) WriteTo(w io.Writer) (int64, error) {
 		writeStatsDelta(ww, m.base, prevStats)
 		prevStats = m.base
 	}
-	return ww.flush()
 }
 
 // ReadFrom decodes a wire-format L2 trace, replacing t's contents. On
@@ -620,5 +766,11 @@ func readL2Trace(r *wireReader) (*L2Trace, error) {
 			base:  base,
 		})
 	}
+	sum, err := r.verifyTrailer()
+	if err != nil {
+		return nil, err
+	}
+	t.hcache = &hashCache{}
+	t.hcache.set(sum)
 	return t, nil
 }

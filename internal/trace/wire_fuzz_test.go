@@ -45,6 +45,11 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add([]byte("M4TR\x01"))
 	f.Add([]byte("M4TR\x02\x00\x00"))         // wrong version
 	f.Add([]byte("M4TR\x01\x00\x01\x07\x05")) // phase index out of range
+	f.Add(seed[:len(seed)-hashTrailerLen])    // legacy hash-less stream
+	f.Add(seed[:len(seed)-1])                 // truncated hash trailer
+	corrupt := bytes.Clone(seed)              // trailer digest that contradicts the body
+	corrupt[len(corrupt)-1] ^= 0xFF
+	f.Add(corrupt)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadTrace(bytes.NewReader(data))
 		if err != nil {
@@ -67,6 +72,10 @@ func FuzzReadL2Trace(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("M4L2\x01"))
 	f.Add([]byte("M4L2\x02"))
+	f.Add(seed[:len(seed)-hashTrailerLen]) // legacy hash-less stream
+	lcorrupt := bytes.Clone(seed)
+	lcorrupt[len(lcorrupt)-1] ^= 0xFF
+	f.Add(lcorrupt)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lt, err := ReadL2Trace(bytes.NewReader(data))
 		if err != nil {

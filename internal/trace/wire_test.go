@@ -143,13 +143,31 @@ func TestTraceWireEmpty(t *testing.T) {
 }
 
 // TestTraceWireTruncation: every proper prefix of a valid encoding is
-// rejected with an ErrBadFormat-tagged error, never a panic.
+// rejected with an ErrBadFormat-tagged error, never a panic — with one
+// deliberate exception: the prefix ending exactly at the body is a
+// valid legacy hash-less stream (pre-trailer writers produced exactly
+// those bytes), so it must decode, and to the same content hash.
 func TestTraceWireTruncation(t *testing.T) {
 	rec := NewRecorder()
 	randomStream(rand.New(rand.NewSource(3)), 200, rec, rec)
 	data := encodeTrace(t, rec.Finish())
+	bodyLen := len(data) - hashTrailerLen
 	for cut := 0; cut < len(data); cut++ {
-		if _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+		dec, err := ReadTrace(bytes.NewReader(data[:cut]))
+		if cut == bodyLen {
+			if err != nil {
+				t.Fatalf("legacy body-only prefix rejected: %v", err)
+			}
+			full, err := ReadTrace(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Hash() != full.Hash() {
+				t.Fatalf("legacy stream hash %s != trailered hash %s", dec.Hash(), full.Hash())
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(data))
 		} else if !errors.Is(err, ErrBadFormat) {
 			t.Fatalf("prefix of %d bytes: error %v not tagged ErrBadFormat", cut, err)
@@ -159,8 +177,16 @@ func TestTraceWireTruncation(t *testing.T) {
 	f := NewL2Filter(l1Config())
 	randomStream(rand.New(rand.NewSource(3)), 200, f, f)
 	ldata := encodeL2Trace(t, f.Trace())
+	lBodyLen := len(ldata) - hashTrailerLen
 	for cut := 0; cut < len(ldata); cut++ {
-		if _, err := ReadL2Trace(bytes.NewReader(ldata[:cut])); err == nil {
+		_, err := ReadL2Trace(bytes.NewReader(ldata[:cut]))
+		if cut == lBodyLen {
+			if err != nil {
+				t.Fatalf("legacy l2 body-only prefix rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("l2 prefix of %d/%d bytes decoded without error", cut, len(ldata))
 		} else if !errors.Is(err, ErrBadFormat) {
 			t.Fatalf("l2 prefix of %d bytes: error %v not tagged ErrBadFormat", cut, err)
@@ -221,10 +247,10 @@ func TestTraceWirePhaseIndexValidation(t *testing.T) {
 	rec.PhaseBegin("only")
 	rec.PhaseEnd("only")
 	data := encodeTrace(t, rec.Finish())
-	// The last record is PhaseEnd with name index 0 as its final varint;
-	// bump it out of range.
+	// The last body byte (just before the hash trailer) is PhaseEnd's
+	// name index 0 as its final varint; bump it out of range.
 	mut := bytes.Clone(data)
-	mut[len(mut)-1] = 0x07
+	mut[len(mut)-1-hashTrailerLen] = 0x07
 	if _, err := ReadTrace(bytes.NewReader(mut)); err == nil {
 		t.Fatal("out-of-range phase index decoded without error")
 	} else if !strings.Contains(err.Error(), "phase index") {
@@ -292,13 +318,15 @@ func TestL2TraceWireReadsVersion1(t *testing.T) {
 	// Downgrade the file: magic(4) + version(1) + "L1D" name(1+3) +
 	// size(3-byte varint for 32768) + line(1) + ways(1) puts the v2
 	// policy-length and seed bytes (both zero for the default config)
-	// at offset 14; drop them and stamp version 1.
+	// at offset 14; drop them and stamp version 1. Version-1 writers
+	// predate the hash trailer too, so strip it — the edited body
+	// would (correctly) no longer match the recorded digest.
 	const polOff = 4 + 1 + 1 + 3 + 3 + 1 + 1
 	if data[polOff] != 0 || data[polOff+1] != 0 {
 		t.Fatalf("expected empty policy+seed bytes at offset %d, got %#x %#x",
 			polOff, data[polOff], data[polOff+1])
 	}
-	v1 := append(bytes.Clone(data[:polOff]), data[polOff+2:]...)
+	v1 := append(bytes.Clone(data[:polOff]), data[polOff+2:len(data)-hashTrailerLen]...)
 	v1[4] = 1
 
 	dec, err := ReadL2Trace(bytes.NewReader(v1))

@@ -2,7 +2,7 @@
 # Runs the top-level benchmarks once each (-benchtime=1x) and records
 # the results as JSON, seeding the repository's perf trajectory.
 #
-#   scripts/bench.sh                         # full suite -> BENCH_pr7.json
+#   scripts/bench.sh                         # full suite -> BENCH_pr9.json
 #   BENCH='ReplaySweep|Record' scripts/bench.sh   # filtered
 #   OUT=/tmp/bench.json scripts/bench.sh     # alternate output path
 #
@@ -20,10 +20,15 @@
 # background health prober) vs DisableReadmission — on a healthy fleet
 # the two halves must match BenchmarkDistributedSweep, the proof that
 # resilience costs nothing unless faults actually happen.
+# BENCH_pr9.json adds BenchmarkMemoizedSweep: the full geometry grid
+# replayed with no memo vs a cold memo vs a warm memo. no-memo and
+# cold must stay within noise of each other (the memo's write path is
+# a map insert per cell); warm must be orders of magnitude below both
+# (every cell served from memoized stats, zero replays).
 set -eu
 
 BENCH="${BENCH:-.}"
-OUT="${OUT:-BENCH_pr7.json}"
+OUT="${OUT:-BENCH_pr9.json}"
 
 cd "$(dirname "$0")/.."
 
