@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -266,7 +267,10 @@ func BenchmarkRecordEncode(b *testing.B) {
 
 // BenchmarkReplayOnly measures a single machine simulation served from
 // an existing capture — the marginal cost of "one more machine" in a
-// sweep.
+// sweep. The serial sub-benchmark pins one replay worker regardless of
+// -cpu and is the regression guard against the pre-parallel replay
+// path; parallel uses GOMAXPROCS workers, so running with
+// -cpu 1,2,4,8 reports the chunk-speculative replay's scaling curve.
 func BenchmarkReplayOnly(b *testing.B) {
 	wl := harness.Workload{W: 352, H: 288, Frames: benchFrames}
 	c, err := harness.RecordEncodeIn(simmem.NewSpace(0), wl)
@@ -274,13 +278,19 @@ func BenchmarkReplayOnly(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := perf.O2R12K1MB()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := harness.ReplayOn(m, c.Enc, c.SS.TotalBytes())
-		if res.Whole.Raw.References() == 0 {
-			b.Fatal("empty replay")
+	replay := func(b *testing.B, workers int) {
+		trace.SetReplayWorkers(workers)
+		defer trace.SetReplayWorkers(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := harness.ReplayOn(m, c.Enc, c.SS.TotalBytes())
+			if res.Whole.Raw.References() == 0 {
+				b.Fatal("empty replay")
+			}
 		}
 	}
+	b.Run("serial", func(b *testing.B) { replay(b, 1) })
+	b.Run("parallel", func(b *testing.B) { replay(b, runtime.GOMAXPROCS(0)) })
 }
 
 // BenchmarkMemoizedSweep quantifies the result memo: the full

@@ -153,6 +153,7 @@ func main() {
 	priority := flag.String("priority", "", "with -service: admission priority, interactive or batch (default batch)")
 	authToken := flag.String("auth-token", "", "with -service: send Authorization: Bearer <token>")
 	parallel := flag.Int("parallel", 0, "farm worker count (0 = GOMAXPROCS)")
+	replayWorkers := flag.Int("replay-workers", 0, "cores per single-trace replay: chunk-speculative parallel replay (0 = GOMAXPROCS, 1 = serial)")
 	progress := flag.Bool("progress", false, "report job completions to stderr")
 	replay := flag.Bool("replay", true, "simulate machines by trace capture and replay (false = legacy live simulation)")
 	traceOut := flag.String("trace-out", "", "with -sweep geometry: write the encode capture to this file (portable wire format)")
@@ -172,6 +173,7 @@ func main() {
 		fatal(err)
 	}
 	obs.SetLogLevel(lvl)
+	trace.SetReplayWorkers(*replayWorkers)
 	replayFlagSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "replay" {

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -52,8 +53,10 @@ func main() {
 	workers := flag.Int("workers", 0, "farm worker count (0 = GOMAXPROCS)")
 	maxTraces := flag.Int("max-traces", 8, "resident uploaded traces")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "bound the trace store's total wire bytes; crossing it evicts least-recently-used traces (0 = unbounded)")
+	replayWorkers := flag.Int("replay-workers", 0, "cores per single-trace replay (0 = GOMAXPROCS, 1 = serial)")
 	srvFlags := obs.RegisterServerFlags(flag.CommandLine)
 	flag.Parse()
+	trace.SetReplayWorkers(*replayWorkers)
 
 	if err := srvFlags.Apply(); err != nil {
 		fmt.Fprintln(os.Stderr, "mp4worker:", err)

@@ -1,0 +1,78 @@
+// Command perfgate compares one benchmark metric between two
+// BENCH_prN.json perf-trajectory files (see cmd/benchjson) and exits
+// non-zero when the candidate regresses past the allowed percentage —
+// the CI gate that keeps the serial replay path honest while the
+// parallel engine evolves on top of it.
+//
+//	go run ./cmd/perfgate -baseline BENCH_pr5.json /tmp/bench-ci.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// document mirrors the subset of cmd/benchjson's output the gate needs.
+type document struct {
+	Benchmarks []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+// metric loads path and returns the named benchmark's value for unit.
+func metric(path, name, unit string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		v, ok := b.Metrics[unit]
+		if !ok {
+			return 0, fmt.Errorf("%s: benchmark %q has no %q metric", path, name, unit)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s: benchmark %q not found", path, name)
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pr5.json", "baseline BENCH json file")
+	bench := flag.String("bench", "BenchmarkReplaySweep/replay", "benchmark name to compare")
+	unit := flag.String("unit", "ns/op", "metric unit to compare (lower is better)")
+	maxPct := flag.Float64("max-regression", 10, "maximum allowed slowdown, percent")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: perfgate [flags] CANDIDATE.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	base, err := metric(*baseline, *bench, *unit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	got, err := metric(flag.Arg(0), *bench, *unit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	delta := (got - base) / base * 100
+	fmt.Printf("perfgate: %s %s: baseline %.0f, candidate %.0f (%+.1f%%, limit +%.0f%%)\n",
+		*bench, *unit, base, got, delta, *maxPct)
+	if delta > *maxPct {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL: %s regressed %.1f%% > %.0f%%\n", *bench, delta, *maxPct)
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: OK")
+}

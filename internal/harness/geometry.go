@@ -270,12 +270,16 @@ func geometryRowMemo(ctx context.Context, tr *trace.Trace, l1 cache.Config, l2Si
 	}
 	if len(missing) > 0 {
 		lt := FilterGeometryL1(ctx, tr, l1)
-		for _, i := range missing {
+		cfgs := make([]cache.Config, len(missing))
+		for j, i := range missing {
+			cfgs[j] = GeometryL2For(l1, l2Sizes[i])
+		}
+		rr := lt.ReplayMany(cfgs, trace.ReplayWorkers())
+		for j, i := range missing {
 			size := l2Sizes[i]
-			whole, _ := lt.Replay(GeometryL2For(l1, size))
 			s.noteReplay()
-			points[i] = GeometryPointFromStats(l1, size, whole)
-			mc.Put(GeometryMemoKey(hash, l1, size), whole)
+			points[i] = GeometryPointFromStats(l1, size, rr[j].Whole)
+			mc.Put(GeometryMemoKey(hash, l1, size), rr[j].Whole)
 		}
 	}
 	// Same row/point accounting as GeometryRowFromL2Trace, so the sweep
@@ -291,9 +295,7 @@ func geometryRowMemo(ctx context.Context, tr *trace.Trace, l1 cache.Config, l2Si
 // caller must have validated l1 (it is the seam the local sweep and the
 // distributed coordinator share; both validate their axes at ingress).
 func FilterGeometryL1(ctx context.Context, tr *trace.Trace, l1 cache.Config) *trace.L2Trace {
-	f := trace.NewL2Filter(l1)
-	tr.Replay(f, nil)
-	lt := f.Trace()
+	lt := tr.FilterL2Parallel(l1, trace.ReplayWorkers())
 	StudyFrom(ctx).noteL2Trace(lt)
 	return lt
 }
@@ -330,16 +332,20 @@ func GeometryRowStatsFromL2Trace(ctx context.Context, lt *trace.L2Trace, l2Sizes
 	l1 := lt.L1
 	points := make([]GeometryPoint, len(l2Sizes))
 	stats := make([]cache.Stats, len(l2Sizes))
+	cfgs := make([]cache.Config, len(l2Sizes))
+	for i, size := range l2Sizes {
+		cfgs[i] = geometryMachine(l1, size).L2
+	}
+	rr := lt.ReplayMany(cfgs, trace.ReplayWorkers())
 	for i, size := range l2Sizes {
 		m := geometryMachine(l1, size)
-		whole, _ := lt.Replay(m.L2)
 		s.noteReplay()
-		stats[i] = whole
+		stats[i] = rr[i].Whole
 		points[i] = GeometryPoint{
 			Label:  geometryLabel(l1, size),
 			L1:     l1,
 			L2:     m.L2,
-			Encode: perf.Compute(m, whole),
+			Encode: perf.Compute(m, rr[i].Whole),
 		}
 	}
 	mSweepRows.Inc()

@@ -255,8 +255,16 @@ func ReplayOn(m perf.Machine, tr *trace.Trace, bytes int) Result {
 	return ReplayOnCtx(context.Background(), m, tr, bytes)
 }
 
-// ReplayOnCtx is ReplayOn accounted to the context's Study.
+// ReplayOnCtx is ReplayOn accounted to the context's Study. With
+// -replay-workers > 1 (trace.SetReplayWorkers) the replay runs the
+// parallel filter + L2 composition across cores; the counters are
+// byte-identical to the serial hierarchy replay either way.
 func ReplayOnCtx(ctx context.Context, m perf.Machine, tr *trace.Trace, bytes int) Result {
+	if w := trace.ReplayWorkers(); w > 1 {
+		whole, phases := tr.ReplayHierarchyParallel(m.L1, m.L2, w)
+		StudyFrom(ctx).noteReplay()
+		return resultFromStats(m, whole, phases, bytes)
+	}
 	h := m.NewHierarchy()
 	pt := newPhaseTracker(h)
 	tr.Replay(h, pt)
@@ -303,13 +311,18 @@ func resultFromStats(m perf.Machine, whole cache.Stats, phases map[string]cache.
 }
 
 // replayL2All simulates an L1-filtered capture on every machine of the
-// (same-L1) set.
+// (same-L1) set, in one fused pass over the event stream (split across
+// replay workers when several are configured).
 func replayL2All(s *Study, machines []perf.Machine, lt *trace.L2Trace, bytes int) []Result {
+	cfgs := make([]cache.Config, len(machines))
+	for i, m := range machines {
+		cfgs[i] = m.L2
+	}
+	rr := lt.ReplayMany(cfgs, trace.ReplayWorkers())
 	results := make([]Result, len(machines))
 	for i, m := range machines {
-		whole, phases := lt.Replay(m.L2)
 		s.noteReplay()
-		results[i] = resultFromStats(m, whole, phases, bytes)
+		results[i] = resultFromStats(m, rr[i].Whole, rr[i].Phases, bytes)
 	}
 	return results
 }

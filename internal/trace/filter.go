@@ -210,65 +210,114 @@ func (t *L2Trace) Replay(l2 cache.Config) (cache.Stats, map[string]cache.Stats) 
 	if obs.Enabled() {
 		defer noteL2Replay(time.Now(), len(t.events))
 	}
-	c := cache.New(l2)
-	var l2Accesses, l2Misses, l2Writebacks uint64
+	var rp l2Replay
+	rp.reset(t, l2)
+	rp.run(0, len(t.events))
+	return rp.finish()
+}
 
-	// statsAt reconstructs the full hierarchy counters at mark m.
-	statsAt := func(m *l2Mark) cache.Stats {
-		s := m.base
-		s.L2Accesses = l2Accesses
-		s.L2Misses = l2Misses
-		s.L2Writebacks = l2Writebacks
-		return s
+// l2Replay is the mutable state of one L2 replay: the simulated cache,
+// the running L2 counters, the mark cursor, and the phase maps that
+// used to be per-call allocations (statsAt's closure and the starts
+// map). The fused pass (ReplayMany) keeps one per config and advances
+// each across every chunk of the event stream; reset lets a scratch be
+// reused across replays without reallocating the maps.
+type l2Replay struct {
+	t                                  *L2Trace
+	c                                  *cache.Cache
+	l2Accesses, l2Misses, l2Writebacks uint64
+	mi                                 int
+	starts                             map[string]cache.Stats
+	phases                             map[string]cache.Stats
+}
+
+// reset points the scratch at a trace/geometry pair and clears all
+// running state.
+func (rp *l2Replay) reset(t *L2Trace, l2 cache.Config) {
+	rp.t = t
+	rp.c = cache.New(l2)
+	rp.l2Accesses, rp.l2Misses, rp.l2Writebacks = 0, 0, 0
+	rp.mi = 0
+	if rp.starts == nil {
+		rp.starts = map[string]cache.Stats{}
+	} else {
+		clear(rp.starts)
 	}
+	rp.phases = nil
+}
 
-	var phases map[string]cache.Stats
-	starts := map[string]cache.Stats{}
-	mi := 0
-	for pos, ev := range t.events {
-		for mi < len(t.marks) && t.marks[mi].pos == pos {
-			t.applyMark(&t.marks[mi], statsAt, starts, &phases)
-			mi++
+// statsAt reconstructs the full hierarchy counters at mark m.
+func (rp *l2Replay) statsAt(m *l2Mark) cache.Stats {
+	s := m.base
+	s.L2Accesses = rp.l2Accesses
+	s.L2Misses = rp.l2Misses
+	s.L2Writebacks = rp.l2Writebacks
+	return s
+}
+
+// run replays events [lo, hi), applying marks at positions in the same
+// window. Calling run over consecutive windows is exactly the serial
+// single-window replay — the fused pass interleaves windows of several
+// configs while the window is hot in the host cache.
+func (rp *l2Replay) run(lo, hi int) {
+	t, c := rp.t, rp.c
+	for pos := lo; pos < hi; pos++ {
+		for rp.mi < len(t.marks) && t.marks[rp.mi].pos == pos {
+			rp.applyMark(&t.marks[rp.mi])
+			rp.mi++
 		}
+		ev := t.events[pos]
 		addr := ev >> 1
 		if ev&1 != 0 {
 			// L1 writeback install: an L2 access that is not a demand
 			// miss; only a displaced dirty L2 victim adds traffic.
-			l2Accesses++
+			rp.l2Accesses++
 			r := c.Access(addr, true)
 			if !r.Hit && r.EvictedDirty {
-				l2Writebacks++
+				rp.l2Writebacks++
 			}
 			continue
 		}
-		l2Accesses++
+		rp.l2Accesses++
 		r := c.Access(addr, false)
 		if !r.Hit {
-			l2Misses++
+			rp.l2Misses++
 			if r.EvictedDirty {
-				l2Writebacks++
+				rp.l2Writebacks++
 			}
 		}
 	}
-	for mi < len(t.marks) {
-		t.applyMark(&t.marks[mi], statsAt, starts, &phases)
-		mi++
-	}
+}
 
+// finish applies the trailing marks and returns the whole-run and
+// per-phase Stats.
+func (rp *l2Replay) finish() (cache.Stats, map[string]cache.Stats) {
+	t := rp.t
+	for rp.mi < len(t.marks) {
+		rp.applyMark(&t.marks[rp.mi])
+		rp.mi++
+	}
 	whole := t.base
-	whole.L2Accesses = l2Accesses
-	whole.L2Misses = l2Misses
-	whole.L2Writebacks = l2Writebacks
-	return whole, phases
+	whole.L2Accesses = rp.l2Accesses
+	whole.L2Misses = rp.l2Misses
+	whole.L2Writebacks = rp.l2Writebacks
+	return whole, rp.phases
 }
 
 // applyMark accumulates one phase begin/end into the phase map, with
 // the same begin-snapshot / end-delta semantics as the harness's live
 // phase tracker.
-func (t *L2Trace) applyMark(m *l2Mark, statsAt func(*l2Mark) cache.Stats, starts map[string]cache.Stats, phases *map[string]cache.Stats) {
-	name := t.names[m.name]
-	if m.begin {
-		starts[name] = statsAt(m)
+func (rp *l2Replay) applyMark(m *l2Mark) {
+	applyMarkStats(rp.t.names[m.name], m.begin, rp.statsAt(m), rp.starts, &rp.phases)
+}
+
+// applyMarkStats folds one phase marker with its at-mark counters into
+// the begin-snapshot / end-delta phase accounting. Shared by the
+// serial, fused and parallel replay paths so their per-phase semantics
+// cannot drift apart.
+func applyMarkStats(name string, begin bool, at cache.Stats, starts map[string]cache.Stats, phases *map[string]cache.Stats) {
+	if begin {
+		starts[name] = at
 		return
 	}
 	s, ok := starts[name]
@@ -279,5 +328,5 @@ func (t *L2Trace) applyMark(m *l2Mark, statsAt func(*l2Mark) cache.Stats, starts
 	if *phases == nil {
 		*phases = map[string]cache.Stats{}
 	}
-	(*phases)[name] = (*phases)[name].Add(statsAt(m).Sub(s))
+	(*phases)[name] = (*phases)[name].Add(at.Sub(s))
 }

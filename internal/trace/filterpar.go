@@ -1,0 +1,607 @@
+// Parallel L1 filtering: the FilterL2 pass (full reference stream →
+// L2-bound stream) computed across all cores, byte-identical to the
+// serial filter.
+//
+// The record stream splits into fixed chunks. Each worker batch-decodes
+// its chunk's records into a reusable structure-of-arrays probe tile —
+// one line-granular cache probe per entry, with the L1 set index
+// precomputed — and replays the tile against the same two-zone
+// speculation as the L2 engine (see parallel.go): lines touched by a
+// demand access earlier in the chunk are exact "known" state, anything
+// older is unknown. Because the filter must *emit* the L2-bound event
+// stream, each chunk produces an item stream: definite events appear
+// literally, and probes the chunk cannot decide occupy op slots that
+// the sequential reconcile pass resolves against the true pre-chunk
+// state — appending the exact events (or none) in place.
+//
+// Prefetch probes need one extra mechanism. A prefetch checks presence
+// without refreshing recency (cache.Cache.Lookup), so a prefetch to a
+// line that may or may not be resident forks the speculative set state:
+// if resident nothing changes, if absent a line is installed. Such a
+// set is "poisoned": its known-zone snapshot is logged, and every later
+// probe of the set in the chunk becomes a slow op that the reconcile
+// pass simulates exactly against the materialized true state. Encoded
+// traces are prefetch-free (prefetches exist only on the decode path),
+// so the hot filtering paths never poison.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/simmem"
+)
+
+var (
+	mParallelFilters = obs.Default().Counter("trace_filter_parallel_total")
+	mFilterFallbacks = obs.Default().Counter("trace_filter_fallback_total")
+)
+
+// Probe kinds in the expansion tile.
+const (
+	probeLoad uint8 = iota
+	probeStore
+	probePrefetch
+)
+
+// Reconcile-op kinds.
+const (
+	l1OpUnknown uint8 = iota // demand probe that may hit pre-chunk state
+	l1OpDefWB                // definite miss whose victim's dirty bit is unresolved
+	l1OpPoison               // materialize a set before its slow ops
+	l1OpSlow                 // probe in a poisoned set, simulated exactly
+)
+
+// l1Op is one entry of a chunk's reconcile log, consumed in item-stream
+// order.
+type l1Op struct {
+	addr uint64 // probe address (unknown/slow/poison) or victim line number (defwb)
+	aux  uint32 // defwb: unknown-log dep index; poison: known-line count
+	kind uint8
+	pk   uint8 // probe kind for unknown/slow
+}
+
+// l1ChunkMark snapshots one phase marker: the definite counters so far
+// plus the item position, from which the reconcile pass derives the
+// exact at-mark Stats and event offset.
+type l1ChunkMark struct {
+	itemIdx int
+	name    uint32 // Trace.phaseNames index
+	begin   bool
+	def     cache.Stats
+}
+
+// poisonedSet marks a touched set whose end state the reconcile pass
+// already materialized in place (no known-zone export).
+const poisonedSet = ^uint16(0)
+
+// l1ChunkRes is the speculative result of one record chunk. items
+// interleaves literal events (bit 0 set, event word above) with op
+// slots (zero) consuming the ops log in order.
+type l1ChunkRes struct {
+	def     cache.Stats // definite counters, from zero at chunk start
+	items   []uint64
+	ops     []l1Op
+	ptags   []uint64 // flattened poison-time known-zone snapshots
+	pdirty  []int32
+	marks   []l1ChunkMark
+	touched []uint32 // sets touched, in first-touch order
+	kcnt    []uint16 // per touched set: known count, or poisonedSet
+	ktags   []uint64
+	kdirty  []int32 // 0 clean, 1 dirty, i+2 = depends on unknown i
+	nUnk    int
+}
+
+// tileProbes is the capacity of the expansion tile: small enough to
+// stay hot in the host L1/L2 while the probe loop consumes it.
+const tileProbes = 1 << 12
+
+// l1Spec is one worker's reusable state: the speculative cache arrays
+// plus the SoA expansion tile.
+type l1Spec struct {
+	g     l2Geom
+	tags  []uint64
+	dirty []int32
+	kc    []uint16
+	epoch []uint32
+	pois  []uint32 // set poisoned this chunk when pois[s] == cur
+	cur   uint32
+
+	tAddr []uint64
+	tSet  []uint32
+	tKind []uint8
+
+	res *l1ChunkRes
+}
+
+func newL1Spec(g l2Geom) *l1Spec {
+	return &l1Spec{
+		g:     g,
+		tags:  make([]uint64, g.lines),
+		dirty: make([]int32, g.lines),
+		kc:    make([]uint16, g.sets),
+		epoch: make([]uint32, g.sets),
+		pois:  make([]uint32, g.sets),
+		tAddr: make([]uint64, 0, tileProbes),
+		tSet:  make([]uint32, 0, tileProbes),
+		tKind: make([]uint8, 0, tileProbes),
+	}
+}
+
+// push appends one probe to the tile, flushing when full.
+func (sp *l1Spec) push(addr uint64, pk uint8) {
+	if len(sp.tAddr) == tileProbes {
+		sp.flush()
+	}
+	sp.tAddr = append(sp.tAddr, addr)
+	sp.tSet = append(sp.tSet, uint32((addr>>sp.g.lineShift)&sp.g.setMask))
+	sp.tKind = append(sp.tKind, pk)
+}
+
+// flush replays the tile's probes against the speculative state.
+func (sp *l1Spec) flush() {
+	g, res, ways := sp.g, sp.res, sp.g.ways
+	for i := range sp.tAddr {
+		addr, s, pk := sp.tAddr[i], sp.tSet[i], sp.tKind[i]
+		if sp.epoch[s] != sp.cur {
+			sp.epoch[s] = sp.cur
+			sp.kc[s] = 0
+			res.touched = append(res.touched, s)
+		}
+		if sp.pois[s] == sp.cur {
+			res.items = append(res.items, 0)
+			res.ops = append(res.ops, l1Op{addr: addr, kind: l1OpSlow, pk: pk})
+			continue
+		}
+		ln := addr >> g.lineShift
+		base := int(s) * ways
+		k := int(sp.kc[s])
+		hit := false
+		for w := 0; w < k; w++ {
+			if sp.tags[base+w] == ln {
+				if pk == probePrefetch {
+					// Lookup: presence check, no recency refresh.
+					res.def.PrefetchL1Hits++
+				} else {
+					d := sp.dirty[base+w]
+					for j := w; j > 0; j-- {
+						sp.tags[base+j] = sp.tags[base+j-1]
+						sp.dirty[base+j] = sp.dirty[base+j-1]
+					}
+					sp.tags[base] = ln
+					if pk == probeStore {
+						d = 1
+					}
+					sp.dirty[base] = d
+				}
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		if k == ways {
+			// Converged set: a definite miss with a known victim.
+			res.def.L1Misses++
+			vt := sp.tags[base+ways-1]
+			vd := sp.dirty[base+ways-1]
+			if vd == 1 {
+				res.def.L1Writebacks++
+				res.items = append(res.items, ((vt<<g.lineShift)<<1|1)<<1|1)
+			} else if vd >= 2 {
+				res.items = append(res.items, 0)
+				res.ops = append(res.ops, l1Op{addr: vt, aux: uint32(vd - 2), kind: l1OpDefWB})
+			}
+			res.items = append(res.items, (addr<<1)<<1|1)
+			for j := ways - 1; j > 0; j-- {
+				sp.tags[base+j] = sp.tags[base+j-1]
+				sp.dirty[base+j] = sp.dirty[base+j-1]
+			}
+			sp.tags[base] = ln
+			if pk == probeStore {
+				sp.dirty[base] = 1
+			} else {
+				sp.dirty[base] = 0
+			}
+			continue
+		}
+		if pk == probePrefetch {
+			// Unknown presence without a state update to hide behind:
+			// poison the set and go slow for the rest of the chunk.
+			res.items = append(res.items, 0)
+			res.ops = append(res.ops, l1Op{addr: addr, aux: uint32(k), kind: l1OpPoison})
+			res.ptags = append(res.ptags, sp.tags[base:base+k]...)
+			res.pdirty = append(res.pdirty, sp.dirty[base:base+k]...)
+			sp.pois[s] = sp.cur
+			res.items = append(res.items, 0)
+			res.ops = append(res.ops, l1Op{addr: addr, kind: l1OpSlow, pk: probePrefetch})
+			continue
+		}
+		// Unknown demand probe: the line may have survived from before
+		// the chunk. Install it as known either way.
+		d := int32(res.nUnk) + 2
+		if pk == probeStore {
+			d = 1
+		}
+		for j := k; j > 0; j-- {
+			sp.tags[base+j] = sp.tags[base+j-1]
+			sp.dirty[base+j] = sp.dirty[base+j-1]
+		}
+		sp.tags[base] = ln
+		sp.dirty[base] = d
+		sp.kc[s] = uint16(k + 1)
+		res.items = append(res.items, 0)
+		res.ops = append(res.ops, l1Op{addr: addr, kind: l1OpUnknown, pk: pk})
+		res.nUnk++
+	}
+	sp.tAddr = sp.tAddr[:0]
+	sp.tSet = sp.tSet[:0]
+	sp.tKind = sp.tKind[:0]
+}
+
+// specFilterChunk batch-decodes records [lo, hi) into probe tiles and
+// replays them speculatively, mirroring L2Filter's expansion of each
+// record exactly.
+func (t *Trace) specFilterChunk(sp *l1Spec, lo, hi int) *l1ChunkRes {
+	res := &l1ChunkRes{}
+	sp.res = res
+	sp.cur++
+	lb := uint64(1) << sp.g.lineShift
+	for ci := lo / chunkRecords; ci*chunkRecords < hi; ci++ {
+		ch := t.chunks[ci]
+		start, end := 0, len(ch)
+		if s := lo - ci*chunkRecords; s > 0 {
+			start = s
+		}
+		if e := hi - ci*chunkRecords; e < end {
+			end = e
+		}
+		for i := start; i < end; i++ {
+			op, addr, n, stride, unit, rows := t.expand(ch[i])
+			switch op {
+			case opAccessLoad, opAccessStore:
+				pk := probeLoad
+				if op == opAccessStore {
+					pk = probeStore
+					res.def.Stores++
+					res.def.StoreBytes += uint64(n)
+				} else {
+					res.def.Loads++
+					res.def.LoadBytes += uint64(n)
+				}
+				if n == 0 {
+					continue
+				}
+				first := addr &^ (lb - 1)
+				last := (addr + uint64(n) - 1) &^ (lb - 1)
+				for a := first; a <= last; a += lb {
+					sp.push(a, pk)
+				}
+			case opAccessPrefetch:
+				res.def.Prefetches++
+				sp.push(addr, probePrefetch)
+			case opRunLoad, opRunStore:
+				if n == 0 || rows == 0 {
+					continue
+				}
+				refs := uint64(rows) * simmem.RunRefs(int(n), unit)
+				bytes := uint64(rows) * uint64(n)
+				pk := probeLoad
+				if op == opRunStore {
+					pk = probeStore
+					res.def.Stores += refs
+					res.def.StoreBytes += bytes
+				} else {
+					res.def.Loads += refs
+					res.def.LoadBytes += bytes
+				}
+				for r := uint16(0); r < rows; r++ {
+					first := addr &^ (lb - 1)
+					last := (addr + uint64(n) - 1) &^ (lb - 1)
+					for a := first; a <= last; a += lb {
+						sp.push(a, pk)
+					}
+					addr += uint64(stride)
+				}
+			case opRunPrefetch:
+				if n == 0 || rows == 0 {
+					continue
+				}
+				for r := uint16(0); r < rows; r++ {
+					for a := addr &^ (lb - 1); a < addr+uint64(n); a += lb {
+						res.def.Prefetches++
+						sp.push(a, probePrefetch)
+					}
+					addr += uint64(stride)
+				}
+			case opOps:
+				res.def.Ops += addr
+			case opPhaseBegin, opPhaseEnd:
+				sp.flush()
+				res.marks = append(res.marks, l1ChunkMark{
+					itemIdx: len(res.items),
+					name:    uint32(addr),
+					begin:   op == opPhaseBegin,
+					def:     res.def,
+				})
+			}
+		}
+	}
+	sp.flush()
+	// Export the known zone of every touched, unpoisoned set.
+	for _, s := range res.touched {
+		if sp.pois[s] == sp.cur {
+			res.kcnt = append(res.kcnt, poisonedSet)
+			continue
+		}
+		base := int(s) * sp.g.ways
+		k := int(sp.kc[s])
+		res.kcnt = append(res.kcnt, uint16(k))
+		res.ktags = append(res.ktags, sp.tags[base:base+k]...)
+		res.kdirty = append(res.kdirty, sp.dirty[base:base+k]...)
+	}
+	return res
+}
+
+// FilterL2Parallel computes the L1 filter pass with up to `workers`
+// cores: the resulting L2Trace — base counters, event stream, phase
+// marks and name table — is byte-identical to
+// NewL2Filter(l1) + Replay + Trace(). Non-LRU policies, workers <= 1
+// and short traces take the serial path.
+func (t *Trace) FilterL2Parallel(l1 cache.Config, workers int) *L2Trace {
+	chunk := chunkRecords
+	if n := chunkEventsOverride.Load(); n > 0 {
+		chunk = int(n)
+	}
+	if workers > t.records/chunk {
+		workers = t.records / chunk
+	}
+	var g l2Geom
+	if ok := l1.Validate() == nil; ok {
+		g = geomOf(l1)
+	}
+	if g.lines == 0 || !policyParallelOK(l1.Policy) || workers <= 1 || g.ways > maxParallelWays {
+		mFilterFallbacks.Inc()
+		f := NewL2Filter(l1)
+		t.Replay(f, f)
+		return f.Trace()
+	}
+	if obs.Enabled() {
+		defer noteReplay(time.Now(), t.records)
+	}
+	mParallelFilters.Inc()
+
+	nchunks := (t.records + chunk - 1) / chunk
+	results := make([]*l1ChunkRes, nchunks)
+	specStart := time.Now()
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := newL1Spec(g)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				lo := ci * chunk
+				hi := min(lo+chunk, t.records)
+				results[ci] = t.specFilterChunk(sp, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if obs.Enabled() {
+		mChunkSeconds.Observe(time.Since(specStart).Seconds())
+	}
+
+	reconStart := time.Now()
+	out := t.reconcileFilter(g, l1, results)
+	if obs.Enabled() {
+		mReconcileSeconds.Observe(time.Since(reconStart).Seconds())
+	}
+	return out
+}
+
+// reconcileFilter threads the true L1 state through the chunk results
+// in order, resolving op slots into exact events and counters.
+func (t *Trace) reconcileFilter(g l2Geom, l1 cache.Config, results []*l1ChunkRes) *L2Trace {
+	ways := g.ways
+	tags := make([]uint64, g.lines)
+	dirty := make([]bool, g.lines)
+	cnt := make([]uint16, g.sets) // residual lines per set
+	uk := make([]uint32, g.sets)  // unknowns so far per set, this chunk
+	ukEpoch := make([]uint32, g.sets)
+	var epoch uint32
+	var depResolved []bool
+	var tmpT [maxParallelWays]uint64
+	var tmpD [maxParallelWays]bool
+
+	out := &L2Trace{L1: l1, hcache: &hashCache{}}
+	nameIdx := map[uint32]uint32{} // Trace.phaseNames index → filter name index
+	var carry cache.Stats          // exact totals over completed chunks
+
+	for _, res := range results {
+		epoch++
+		if cap(depResolved) < res.nUnk {
+			depResolved = make([]bool, res.nUnk)
+		}
+		depResolved = depResolved[:res.nUnk]
+		var rMiss, rWB, rPF uint64 // resolved counters within this chunk
+		it, opi, u, poff := 0, 0, 0, 0
+
+		processItems := func(upTo int) {
+			for it < upTo {
+				item := res.items[it]
+				it++
+				if item&1 == 1 {
+					out.events = append(out.events, item>>1)
+					continue
+				}
+				o := &res.ops[opi]
+				opi++
+				switch o.kind {
+				case l1OpUnknown:
+					ln := o.addr >> g.lineShift
+					s := ln & g.setMask
+					if ukEpoch[s] != epoch {
+						ukEpoch[s] = epoch
+						uk[s] = 0
+					}
+					base := int(s) * ways
+					r := int(cnt[s])
+					found := -1
+					for j := 0; j < r; j++ {
+						if tags[base+j] == ln {
+							found = j
+							break
+						}
+					}
+					if found >= 0 {
+						// Resident: a hit; the line moved to the known zone.
+						depResolved[u] = dirty[base+found]
+						copy(tags[base+found:base+r-1], tags[base+found+1:base+r])
+						copy(dirty[base+found:base+r-1], dirty[base+found+1:base+r])
+						cnt[s] = uint16(r - 1)
+					} else {
+						depResolved[u] = false
+						rMiss++
+						if int(uk[s])+r >= ways && r > 0 {
+							if dirty[base+r-1] {
+								rWB++
+								out.events = append(out.events, (tags[base+r-1]<<g.lineShift)<<1|1)
+							}
+							cnt[s] = uint16(r - 1)
+						}
+						out.events = append(out.events, o.addr<<1)
+					}
+					uk[s]++
+					u++
+				case l1OpDefWB:
+					if depResolved[o.aux] {
+						rWB++
+						out.events = append(out.events, (o.addr<<g.lineShift)<<1|1)
+					}
+				case l1OpPoison:
+					// Materialize the set: resolved known zone stacked
+					// above the surviving residual.
+					ln := o.addr >> g.lineShift
+					s := ln & g.setMask
+					base := int(s) * ways
+					k := int(o.aux)
+					rem := int(cnt[s])
+					copy(tmpT[:rem], tags[base:base+rem])
+					copy(tmpD[:rem], dirty[base:base+rem])
+					for j := 0; j < k; j++ {
+						code := res.pdirty[poff+j]
+						tags[base+j] = res.ptags[poff+j]
+						dirty[base+j] = code == 1 || (code >= 2 && depResolved[code-2])
+					}
+					poff += k
+					copy(tags[base+k:base+k+rem], tmpT[:rem])
+					copy(dirty[base+k:base+k+rem], tmpD[:rem])
+					cnt[s] = uint16(k + rem)
+				case l1OpSlow:
+					// Exact simulation against the materialized set.
+					ln := o.addr >> g.lineShift
+					s := ln & g.setMask
+					base := int(s) * ways
+					r := int(cnt[s])
+					found := -1
+					for j := 0; j < r; j++ {
+						if tags[base+j] == ln {
+							found = j
+							break
+						}
+					}
+					if found >= 0 {
+						if o.pk == probePrefetch {
+							rPF++
+						} else {
+							d := dirty[base+found]
+							copy(tags[base+1:base+found+1], tags[base:base+found])
+							copy(dirty[base+1:base+found+1], dirty[base:base+found])
+							tags[base] = ln
+							if o.pk == probeStore {
+								d = true
+							}
+							dirty[base] = d
+						}
+						continue
+					}
+					rMiss++
+					if r == ways {
+						if dirty[base+ways-1] {
+							rWB++
+							out.events = append(out.events, (tags[base+ways-1]<<g.lineShift)<<1|1)
+						}
+						r--
+					}
+					copy(tags[base+1:base+r+1], tags[base:base+r])
+					copy(dirty[base+1:base+r+1], dirty[base:base+r])
+					tags[base] = ln
+					dirty[base] = o.pk == probeStore
+					cnt[s] = uint16(r + 1)
+					out.events = append(out.events, o.addr<<1)
+				}
+			}
+		}
+
+		for mi := range res.marks {
+			m := &res.marks[mi]
+			processItems(m.itemIdx)
+			at := carry.Add(m.def).Add(cache.Stats{L1Misses: rMiss, L1Writebacks: rWB, PrefetchL1Hits: rPF})
+			ni, ok := nameIdx[m.name]
+			if !ok {
+				ni = uint32(len(out.names))
+				out.names = append(out.names, t.phaseNames[m.name])
+				nameIdx[m.name] = ni
+			}
+			out.marks = append(out.marks, l2Mark{pos: len(out.events), name: ni, begin: m.begin, base: at})
+		}
+		processItems(len(res.items))
+		carry = carry.Add(res.def).Add(cache.Stats{L1Misses: rMiss, L1Writebacks: rWB, PrefetchL1Hits: rPF})
+
+		// Thread the true end state (cf. the L2 reconcile); poisoned
+		// sets were materialized in place and are already exact.
+		off := 0
+		for ti, s := range res.touched {
+			k := int(res.kcnt[ti])
+			if uint16(k) == poisonedSet {
+				continue
+			}
+			base := int(s) * ways
+			rem := int(cnt[s])
+			copy(tmpT[:rem], tags[base:base+rem])
+			copy(tmpD[:rem], dirty[base:base+rem])
+			for j := 0; j < k; j++ {
+				code := res.kdirty[off+j]
+				tags[base+j] = res.ktags[off+j]
+				dirty[base+j] = code == 1 || (code >= 2 && depResolved[code-2])
+			}
+			copy(tags[base+k:base+k+rem], tmpT[:rem])
+			copy(dirty[base+k:base+k+rem], tmpD[:rem])
+			cnt[s] = uint16(k + rem)
+			off += k
+		}
+	}
+
+	out.base = carry
+	return out
+}
+
+// ReplayHierarchyParallel replays the trace against a two-level
+// hierarchy with up to `workers` cores, returning whole-run and
+// per-phase Stats byte-identical to the serial filtered replay (and so
+// to live hierarchy tracing): the parallel L1 filter composed with the
+// parallel L2 replay.
+func (t *Trace) ReplayHierarchyParallel(l1, l2 cache.Config, workers int) (cache.Stats, map[string]cache.Stats) {
+	lt := t.FilterL2Parallel(l1, workers)
+	return lt.ReplayParallel(l2, workers)
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/simmem"
+)
+
+// synthTrace records a random reference stream through a real Recorder:
+// scalar accesses, flat and strided runs, op counts, phase markers
+// (some unmatched), and — when withPrefetch is set — prefetches, which
+// exercise the poisoned-set slow path of the parallel filter.
+func synthTrace(rng *rand.Rand, records int, withPrefetch bool) *Trace {
+	r := NewRecorder()
+	names := []string{"dct", "quant", "mc", "orphan"}
+	span := uint64(1 << (12 + rng.Intn(5)))
+	hot := uint64(rng.Intn(int(span)))
+	addr := func() uint64 {
+		if rng.Intn(8) == 0 {
+			hot = uint64(rng.Intn(int(span)))
+		}
+		if rng.Intn(3) == 0 {
+			return uint64(rng.Intn(int(span)))
+		}
+		return (hot + uint64(rng.Intn(256))) % span
+	}
+	for i := 0; i < records; i++ {
+		switch c := rng.Intn(20); {
+		case c == 0:
+			r.Ops(uint64(rng.Intn(5000)))
+		case c == 1:
+			if rng.Intn(2) == 0 {
+				r.PhaseBegin(names[rng.Intn(len(names))])
+			} else {
+				r.PhaseEnd(names[rng.Intn(len(names))])
+			}
+		case c == 2 && withPrefetch:
+			r.Access(addr(), 0, simmem.Prefetch)
+		case c < 8:
+			r.Run(addr(), 1+rng.Intn(300), 4, simmem.Kind(rng.Intn(2)))
+		case c < 10:
+			r.RunStrided(addr(), 1+rng.Intn(128), rng.Intn(256), 1+rng.Intn(6), 8, simmem.Kind(rng.Intn(2)))
+		case c < 11 && withPrefetch:
+			r.RunStrided(addr(), 1+rng.Intn(96), 64+rng.Intn(64), 1+rng.Intn(4), 0, simmem.Prefetch)
+		default:
+			r.Access(addr(), 1+uint32(rng.Intn(64)), simmem.Kind(rng.Intn(2)))
+		}
+	}
+	return r.Finish()
+}
+
+// serialFilter is the reference implementation the parallel filter must
+// reproduce byte for byte.
+func serialFilter(tr *Trace, l1 cache.Config) *L2Trace {
+	f := NewL2Filter(l1)
+	tr.Replay(f, f)
+	return f.Trace()
+}
+
+func sameL2Trace(t *testing.T, ctx string, got, want *L2Trace) {
+	t.Helper()
+	if got.L1 != want.L1 {
+		t.Fatalf("%s: L1 = %+v, want %+v", ctx, got.L1, want.L1)
+	}
+	if got.base != want.base {
+		t.Fatalf("%s: base = %+v, want %+v", ctx, got.base, want.base)
+	}
+	if !reflect.DeepEqual(got.events, want.events) {
+		for i := range want.events {
+			if i >= len(got.events) || got.events[i] != want.events[i] {
+				t.Fatalf("%s: events diverge at %d/%d: got %v want %v",
+					ctx, i, len(want.events), at(got.events, i), at(want.events, i))
+			}
+		}
+		t.Fatalf("%s: %d events, want %d", ctx, len(got.events), len(want.events))
+	}
+	if !reflect.DeepEqual(got.marks, want.marks) {
+		t.Fatalf("%s: marks = %+v,\nwant %+v", ctx, got.marks, want.marks)
+	}
+	if !reflect.DeepEqual(got.names, want.names) {
+		t.Fatalf("%s: names = %v, want %v", ctx, got.names, want.names)
+	}
+}
+
+func at(ev []uint64, i int) any {
+	if i < len(ev) {
+		return ev[i]
+	}
+	return "EOF"
+}
+
+// TestFilterL2ParallelProperty: the parallel filter equals the serial
+// one byte-identically across random traces, chunk sizes, worker
+// counts, geometries and policies (non-LRU policies via the fallback).
+func TestFilterL2ParallelProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		tr := synthTrace(rng, 1500+rng.Intn(4000), seed%2 == 0)
+		for _, pol := range propPolicies {
+			l1 := cache.Config{
+				SizeBytes: 1 << (9 + rng.Intn(4)),
+				LineBytes: 32,
+				Ways:      1 << rng.Intn(3),
+				Policy:    pol,
+			}
+			want := serialFilter(tr, l1)
+			for trial := 0; trial < 3; trial++ {
+				chunk := 40 + rng.Intn(2500)
+				workers := 2 + rng.Intn(6)
+				chunkEventsOverride.Store(int32(chunk))
+				got := tr.FilterL2Parallel(l1, workers)
+				chunkEventsOverride.Store(0)
+				sameL2Trace(t, "seed/policy/chunk/workers", got, want)
+			}
+		}
+	}
+}
+
+// TestFilterL2ParallelPrefetchPoison drives a prefetch-dense stream
+// through a tiny L1 so nearly every chunk poisons sets, pinning the
+// slow-op resimulation path against the serial filter.
+func TestFilterL2ParallelPrefetchPoison(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := NewRecorder()
+	for i := 0; i < 30000; i++ {
+		a := uint64(rng.Intn(1 << 13))
+		switch rng.Intn(3) {
+		case 0:
+			r.Access(a, 0, simmem.Prefetch)
+		case 1:
+			r.Access(a, 1+uint32(rng.Intn(32)), simmem.Store)
+		default:
+			r.Access(a, 1+uint32(rng.Intn(32)), simmem.Load)
+		}
+		if rng.Intn(512) == 0 {
+			r.PhaseBegin("p")
+		}
+		if rng.Intn(512) == 0 {
+			r.PhaseEnd("p")
+		}
+	}
+	tr := r.Finish()
+	for _, l1 := range []cache.Config{
+		{SizeBytes: 1 << 9, LineBytes: 32, Ways: 1},
+		{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2},
+		{SizeBytes: 1 << 11, LineBytes: 64, Ways: 4},
+	} {
+		want := serialFilter(tr, l1)
+		for _, chunk := range []int{97, 512, 4096} {
+			chunkEventsOverride.Store(int32(chunk))
+			got := tr.FilterL2Parallel(l1, 4)
+			chunkEventsOverride.Store(0)
+			sameL2Trace(t, "poison", got, want)
+		}
+	}
+}
+
+// TestReplayHierarchyParallelMatchesSerial: the composed parallel
+// filter + parallel L2 replay equals the serial filtered replay for
+// whole-run and per-phase stats.
+func TestReplayHierarchyParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := synthTrace(rng, 6000, true)
+	l1 := cache.Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2}
+	l2 := cache.Config{SizeBytes: 1 << 13, LineBytes: 128, Ways: 4}
+	wantWhole, wantPhases := serialFilter(tr, l1).Replay(l2)
+	chunkEventsOverride.Store(301)
+	defer chunkEventsOverride.Store(0)
+	gotWhole, gotPhases := tr.ReplayHierarchyParallel(l1, l2, 5)
+	if gotWhole != wantWhole {
+		t.Fatalf("whole = %+v, want %+v", gotWhole, wantWhole)
+	}
+	if !reflect.DeepEqual(gotPhases, wantPhases) {
+		t.Fatalf("phases = %+v, want %+v", gotPhases, wantPhases)
+	}
+}
+
+// TestFilterL2ParallelConcurrent filters one shared trace from several
+// goroutines at once — the -race run proves workers share nothing but
+// the read-only trace.
+func TestFilterL2ParallelConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := synthTrace(rng, 20000, true)
+	l1 := cache.Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2}
+	want := serialFilter(tr, l1)
+	chunkEventsOverride.Store(512)
+	defer chunkEventsOverride.Store(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := tr.FilterL2Parallel(l1, 4)
+			if !reflect.DeepEqual(got.events, want.events) || got.base != want.base {
+				t.Errorf("concurrent parallel filter diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,532 @@
+// Parallel replay: one long trace replayed across all cores,
+// byte-identically to the serial loop.
+//
+// The event stream splits into fixed chunks. Each chunk replays
+// speculatively from an unknown starting cache state: lines touched
+// earlier in the chunk are exact ("known"), and under LRU every known
+// line is more recent than every line surviving from before the chunk,
+// so hits on known lines and — once a set's known count reaches the
+// associativity — misses too are decided locally. Accesses the chunk
+// cannot decide (the line may or may not have been resident at chunk
+// entry) are logged as unknowns; evictions whose victim's dirty bit
+// depends on an unknown are logged as deferred writebacks. A cheap
+// sequential reconciliation pass then threads the true end-state of
+// chunk k into chunk k+1 and resolves only the logged accesses against
+// the residual lines each set carried across the boundary.
+//
+// The speculation relies on LRU's recency ordering; plru and fifo
+// break the known-above-residual invariant (hits do not refresh age),
+// random consumes a single seeded stream whose consumption order is
+// global, and victim couples all sets through one buffer — those
+// policies fall back to the serial loop, which remains byte-identical
+// by definition.
+package trace
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Parallel-replay metrics: the worker gauge mirrors SetReplayWorkers,
+// the histograms time the two phases of each parallel replay, and the
+// counters split replays between the parallel path and the serial
+// fallback (policy or trace too small).
+var (
+	mReplayWorkers      = obs.Default().Gauge("trace_replay_workers")
+	mParallelReplays    = obs.Default().Counter("trace_replay_parallel_total")
+	mFallbackReplays    = obs.Default().Counter("trace_replay_fallback_total")
+	mChunkSeconds       = obs.Default().Histogram("trace_replay_chunk_seconds", nil)
+	mReconcileSeconds   = obs.Default().Histogram("trace_replay_reconcile_seconds", nil)
+	mFusedReplays       = obs.Default().Counter("trace_replay_fused_total")
+	mFusedReplayConfigs = obs.Default().Counter("trace_replay_fused_configs_total")
+)
+
+// replayWorkers holds the configured worker count; 0 means GOMAXPROCS.
+var replayWorkers atomic.Int32
+
+// chunkEventsOverride forces the parallel chunk size; the
+// chunk-boundary property tests sweep it. 0 means the geometry-derived
+// default.
+var chunkEventsOverride atomic.Int32
+
+func init() { mReplayWorkers.Set(int64(runtime.GOMAXPROCS(0))) }
+
+// SetReplayWorkers configures the process-default parallelism of
+// single-trace replays (the -replay-workers flag). n <= 0 restores the
+// default, GOMAXPROCS. 1 disables the parallel path entirely.
+func SetReplayWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	replayWorkers.Store(int32(n))
+	mReplayWorkers.Set(int64(ReplayWorkers()))
+}
+
+// ReplayWorkers returns the effective replay worker count.
+func ReplayWorkers() int {
+	if n := int(replayWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// policyParallelOK reports whether the chunk-speculative replay is
+// exact for a replacement policy (see the package comment on why only
+// LRU converges).
+func policyParallelOK(p cache.Policy) bool {
+	return p == "" || p == cache.PolicyLRU
+}
+
+// maxParallelWays bounds the per-set scratch the reconcile pass keeps
+// on the stack; geometries beyond it (never the paper's) fall back.
+const maxParallelWays = 64
+
+// l2Geom is the unpacked geometry the speculative engine indexes by.
+type l2Geom struct {
+	lineShift uint
+	setMask   uint64
+	sets      int
+	ways      int
+	lines     int
+}
+
+func geomOf(cfg cache.Config) l2Geom {
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	return l2Geom{
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		sets:      sets,
+		ways:      cfg.Ways,
+		lines:     lines,
+	}
+}
+
+// l2ChunkMark snapshots the speculative counters at one phase marker:
+// the definite miss/writeback counts so far plus how many unknown and
+// deferred log entries precede the marker (the reconcile pass turns
+// those prefixes into exact counters).
+type l2ChunkMark struct {
+	gidx    int32 // index into L2Trace.marks
+	nUnk    uint32
+	nDef    uint32
+	missDef uint64
+	wbDef   uint64
+}
+
+// l2ChunkRes is the speculative result of one event chunk.
+type l2ChunkRes struct {
+	missDef  uint64
+	wbDef    uint64
+	unknown  []uint64 // event words whose hit/miss depends on pre-chunk state, in order
+	deferred []int32  // unknown-log indices whose resolved dirty bit decides a writeback
+	marks    []l2ChunkMark
+	touched  []uint32 // sets touched, in first-touch order
+	kcnt     []uint16 // per touched set: known-line count at chunk end
+	ktags    []uint64 // flattened known tags (MRU first)
+	kdirty   []int32  // flattened dirty codes: 0 clean, 1 dirty, i+2 = depends on unknown i
+}
+
+// l2Spec is one worker's reusable speculative state.
+type l2Spec struct {
+	tags  []uint64
+	dirty []int32
+	kc    []uint16
+	epoch []uint32
+	cur   uint32
+}
+
+func newL2Spec(g l2Geom) *l2Spec {
+	return &l2Spec{
+		tags:  make([]uint64, g.lines),
+		dirty: make([]int32, g.lines),
+		kc:    make([]uint16, g.sets),
+		epoch: make([]uint32, g.sets),
+	}
+}
+
+// specChunk replays events [lo, hi) from an unknown starting state,
+// logging what it cannot decide. marks are the t.marks indices whose
+// pos lies in [lo, hi) — plus, for the final chunk, pos == hi.
+func (t *L2Trace) specChunk(g l2Geom, sp *l2Spec, lo, hi, mi, miEnd int, last bool) *l2ChunkRes {
+	res := &l2ChunkRes{}
+	sp.cur++
+	ways := g.ways
+	for pos := lo; pos < hi; pos++ {
+		for mi < miEnd && t.marks[mi].pos == pos {
+			res.snapMark(t, mi)
+			mi++
+		}
+		ev := t.events[pos]
+		ln := (ev >> 1) >> g.lineShift
+		s := uint32(ln & g.setMask)
+		if sp.epoch[s] != sp.cur {
+			sp.epoch[s] = sp.cur
+			sp.kc[s] = 0
+			res.touched = append(res.touched, s)
+		}
+		base := int(s) * ways
+		k := int(sp.kc[s])
+		write := ev&1 != 0
+		hit := false
+		for w := 0; w < k; w++ {
+			if sp.tags[base+w] == ln {
+				d := sp.dirty[base+w]
+				for j := w; j > 0; j-- {
+					sp.tags[base+j] = sp.tags[base+j-1]
+					sp.dirty[base+j] = sp.dirty[base+j-1]
+				}
+				sp.tags[base] = ln
+				if write {
+					d = 1
+				}
+				sp.dirty[base] = d
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		if k < ways {
+			// Unknown: the line may have survived from before the chunk.
+			d := int32(len(res.unknown)) + 2
+			if write {
+				d = 1
+			}
+			for j := k; j > 0; j-- {
+				sp.tags[base+j] = sp.tags[base+j-1]
+				sp.dirty[base+j] = sp.dirty[base+j-1]
+			}
+			sp.tags[base] = ln
+			sp.dirty[base] = d
+			sp.kc[s] = uint16(k + 1)
+			res.unknown = append(res.unknown, ev)
+			continue
+		}
+		// Converged set: a definite miss with a known victim.
+		vd := sp.dirty[base+ways-1]
+		if vd == 1 {
+			res.wbDef++
+		} else if vd >= 2 {
+			res.deferred = append(res.deferred, vd-2)
+		}
+		if !write {
+			res.missDef++
+		}
+		for j := ways - 1; j > 0; j-- {
+			sp.tags[base+j] = sp.tags[base+j-1]
+			sp.dirty[base+j] = sp.dirty[base+j-1]
+		}
+		sp.tags[base] = ln
+		if write {
+			sp.dirty[base] = 1
+		} else {
+			sp.dirty[base] = 0
+		}
+	}
+	if last {
+		for mi < miEnd {
+			res.snapMark(t, mi)
+			mi++
+		}
+	}
+	// Export the speculative end state of every touched set.
+	for _, s := range res.touched {
+		base := int(s) * ways
+		k := int(sp.kc[s])
+		res.kcnt = append(res.kcnt, uint16(k))
+		res.ktags = append(res.ktags, sp.tags[base:base+k]...)
+		res.kdirty = append(res.kdirty, sp.dirty[base:base+k]...)
+	}
+	return res
+}
+
+func (res *l2ChunkRes) snapMark(t *L2Trace, mi int) {
+	res.marks = append(res.marks, l2ChunkMark{
+		gidx:    int32(mi),
+		nUnk:    uint32(len(res.unknown)),
+		nDef:    uint32(len(res.deferred)),
+		missDef: res.missDef,
+		wbDef:   res.wbDef,
+	})
+}
+
+// ReplayParallel is Replay computed with up to `workers` cores:
+// byte-identical whole-run and per-phase Stats for every geometry and
+// policy. Non-LRU policies, workers <= 1 and short traces take the
+// serial path.
+func (t *L2Trace) ReplayParallel(l2 cache.Config, workers int) (cache.Stats, map[string]cache.Stats) {
+	g := geomOf(l2)
+	chunk := g.lines
+	if chunk < 1<<15 {
+		chunk = 1 << 15
+	}
+	if n := chunkEventsOverride.Load(); n > 0 {
+		chunk = int(n)
+	}
+	if workers > len(t.events)/chunk {
+		workers = len(t.events) / chunk
+	}
+	if !policyParallelOK(l2.Policy) || workers <= 1 || l2.Validate() != nil || g.ways > maxParallelWays {
+		mFallbackReplays.Inc()
+		return t.Replay(l2)
+	}
+	if obs.Enabled() {
+		defer noteL2Replay(time.Now(), len(t.events))
+	}
+	mParallelReplays.Inc()
+
+	nchunks := (len(t.events) + chunk - 1) / chunk
+	results := make([]*l2ChunkRes, nchunks)
+	markStart := make([]int, nchunks+1)
+	for ci := 0; ci < nchunks; ci++ {
+		lo := ci * chunk
+		markStart[ci] = sort.Search(len(t.marks), func(i int) bool { return t.marks[i].pos >= lo })
+	}
+	markStart[nchunks] = len(t.marks)
+
+	specStart := time.Now()
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := newL2Spec(g)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > len(t.events) {
+					hi = len(t.events)
+				}
+				results[ci] = t.specChunk(g, sp, lo, hi, markStart[ci], markStart[ci+1], ci == nchunks-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if obs.Enabled() {
+		mChunkSeconds.Observe(time.Since(specStart).Seconds())
+	}
+
+	reconStart := time.Now()
+	whole, phases := t.reconcile(g, results)
+	if obs.Enabled() {
+		mReconcileSeconds.Observe(time.Since(reconStart).Seconds())
+	}
+	return whole, phases
+}
+
+// reconcile threads the true cache state through the chunk results in
+// order, resolving the unknown and deferred logs into exact counters
+// and phase deltas.
+func (t *L2Trace) reconcile(g l2Geom, results []*l2ChunkRes) (cache.Stats, map[string]cache.Stats) {
+	ways := g.ways
+	tags := make([]uint64, g.lines)
+	dirty := make([]bool, g.lines)
+	cnt := make([]uint16, g.sets) // residual lines per set
+	uk := make([]uint32, g.sets)  // unknowns so far per set, this chunk
+	ukEpoch := make([]uint32, g.sets)
+	var epoch uint32
+
+	var missBase, wbBase uint64 // totals over completed resolutions
+	var depResolved []bool
+	starts := map[string]cache.Stats{}
+	var phases map[string]cache.Stats
+
+	for _, res := range results {
+		epoch++
+		if cap(depResolved) < len(res.unknown) {
+			depResolved = make([]bool, len(res.unknown))
+		}
+		depResolved = depResolved[:len(res.unknown)]
+		var rMiss, rWB uint64 // resolved counters within this chunk
+		u, dp := 0, 0
+
+		resolveUnknown := func(i int) {
+			ev := res.unknown[i]
+			ln := (ev >> 1) >> g.lineShift
+			s := ln & g.setMask
+			if ukEpoch[s] != epoch {
+				ukEpoch[s] = epoch
+				uk[s] = 0
+			}
+			base := int(s) * ways
+			r := int(cnt[s])
+			write := ev&1 != 0
+			found := -1
+			for j := 0; j < r; j++ {
+				if tags[base+j] == ln {
+					found = j
+					break
+				}
+			}
+			if found >= 0 {
+				depResolved[i] = dirty[base+found]
+				copy(tags[base+found:base+r-1], tags[base+found+1:base+r])
+				copy(dirty[base+found:base+r-1], dirty[base+found+1:base+r])
+				cnt[s] = uint16(r - 1)
+			} else {
+				depResolved[i] = false
+				if !write {
+					rMiss++
+				}
+				if int(uk[s])+r >= ways && r > 0 {
+					if dirty[base+r-1] {
+						rWB++
+					}
+					cnt[s] = uint16(r - 1)
+				}
+			}
+			uk[s]++
+		}
+
+		for _, m := range res.marks {
+			for u < int(m.nUnk) {
+				resolveUnknown(u)
+				u++
+			}
+			for dp < int(m.nDef) {
+				if depResolved[res.deferred[dp]] {
+					rWB++
+				}
+				dp++
+			}
+			gm := &t.marks[m.gidx]
+			at := gm.base
+			at.L2Accesses = uint64(gm.pos)
+			at.L2Misses = missBase + m.missDef + rMiss
+			at.L2Writebacks = wbBase + m.wbDef + rWB
+			applyMarkStats(t.names[gm.name], gm.begin, at, starts, &phases)
+		}
+		for u < len(res.unknown) {
+			resolveUnknown(u)
+			u++
+		}
+		for dp < len(res.deferred) {
+			if depResolved[res.deferred[dp]] {
+				rWB++
+			}
+			dp++
+		}
+		missBase += res.missDef + rMiss
+		wbBase += res.wbDef + rWB
+
+		// Thread the true end state: the chunk's known lines (dirty deps
+		// resolved) stack above whatever residual each set still holds.
+		off := 0
+		var tmpT [maxParallelWays]uint64
+		var tmpD [maxParallelWays]bool
+		for ti, s := range res.touched {
+			k := int(res.kcnt[ti])
+			base := int(s) * ways
+			rem := int(cnt[s])
+			copy(tmpT[:rem], tags[base:base+rem])
+			copy(tmpD[:rem], dirty[base:base+rem])
+			for j := 0; j < k; j++ {
+				code := res.kdirty[off+j]
+				tags[base+j] = res.ktags[off+j]
+				dirty[base+j] = code == 1 || (code >= 2 && depResolved[code-2])
+			}
+			copy(tags[base+k:base+k+rem], tmpT[:rem])
+			copy(dirty[base+k:base+k+rem], tmpD[:rem])
+			cnt[s] = uint16(k + rem)
+			off += k
+		}
+	}
+
+	whole := t.base
+	whole.L2Accesses = uint64(len(t.events))
+	whole.L2Misses = missBase
+	whole.L2Writebacks = wbBase
+	return whole, phases
+}
+
+// L2ReplayResult is one config's output from a fused multi-config
+// replay.
+type L2ReplayResult struct {
+	Whole  cache.Stats
+	Phases map[string]cache.Stats
+}
+
+// fusedBlockEvents is the event window the fused pass holds hot in the
+// host cache while every config replays it.
+const fusedBlockEvents = 1 << 15
+
+// ReplayMany replays the stream against several L2 configs in one pass
+// over the events: each block of the stream is replayed by every
+// config while it is hot in the host cache, instead of streaming the
+// whole trace once per config. With workers > 1 the configs split
+// across goroutines (each group still fused). Every result is
+// byte-identical to a standalone Replay of that config.
+func (t *L2Trace) ReplayMany(cfgs []cache.Config, workers int) []L2ReplayResult {
+	out := make([]L2ReplayResult, len(cfgs))
+	if len(cfgs) == 0 {
+		return out
+	}
+	if obs.Enabled() {
+		start := time.Now()
+		defer func() {
+			mL2ReplaySeconds.Observe(time.Since(start).Seconds())
+		}()
+	}
+	mFusedReplays.Inc()
+	mFusedReplayConfigs.Add(uint64(len(cfgs)))
+	mL2Replays.Add(uint64(len(cfgs)))
+	mL2ReplayEvents.Add(uint64(len(cfgs) * len(t.events)))
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		t.replayFused(cfgs, out)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(cfgs) / workers
+		hi := (w + 1) * len(cfgs) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			t.replayFused(cfgs[lo:hi], out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// replayFused advances one l2Replay per config across each event block
+// in turn, reusing the per-config scratch for every block.
+func (t *L2Trace) replayFused(cfgs []cache.Config, out []L2ReplayResult) {
+	states := make([]l2Replay, len(cfgs))
+	for i := range states {
+		states[i].reset(t, cfgs[i])
+	}
+	for lo := 0; lo < len(t.events); lo += fusedBlockEvents {
+		hi := lo + fusedBlockEvents
+		if hi > len(t.events) {
+			hi = len(t.events)
+		}
+		for i := range states {
+			states[i].run(lo, hi)
+		}
+	}
+	for i := range states {
+		whole, phases := states[i].finish()
+		out[i] = L2ReplayResult{Whole: whole, Phases: phases}
+	}
+}

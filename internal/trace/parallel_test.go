@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/simmem"
+)
+
+// synthL2Trace builds a synthetic L2-bound stream with tunable
+// locality plus randomly placed (and sometimes unmatched or nested)
+// phase markers — the adversarial input for the chunk-boundary
+// property suite.
+func synthL2Trace(rng *rand.Rand, events, lineSpan int) *L2Trace {
+	t := &L2Trace{
+		L1:     cache.Config{SizeBytes: 32 << 10, LineBytes: 32, Ways: 2},
+		names:  []string{"alpha", "beta", "gamma", "orphan"},
+		hcache: &hashCache{},
+	}
+	t.base = cache.Stats{Loads: 123, Stores: 45, LoadBytes: 999, Ops: 7}
+	hot := uint64(rng.Intn(lineSpan))
+	for i := 0; i < events; i++ {
+		if rng.Intn(64) == 0 {
+			t.marks = append(t.marks, l2Mark{
+				pos:   len(t.events),
+				name:  uint32(rng.Intn(len(t.names))),
+				begin: rng.Intn(2) == 0,
+				base:  cache.Stats{Loads: uint64(i), L1Misses: uint64(len(t.events)), Ops: uint64(rng.Intn(1000))},
+			})
+		}
+		if rng.Intn(8) == 0 {
+			hot = uint64(rng.Intn(lineSpan))
+		}
+		ln := hot
+		if rng.Intn(4) == 0 {
+			ln = uint64(rng.Intn(lineSpan))
+		}
+		ev := (ln * 32) << 1
+		if rng.Intn(3) == 0 {
+			ev |= 1 // writeback install
+		}
+		t.events = append(t.events, ev)
+	}
+	// Trailing marks exercise the pos == len(events) path.
+	for i := 0; i < rng.Intn(3); i++ {
+		t.marks = append(t.marks, l2Mark{
+			pos:  len(t.events),
+			name: uint32(rng.Intn(len(t.names))),
+			base: cache.Stats{Loads: uint64(events)},
+		})
+	}
+	return t
+}
+
+var propPolicies = []cache.Policy{"", cache.PolicyLRU, cache.PolicyPLRU, cache.PolicyFIFO, cache.PolicyRandom, cache.PolicyVictim}
+
+// TestL2ReplayParallelProperty: parallel == serial byte-identically for
+// random streams, random chunk sizes, random worker counts, every
+// policy, and every mark layout.
+func TestL2ReplayParallelProperty(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lt := synthL2Trace(rng, 2000+rng.Intn(6000), 1+rng.Intn(900))
+		for _, pol := range propPolicies {
+			cfg := cache.Config{
+				SizeBytes: 1 << (10 + rng.Intn(5)),
+				LineBytes: 32,
+				Ways:      1 << rng.Intn(3),
+				Policy:    pol,
+			}
+			wantWhole, wantPhases := lt.Replay(cfg)
+			for trial := 0; trial < 3; trial++ {
+				chunk := 64 + rng.Intn(2000)
+				workers := 2 + rng.Intn(6)
+				chunkEventsOverride.Store(int32(chunk))
+				gotWhole, gotPhases := lt.ReplayParallel(cfg, workers)
+				chunkEventsOverride.Store(0)
+				if gotWhole != wantWhole {
+					t.Fatalf("seed %d policy %q chunk %d workers %d: whole = %+v, want %+v",
+						seed, pol, chunk, workers, gotWhole, wantWhole)
+				}
+				if !reflect.DeepEqual(gotPhases, wantPhases) {
+					t.Fatalf("seed %d policy %q chunk %d workers %d: phases = %+v, want %+v",
+						seed, pol, chunk, workers, gotPhases, wantPhases)
+				}
+			}
+		}
+	}
+}
+
+// TestL2ReplayManyMatchesSerial: the fused multi-config pass is
+// byte-identical to standalone replays, with and without config-level
+// parallelism.
+func TestL2ReplayManyMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lt := synthL2Trace(rng, 9000, 700)
+	var cfgs []cache.Config
+	for _, pol := range propPolicies {
+		for _, size := range []int{1 << 12, 1 << 14, 1 << 16} {
+			cfgs = append(cfgs, cache.Config{SizeBytes: size, LineBytes: 32, Ways: 2, Policy: pol})
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got := lt.ReplayMany(cfgs, workers)
+		for i, cfg := range cfgs {
+			wantWhole, wantPhases := lt.Replay(cfg)
+			if got[i].Whole != wantWhole {
+				t.Fatalf("workers %d config %d (%+v): whole = %+v, want %+v", workers, i, cfg, got[i].Whole, wantWhole)
+			}
+			if !reflect.DeepEqual(got[i].Phases, wantPhases) {
+				t.Fatalf("workers %d config %d: phases mismatch", workers, i)
+			}
+		}
+	}
+}
+
+// TestL2ReplayParallelConcurrent drives several parallel replays of one
+// shared trace at once — the -race CI run proves the engine shares
+// nothing but the read-only trace.
+func TestL2ReplayParallelConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lt := synthL2Trace(rng, 20000, 500)
+	cfg := cache.Config{SizeBytes: 1 << 14, LineBytes: 32, Ways: 2}
+	wantWhole, wantPhases := lt.Replay(cfg)
+	chunkEventsOverride.Store(512)
+	defer chunkEventsOverride.Store(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			whole, phases := lt.ReplayParallel(cfg, 4)
+			if whole != wantWhole || !reflect.DeepEqual(phases, wantPhases) {
+				t.Errorf("concurrent parallel replay diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRecordPacked asserts the satellite record-shrink: 16 bytes per
+// packed record, and SizeBytes accounting for it.
+func TestRecordPacked(t *testing.T) {
+	if got := int(reflect.TypeOf(record{}).Size()); got != recordBytes {
+		t.Fatalf("record size = %d bytes, want %d", got, recordBytes)
+	}
+	if recordBytes != 16 {
+		t.Fatalf("recordBytes = %d, want 16", recordBytes)
+	}
+	r := NewRecorder()
+	for i := 0; i < 3*chunkRecords; i++ {
+		r.Access(uint64(i)*64, 4, simmem.Load)
+	}
+	tr := r.Finish()
+	if tr.SizeBytes() < tr.Records()*recordBytes {
+		t.Fatalf("SizeBytes %d below %d records * %d", tr.SizeBytes(), tr.Records(), recordBytes)
+	}
+	if tr.SizeBytes() > 2*tr.Records()*recordBytes {
+		t.Fatalf("SizeBytes %d more than 2x the packed record payload", tr.SizeBytes())
+	}
+	if len(tr.wide) != 0 {
+		t.Fatalf("plain accesses spilled %d wide records", len(tr.wide))
+	}
+}
+
+// TestRecordWideSpill: fields beyond the packed ranges round-trip
+// exactly through the wide table, the replay dispatch, and the wire
+// format.
+func TestRecordWideSpill(t *testing.T) {
+	// Addresses beyond the 56-bit packed payload spill to the wide table
+	// in memory and replay exactly; the wire format has always bounded
+	// addresses at 2^56, so such a trace still refuses to encode.
+	{
+		r := NewRecorder()
+		r.Access(uint64(1)<<60, 8, simmem.Store)
+		tr := r.Finish()
+		if len(tr.wide) != 1 {
+			t.Fatalf("huge address spilled %d wide records, want 1", len(tr.wide))
+		}
+		var got []string
+		tr.Replay(&tracerLog{out: &got}, nil)
+		if len(got) != 1 || got[0] != fmt.Sprintf("A %d 8 %d", uint64(1)<<60, simmem.Store) {
+			t.Fatalf("huge address replayed as %v", got)
+		}
+		var b bytes.Buffer
+		if _, err := tr.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadTrace(&b); err == nil {
+			t.Fatalf("expected ReadTrace to reject a 2^60 address")
+		}
+	}
+
+	r := NewRecorder()
+	r.Run(100, 5<<24, 4, simmem.Load)                // run length beyond 24 bits
+	r.Run(200, 64, 3, simmem.Load)                   // non-power-of-two unit
+	r.Run(300, 64, 1<<16, simmem.Load)               // unit beyond 2^15
+	r.RunStrided(400, 64, 1<<24, 4, 8, simmem.Store) // stride beyond 24 bits
+	r.RunStrided(500, 32, 16, 3, 8, simmem.Prefetch) // packed control
+	r.Ops(1 << 60)                                   // ops count beyond the 56-bit payload
+	r.PhaseBegin("p")
+	r.PhaseEnd("p")
+	tr := r.Finish()
+	if len(tr.wide) == 0 {
+		t.Fatalf("expected wide spills")
+	}
+
+	var got, want []string
+	rec := func(out *[]string) *tracerLog { return &tracerLog{out: out} }
+	tr.Replay(rec(&got), nil)
+
+	// The same stream captured through a fresh recorder must replay
+	// identically after a wire round-trip.
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Records() != tr.Records() {
+		t.Fatalf("round-trip records %d != %d", dec.Records(), tr.Records())
+	}
+	dec.Replay(rec(&want), nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("wide records diverged after wire round-trip:\n got %v\nwant %v", got, want)
+	}
+}
+
+// tracerLog records the exact Tracer call stream.
+type tracerLog struct {
+	out *[]string
+}
+
+func (l *tracerLog) Access(addr uint64, size uint32, kind simmem.Kind) {
+	*l.out = append(*l.out, fmt.Sprintf("A %d %d %d", addr, size, kind))
+}
+func (l *tracerLog) Run(addr uint64, n int, unit uint32, kind simmem.Kind) {
+	*l.out = append(*l.out, fmt.Sprintf("R %d %d %d %d", addr, n, unit, kind))
+}
+func (l *tracerLog) RunStrided(addr uint64, rowBytes, stride, rows int, unit uint32, kind simmem.Kind) {
+	*l.out = append(*l.out, fmt.Sprintf("S %d %d %d %d %d %d", addr, rowBytes, stride, rows, unit, kind))
+}
+func (l *tracerLog) Ops(n uint64) {
+	*l.out = append(*l.out, fmt.Sprintf("O %d", n))
+}

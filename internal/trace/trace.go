@@ -28,6 +28,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/obs"
@@ -85,26 +86,72 @@ const (
 	opRunLoad
 	opRunStore
 	opRunPrefetch
-	opOps        // addr holds the accumulated count
-	opPhaseBegin // addr holds the phase-name index
+	opOps        // payload holds the accumulated count
+	opPhaseBegin // payload holds the phase-name index
 	opPhaseEnd
+	opWide // payload indexes the wide-record side table
 )
 
-// record is one fixed-width trace record (24 bytes).
+// record is one fixed-width trace record, packed into 16 bytes:
+//
+//	lo  bits 0-55  base address / ops count / phase index / wide index
+//	    bits 56-59 opcode
+//	    bits 60-63 log2 of the run access unit
+//	hi  access ops: bits 0-31 access size
+//	    run ops:    bits 0-23 row bytes, 24-39 rows, 40-63 stride
+//
+// Values outside these ranges are legal through the Tracer interface
+// and the wire format (the codec never produces them); they spill
+// verbatim into the trace's wide-record table via opWide, so the
+// stored stream stays exact for any input.
 type record struct {
-	addr   uint64 // base address / ops count / phase-name index
-	n      uint32 // access size or run row length in bytes
-	stride uint32 // strided runs: row separation in bytes
-	unit   uint32 // runs: access granularity in bytes
-	rows   uint16 // runs: row count (1 = flat run)
+	lo, hi uint64
+}
+
+const (
+	recPayloadBits = 56
+	recPayloadMask = 1<<recPayloadBits - 1
+	recRunMaxN     = 1<<24 - 1
+	recRunMaxStr   = 1<<24 - 1
+	recMaxUnit     = 1 << 15
+)
+
+func (r record) op() uint8         { return uint8(r.lo>>recPayloadBits) & 0xF }
+func (r record) payload() uint64   { return r.lo & recPayloadMask }
+func (r record) unit() uint32      { return uint32(1) << (r.lo >> 60) }
+func (r record) accessN() uint32   { return uint32(r.hi) }
+func (r record) runN() uint32      { return uint32(r.hi) & recRunMaxN }
+func (r record) runRows() uint16   { return uint16(r.hi >> 24) }
+func (r record) runStride() uint32 { return uint32(r.hi >> 40) }
+
+// wideRecord stores one record whose fields exceed the packed layout,
+// verbatim.
+type wideRecord struct {
+	addr   uint64
+	n      uint32
+	stride uint32
+	unit   uint32
+	rows   uint16
 	op     uint8
 }
 
-// recordBytes is the in-memory footprint of one record, including
-// struct padding.
-const recordBytes = 24
+// recordBytes is the in-memory footprint of one packed record; the
+// rare wide spill costs wideRecordBytes more.
+const (
+	recordBytes     = 16
+	wideRecordBytes = 24
+)
 
-// chunkRecords is the record capacity of one buffer chunk (~768 KB).
+// unitLog returns log2(unit) for the power-of-two units the packed
+// form stores; -1 sends the record to the wide table.
+func unitLog(unit uint32) int {
+	if unit == 0 || unit&(unit-1) != 0 || unit > recMaxUnit {
+		return -1
+	}
+	return bits.TrailingZeros32(unit)
+}
+
+// chunkRecords is the record capacity of one buffer chunk (512 KB).
 // Chunked growth keeps append cost flat and avoids the transient 2×
 // footprint of reallocating one giant slice.
 const chunkRecords = 1 << 15
@@ -112,6 +159,7 @@ const chunkRecords = 1 << 15
 // Trace is a captured reference stream.
 type Trace struct {
 	chunks     [][]record
+	wide       []wideRecord
 	phaseNames []string
 	records    int
 	hcache     *hashCache // memoized content hash; nil disables caching
@@ -122,7 +170,7 @@ func (t *Trace) Records() int { return t.records }
 
 // SizeBytes returns the approximate in-memory footprint of the trace.
 func (t *Trace) SizeBytes() int {
-	size := 0
+	size := cap(t.wide) * wideRecordBytes
 	for _, c := range t.chunks {
 		size += cap(c) * recordBytes
 	}
@@ -130,6 +178,24 @@ func (t *Trace) SizeBytes() int {
 		size += len(n)
 	}
 	return size
+}
+
+// expand unpacks a record to its full field set, following the wide
+// table for spilled records. The slow counterpart of the inline decode
+// in Replay, shared by the wire encoder and the parallel batch decoder.
+func (t *Trace) expand(r record) (op uint8, addr uint64, n, stride, unit uint32, rows uint16) {
+	op = r.op()
+	switch op {
+	case opWide:
+		w := &t.wide[r.payload()]
+		return w.op, w.addr, w.n, w.stride, w.unit, w.rows
+	case opAccessLoad, opAccessStore, opAccessPrefetch:
+		return op, r.payload(), r.accessN(), 0, 0, 0
+	case opRunLoad, opRunStore, opRunPrefetch:
+		return op, r.payload(), r.runN(), r.runStride(), r.unit(), r.runRows()
+	default:
+		return op, r.payload(), 0, 0, 0, 0
+	}
 }
 
 // String summarises the trace for reports.
@@ -156,32 +222,40 @@ func (t *Trace) Replay(tr simmem.Tracer, ph PhaseSink) {
 	st, strided := tr.(simmem.StridedTracer)
 	for _, ch := range t.chunks {
 		for i := range ch {
-			r := &ch[i]
-			switch r.op {
+			r := ch[i]
+			op, addr, n, stride, unit, rows := r.op(), r.payload(), uint32(0), uint32(0), uint32(0), uint16(0)
+			if op == opWide {
+				w := &t.wide[addr]
+				op, addr, n, stride, unit, rows = w.op, w.addr, w.n, w.stride, w.unit, w.rows
+			} else if op >= opRunLoad && op <= opRunPrefetch {
+				n, stride, unit, rows = r.runN(), r.runStride(), r.unit(), r.runRows()
+			} else {
+				n = r.accessN()
+			}
+			switch op {
 			case opRunLoad, opRunStore, opRunPrefetch:
-				kind := simmem.Kind(r.op - opRunLoad)
-				if r.rows == 1 {
-					tr.Run(r.addr, int(r.n), r.unit, kind)
+				kind := simmem.Kind(op - opRunLoad)
+				if rows == 1 {
+					tr.Run(addr, int(n), unit, kind)
 				} else if strided {
-					st.RunStrided(r.addr, int(r.n), int(r.stride), int(r.rows), r.unit, kind)
+					st.RunStrided(addr, int(n), int(stride), int(rows), unit, kind)
 				} else {
-					addr := r.addr
-					for row := uint16(0); row < r.rows; row++ {
-						tr.Run(addr, int(r.n), r.unit, kind)
-						addr += uint64(r.stride)
+					for row := uint16(0); row < rows; row++ {
+						tr.Run(addr, int(n), unit, kind)
+						addr += uint64(stride)
 					}
 				}
 			case opAccessLoad, opAccessStore, opAccessPrefetch:
-				tr.Access(r.addr, r.n, simmem.Kind(r.op-opAccessLoad))
+				tr.Access(addr, n, simmem.Kind(op-opAccessLoad))
 			case opOps:
-				tr.Ops(r.addr)
+				tr.Ops(addr)
 			case opPhaseBegin:
 				if ph != nil {
-					ph.PhaseBegin(t.phaseNames[r.addr])
+					ph.PhaseBegin(t.phaseNames[addr])
 				}
 			case opPhaseEnd:
 				if ph != nil {
-					ph.PhaseEnd(t.phaseNames[r.addr])
+					ph.PhaseEnd(t.phaseNames[addr])
 				}
 			}
 		}
@@ -219,9 +293,37 @@ func (r *Recorder) append(rec record) {
 	r.t.records++
 }
 
+// appendRecord packs one record, spilling to the wide table when a
+// field exceeds the packed layout. The wire decoder routes through the
+// same method, so in-memory and decoded traces normalize identically.
+func (r *Recorder) appendRecord(op uint8, addr uint64, n, stride, unit uint32, rows uint16) {
+	switch op {
+	case opAccessLoad, opAccessStore, opAccessPrefetch:
+		if addr <= recPayloadMask {
+			r.append(record{lo: addr | uint64(op)<<recPayloadBits, hi: uint64(n)})
+			return
+		}
+	case opRunLoad, opRunStore, opRunPrefetch:
+		if ul := unitLog(unit); ul >= 0 && addr <= recPayloadMask && n <= recRunMaxN && stride <= recRunMaxStr {
+			r.append(record{
+				lo: addr | uint64(op)<<recPayloadBits | uint64(ul)<<60,
+				hi: uint64(n) | uint64(rows)<<24 | uint64(stride)<<40,
+			})
+			return
+		}
+	default: // opOps, opPhaseBegin, opPhaseEnd
+		if addr <= recPayloadMask {
+			r.append(record{lo: addr | uint64(op)<<recPayloadBits})
+			return
+		}
+	}
+	r.append(record{lo: uint64(len(r.t.wide)) | uint64(opWide)<<recPayloadBits})
+	r.t.wide = append(r.t.wide, wideRecord{op: op, addr: addr, n: n, stride: stride, unit: unit, rows: rows})
+}
+
 // Access implements simmem.Tracer.
 func (r *Recorder) Access(addr uint64, size uint32, kind simmem.Kind) {
-	r.append(record{op: opAccessLoad + uint8(kind), addr: addr, n: size})
+	r.appendRecord(opAccessLoad+uint8(kind), addr, size, 0, 0, 0)
 }
 
 // Run implements simmem.Tracer.
@@ -229,7 +331,7 @@ func (r *Recorder) Run(addr uint64, n int, unit uint32, kind simmem.Kind) {
 	if n <= 0 {
 		return
 	}
-	r.append(record{op: opRunLoad + uint8(kind), addr: addr, n: uint32(n), unit: unit, rows: 1})
+	r.appendRecord(opRunLoad+uint8(kind), addr, uint32(n), 0, unit, 1)
 }
 
 // RunStrided implements simmem.StridedTracer. Blocks taller than the
@@ -253,7 +355,7 @@ func (r *Recorder) RunStrided(addr uint64, rowBytes, stride, rows int, unit uint
 		if c > int(^uint16(0)) {
 			c = int(^uint16(0))
 		}
-		r.append(record{op: op, addr: addr, n: uint32(rowBytes), stride: uint32(stride), unit: unit, rows: uint16(c)})
+		r.appendRecord(op, addr, uint32(rowBytes), uint32(stride), unit, uint16(c))
 		addr += uint64(stride) * uint64(c)
 		rows -= c
 	}
@@ -267,7 +369,7 @@ func (r *Recorder) Ops(n uint64) { r.pendOps += n }
 
 func (r *Recorder) flushOps() {
 	if r.pendOps != 0 {
-		r.append(record{op: opOps, addr: r.pendOps})
+		r.appendRecord(opOps, r.pendOps, 0, 0, 0, 0)
 		r.pendOps = 0
 	}
 }
@@ -285,13 +387,13 @@ func (r *Recorder) phase(name string) uint64 {
 // PhaseBegin implements the codec's PhaseRecorder.
 func (r *Recorder) PhaseBegin(name string) {
 	r.flushOps()
-	r.append(record{op: opPhaseBegin, addr: r.phase(name)})
+	r.appendRecord(opPhaseBegin, r.phase(name), 0, 0, 0, 0)
 }
 
 // PhaseEnd implements the codec's PhaseRecorder.
 func (r *Recorder) PhaseEnd(name string) {
 	r.flushOps()
-	r.append(record{op: opPhaseEnd, addr: r.phase(name)})
+	r.appendRecord(opPhaseEnd, r.phase(name), 0, 0, 0, 0)
 }
 
 // Finish flushes pending state and returns the captured trace. The

@@ -381,24 +381,24 @@ func (t *Trace) encodeBody(ww *wireWriter) {
 	prevAddr := uint64(0)
 	for _, ch := range t.chunks {
 		for i := range ch {
-			r := &ch[i]
-			ww.byte(r.op)
-			switch r.op {
+			op, addr, n, stride, unit, rows := t.expand(ch[i])
+			ww.byte(op)
+			switch op {
 			case opAccessLoad, opAccessStore, opAccessPrefetch:
-				ww.svarint(int64(r.addr - prevAddr))
-				prevAddr = r.addr
-				ww.uvarint(uint64(r.n))
+				ww.svarint(int64(addr - prevAddr))
+				prevAddr = addr
+				ww.uvarint(uint64(n))
 			case opRunLoad, opRunStore, opRunPrefetch:
-				ww.svarint(int64(r.addr - prevAddr))
-				prevAddr = r.addr
-				ww.uvarint(uint64(r.n))
-				ww.uvarint(uint64(r.unit))
-				ww.uvarint(uint64(r.rows))
-				if r.rows > 1 {
-					ww.uvarint(uint64(r.stride))
+				ww.svarint(int64(addr - prevAddr))
+				prevAddr = addr
+				ww.uvarint(uint64(n))
+				ww.uvarint(uint64(unit))
+				ww.uvarint(uint64(rows))
+				if rows > 1 {
+					ww.uvarint(uint64(stride))
 				}
-			default: // opOps, opPhaseBegin, opPhaseEnd: addr is a count/index
-				ww.uvarint(r.addr)
+			default: // opOps, opPhaseBegin, opPhaseEnd: payload is a count/index
+				ww.uvarint(addr)
 			}
 		}
 	}
@@ -440,15 +440,15 @@ func readTrace(r *wireReader) (*Trace, error) {
 		return nil, err
 	}
 	t := &Trace{phaseNames: names}
-	var cur []record
+	// Route decoded records through the Recorder's appendRecord so the
+	// wire path packs (and wide-spills) identically to live capture.
+	app := &Recorder{t: t}
 	prevAddr := uint64(0)
 	for i := uint64(0); i < count; i++ {
 		op, err := r.ReadByte()
 		if err != nil {
 			return nil, badf("truncated at record %d", i)
 		}
-		var rec record
-		rec.op = op
 		switch op {
 		case opAccessLoad, opAccessStore, opAccessPrefetch:
 			d, err := r.svarint("address delta")
@@ -459,10 +459,11 @@ func readTrace(r *wireReader) (*Trace, error) {
 			if prevAddr > maxWireAddr {
 				return nil, badf("address %#x exceeds the %#x bound", prevAddr, uint64(maxWireAddr))
 			}
-			rec.addr = prevAddr
-			if rec.n, err = r.uint32Field("access size"); err != nil {
+			n, err := r.uint32Field("access size")
+			if err != nil {
 				return nil, err
 			}
+			app.appendRecord(op, prevAddr, n, 0, 0, 0)
 		case opRunLoad, opRunStore, opRunPrefetch:
 			d, err := r.svarint("address delta")
 			if err != nil {
@@ -472,11 +473,12 @@ func readTrace(r *wireReader) (*Trace, error) {
 			if prevAddr > maxWireAddr {
 				return nil, badf("address %#x exceeds the %#x bound", prevAddr, uint64(maxWireAddr))
 			}
-			rec.addr = prevAddr
-			if rec.n, err = r.uint32Field("run length"); err != nil {
+			n, err := r.uint32Field("run length")
+			if err != nil {
 				return nil, err
 			}
-			if rec.unit, err = r.uint32Field("run unit"); err != nil {
+			unit, err := r.uint32Field("run unit")
+			if err != nil {
 				return nil, err
 			}
 			rows, err := r.uvarint("run rows")
@@ -486,16 +488,19 @@ func readTrace(r *wireReader) (*Trace, error) {
 			if rows == 0 || rows > uint64(^uint16(0)) {
 				return nil, badf("run rows %d out of range", rows)
 			}
-			rec.rows = uint16(rows)
+			var stride uint32
 			if rows > 1 {
-				if rec.stride, err = r.uint32Field("run stride"); err != nil {
+				if stride, err = r.uint32Field("run stride"); err != nil {
 					return nil, err
 				}
 			}
+			app.appendRecord(op, prevAddr, n, stride, unit, uint16(rows))
 		case opOps:
-			if rec.addr, err = r.uvarint("ops count"); err != nil {
+			cnt, err := r.uvarint("ops count")
+			if err != nil {
 				return nil, err
 			}
+			app.appendRecord(op, cnt, 0, 0, 0, 0)
 		case opPhaseBegin, opPhaseEnd:
 			idx, err := r.uvarint("phase index")
 			if err != nil {
@@ -504,17 +509,10 @@ func readTrace(r *wireReader) (*Trace, error) {
 			if idx >= uint64(len(names)) {
 				return nil, badf("phase index %d out of range (table has %d)", idx, len(names))
 			}
-			rec.addr = idx
+			app.appendRecord(op, idx, 0, 0, 0, 0)
 		default:
 			return nil, badf("unknown record op %d", op)
 		}
-		if len(cur) == cap(cur) {
-			cur = make([]record, 0, chunkRecords)
-			t.chunks = append(t.chunks, cur)
-		}
-		cur = append(cur, rec)
-		t.chunks[len(t.chunks)-1] = cur
-		t.records++
 	}
 	sum, err := r.verifyTrailer()
 	if err != nil {
